@@ -1,0 +1,63 @@
+// Command psdf-bench regenerates the paper's evaluation tables: for every
+// figure and table in the CGO 2009 paper's evaluation, it runs the
+// corresponding workload through the analysis (and the baselines) and
+// prints the paper-reported value next to the measured one. The experiment
+// ids match DESIGN.md's per-experiment index.
+//
+// Usage:
+//
+//	psdf-bench [-exp id]        run one experiment (fig2, fig5, fig6, fig7,
+//	                            table1, profile, storage, scaling,
+//	                            precision, verify, stencil) or all (default)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	flag.Parse()
+
+	byID := map[string]func() (*experiments.Table, error){
+		"fig2":        experiments.Fig2,
+		"fig5":        experiments.Fig5,
+		"fig6":        experiments.Fig6,
+		"fig7":        experiments.Fig7,
+		"table1":      experiments.TableI,
+		"profile":     experiments.ProfileSectionIX,
+		"storage":     experiments.Storage,
+		"scaling":     experiments.Scaling,
+		"precision":   experiments.Precision,
+		"verify":      experiments.VerifyExp,
+		"stencil":     experiments.Stencil,
+		"aggregation": experiments.Aggregation,
+	}
+
+	if *exp == "all" {
+		tables, err := experiments.All()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psdf-bench:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		return
+	}
+	builder, ok := byID[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "psdf-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	t, err := builder()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psdf-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(t)
+}

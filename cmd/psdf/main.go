@@ -1,0 +1,133 @@
+// Command psdf runs the communication-sensitive static dataflow analysis
+// on an MPL program: it parses, type-checks, builds the CFG, analyzes the
+// pCFG with the chosen client analysis, and reports the communication
+// topology plus any verification findings.
+//
+// Usage:
+//
+//	psdf [flags] program.mpl
+//
+// Flags:
+//
+//	-client symbolic|cartesian   client analysis (default cartesian)
+//	-backend array|map           constraint-graph storage (default array)
+//	-dot                         print the topology as Graphviz dot
+//	-cfg                         print the CFG as Graphviz dot and exit
+//	-trace                       log every analysis step to stderr
+//	-verify                      run the error-detection pass (default on)
+//	-stats                       print analysis statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cfg"
+	"repro/internal/cg"
+	"repro/internal/clients/cartesian"
+	"repro/internal/clients/symbolic"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/topology"
+	"repro/internal/verify"
+)
+
+func main() {
+	var (
+		client   = flag.String("client", "cartesian", "client analysis: symbolic or cartesian")
+		backend  = flag.String("backend", "array", "constraint-graph backend: array or map")
+		dot      = flag.Bool("dot", false, "print the topology as Graphviz dot")
+		cfgDot   = flag.Bool("cfg", false, "print the CFG as Graphviz dot and exit")
+		trace    = flag.Bool("trace", false, "log analysis steps to stderr")
+		doVerify = flag.Bool("verify", true, "run the error-detection pass")
+		stats    = flag.Bool("stats", false, "print analysis statistics")
+		nonBlock = flag.Bool("nonblocking", false, "non-blocking sends (Section X aggregation extension)")
+		pcfgDot  = flag.Bool("pcfg", false, "print the explored pCFG as Graphviz dot")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: psdf [flags] program.mpl")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *client, *backend, *dot, *cfgDot, *trace, *doVerify, *stats, *nonBlock, *pcfgDot); err != nil {
+		fmt.Fprintln(os.Stderr, "psdf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, client, backend string, dot, cfgDot, trace, doVerify, stats, nonBlock, pcfgDot bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := parser.Parse(path, string(src))
+	if err != nil {
+		return err
+	}
+	if _, err := sem.Check(prog); err != nil {
+		return err
+	}
+	g := cfg.Build(prog)
+	if cfgDot {
+		fmt.Print(g.Dot(path))
+		return nil
+	}
+
+	var cgStats cg.Stats
+	opts := core.Options{CGOpts: cg.Options{Stats: &cgStats}, NonBlockingSends: nonBlock}
+	switch backend {
+	case "array":
+		opts.CGOpts.Backend = cg.ArrayBackend
+	case "map":
+		opts.CGOpts.Backend = cg.MapBackend
+	default:
+		return fmt.Errorf("unknown backend %q", backend)
+	}
+	switch client {
+	case "symbolic":
+		opts.Matcher = &symbolic.Matcher{}
+	case "cartesian":
+		opts.Matcher = cartesian.New(core.ScanInvariants(g))
+	default:
+		return fmt.Errorf("unknown client %q", client)
+	}
+	if trace {
+		opts.Trace = os.Stderr
+	}
+
+	res, err := core.Analyze(g, opts)
+	if err != nil {
+		return err
+	}
+
+	if pcfgDot {
+		fmt.Print(res.PCFGDot(path))
+		return nil
+	}
+	rep := topology.Build(g, res)
+	if dot {
+		fmt.Print(rep.Dot(path))
+	} else {
+		fmt.Print(rep)
+	}
+	for _, p := range res.Prints {
+		if p.Known {
+			fmt.Printf("  print at n%d on %s always outputs %d\n", p.Node, p.Range, p.Val)
+		}
+	}
+	if doVerify {
+		vr := verify.Check(g, res)
+		fmt.Println(vr)
+	}
+	if stats {
+		fmt.Printf("stats: %d pCFG nodes, %d steps, %d widenings, %d incremental closures (avg %.1f vars), %d joins\n",
+			res.Configs, res.Steps, res.Widenings, cgStats.IncrClosures, cgStats.AvgIncrVars(), cgStats.Joins)
+	}
+	if !res.Clean() {
+		return fmt.Errorf("analysis incomplete: %v", res.TopReasons())
+	}
+	return nil
+}

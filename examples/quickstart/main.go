@@ -1,0 +1,63 @@
+// Quickstart: parse a small message-passing program, run the parallel
+// dataflow analysis with an unbounded process count, and print the detected
+// communication topology together with the constant-propagation facts —
+// the paper's Figure 2 end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cfg"
+	"repro/internal/clients/cartesian"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/topology"
+)
+
+const program = `
+# Two processes exchange a value initialized to 5 by process 0.
+assume np >= 3
+if id == 0 then
+  x := 5
+  send x -> 1
+  recv y <- 1
+  print y
+elif id == 1 then
+  recv y <- 0
+  send y -> 0
+  print y
+end
+`
+
+func main() {
+	// 1. Parse into an AST and build the control-flow graph.
+	prog, err := parser.Parse("quickstart.mpl", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := cfg.Build(prog)
+
+	// 2. Analyze over the pCFG. The cartesian client subsumes the simple
+	// symbolic client, so it is the usual default.
+	matcher := cartesian.New(core.ScanInvariants(g))
+	res, err := core.Analyze(g, core.Options{Matcher: matcher})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Clean() {
+		log.Fatalf("analysis gave up: %v", res.TopReasons())
+	}
+
+	// 3. The topology: which sends match which receives, for EVERY np.
+	fmt.Print(topology.Build(g, res))
+
+	// 4. Constant propagation across messages: both prints are proven to
+	// output 5 without running the program.
+	for _, p := range res.Prints {
+		if p.Known {
+			fmt.Printf("processes %s always print %d\n", p.Range, p.Val)
+		}
+	}
+	fmt.Printf("explored %d pCFG configurations in %d steps\n", res.Configs, res.Steps)
+}

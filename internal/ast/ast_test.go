@@ -1,0 +1,137 @@
+package ast_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+func exprOf(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	prog, err := parser.Parse("t.mpl", "tmp := "+src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Stmts[0].(*ast.Assign).Rhs
+}
+
+func TestFreeVars(t *testing.T) {
+	e := exprOf(t, "id + nrows * (x - 2) + id")
+	vars := ast.FreeVars(e)
+	var got []string
+	for v := range vars {
+		got = append(got, v)
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, []string{"id", "nrows", "x"}) {
+		t.Errorf("FreeVars = %v", got)
+	}
+}
+
+func TestUsesIdent(t *testing.T) {
+	e := exprOf(t, "a + b * 3")
+	if !ast.UsesIdent(e, "b") || ast.UsesIdent(e, "id") {
+		t.Error("UsesIdent wrong")
+	}
+}
+
+func TestWalkPruning(t *testing.T) {
+	e := exprOf(t, "(a + b) * (c + d)")
+	count := 0
+	ast.Walk(e, func(x ast.Expr) bool {
+		count++
+		// Prune at the first binary child: skip its operands.
+		_, isBin := x.(*ast.Binary)
+		return !isBin || count == 1
+	})
+	// Root (*), then a+b (pruned) and c+d (pruned): 3 nodes visited.
+	if count != 3 {
+		t.Errorf("visited %d nodes, want 3", count)
+	}
+}
+
+func TestWalkStmtsRecursesBodies(t *testing.T) {
+	prog, err := parser.Parse("t.mpl", `
+if id == 0 then
+  while x < 3 do
+    for i := 1 to 2 do
+      send x -> 1
+    end
+  end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	ast.WalkStmts(prog.Stmts, func(s ast.Stmt) bool {
+		kinds = append(kinds, reflect.TypeOf(s).Elem().Name())
+		return true
+	})
+	want := []string{"If", "While", "For", "Send"}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("kinds = %v, want %v", kinds, want)
+	}
+}
+
+func TestExprStringPrecedence(t *testing.T) {
+	cases := map[string]string{
+		"(a + b) * c": "(a + b) * c",
+		"a + b * c":   "a + b * c",
+		"a - (b - c)": "a - (b - c)",
+		"-(a + b)":    "-(a + b)",
+	}
+	for src, want := range cases {
+		if got := exprOf(t, src).String(); got != want {
+			t.Errorf("String(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !ast.Add.IsArith() || ast.Add.IsComparison() || ast.Add.IsLogical() {
+		t.Error("Add predicates wrong")
+	}
+	if !ast.Le.IsComparison() || ast.Le.IsArith() {
+		t.Error("Le predicates wrong")
+	}
+	if !ast.LAnd.IsLogical() || ast.LAnd.IsComparison() {
+		t.Error("LAnd predicates wrong")
+	}
+}
+
+func TestFormatAllStatements(t *testing.T) {
+	src := `var a, b
+a := 1
+if a == 1 then
+  skip
+else
+  print a
+end
+while a < 3 do
+  a := a + 1
+end
+for i := 1 to 2 do
+  send a -> 0 : tag
+end
+recv b <- 0 : tag
+sendrecv a -> 1, b <- 1
+assume np >= 2
+assert a > 0
+`
+	prog, err := parser.Parse("t.mpl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ast.Format(prog.Stmts)
+	// Round-trip stability.
+	prog2, err := parser.Parse("t2.mpl", out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if out2 := ast.Format(prog2.Stmts); out2 != out {
+		t.Errorf("format unstable:\n%s\nvs\n%s", out, out2)
+	}
+}

@@ -1,0 +1,363 @@
+// Package bench provides the MPL workloads used to regenerate the paper's
+// evaluation: transcriptions of every figure's code sample plus generated
+// families (fan-out broadcast, gathers, stencils, buggy variants) keyed by
+// the experiment index in DESIGN.md.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/cfg"
+	"repro/internal/parser"
+)
+
+// Workload is a named MPL program with the metadata the harness needs.
+type Workload struct {
+	Name string
+	// Exp is the experiment id from DESIGN.md (e.g. "fig5").
+	Exp string
+	// Src is the MPL source.
+	Src string
+	// Env binds free symbols (beyond np) for concrete runs; NPFor derives
+	// the process count from a scale parameter.
+	Env func(scale int) map[string]int64
+	// NPFor maps a scale parameter to the concrete process count.
+	NPFor func(scale int) int
+	// WantPattern is the expected topology classification (informational).
+	WantPattern string
+}
+
+// Parse builds the workload's CFG, panicking on malformed embedded sources.
+func (w *Workload) Parse() (*ast.Program, *cfg.Graph) {
+	prog := parser.MustParse(w.Name+".mpl", w.Src)
+	return prog, cfg.Build(prog)
+}
+
+func identityNP(scale int) int { return scale }
+
+func noEnv(int) map[string]int64 { return nil }
+
+// Fig2Exchange is the paper's Fig 2: processes 0 and 1 exchange a constant.
+func Fig2Exchange() *Workload {
+	return &Workload{
+		Name: "fig2_exchange",
+		Exp:  "fig2",
+		Src: `
+assume np >= 3
+if id == 0 then
+  x := 5
+  send x -> 1
+  recv y <- 1
+  print y
+elif id == 1 then
+  recv y <- 0
+  send y -> 0
+  print y
+end
+`,
+		Env:         noEnv,
+		NPFor:       identityNP,
+		WantPattern: "point-to-point",
+	}
+}
+
+// Fig5ExchangeRoot is the mdcask pattern of Figs 1 and 5: the root
+// exchanges a message with every other process.
+func Fig5ExchangeRoot() *Workload {
+	return &Workload{
+		Name: "fig5_exchange_root",
+		Exp:  "fig5",
+		Src: `
+assume np >= 4
+if id == 0 then
+  for i := 1 to np - 1 do
+    send x -> i
+    recv y <- i
+  end
+else
+  recv y <- 0
+  send y -> 0
+end
+`,
+		Env:         noEnv,
+		NPFor:       identityNP,
+		WantPattern: "exchange-with-root",
+	}
+}
+
+// Fanout is the Section IX fan-out broadcast: the root sends to everyone.
+func Fanout() *Workload {
+	return &Workload{
+		Name: "fanout",
+		Exp:  "profile",
+		Src: `
+assume np >= 3
+if id == 0 then
+  x := 42
+  for i := 1 to np - 1 do
+    send x -> i
+  end
+else
+  recv y <- 0
+  print y
+end
+`,
+		Env:         noEnv,
+		NPFor:       identityNP,
+		WantPattern: "broadcast",
+	}
+}
+
+// Gather is the dual fan-in: everyone sends to the root.
+func Gather() *Workload {
+	return &Workload{
+		Name: "gather",
+		Exp:  "precision",
+		Src: `
+assume np >= 3
+if id == 0 then
+  for i := 1 to np - 1 do
+    recv y <- i
+  end
+else
+  send x -> 0
+end
+`,
+		Env:         noEnv,
+		NPFor:       identityNP,
+		WantPattern: "gather",
+	}
+}
+
+// Fig7Shift is the 1-D nearest-neighbor shift of Figs 7 and 8.
+func Fig7Shift() *Workload {
+	return &Workload{
+		Name: "fig7_shift",
+		Exp:  "fig7",
+		Src: `
+assume np >= 4
+if id == 0 then
+  send x -> id + 1
+elif id <= np - 2 then
+  recv y <- id - 1
+  send x -> id + 1
+else
+  recv y <- id - 1
+end
+`,
+		Env:         noEnv,
+		NPFor:       identityNP,
+		WantPattern: "shift",
+	}
+}
+
+// Stencil1D is the full d=1 nearest-neighbor exchange (both directions,
+// 2d+1 = 3 roles, Section VIII-C).
+func Stencil1D() *Workload {
+	return &Workload{
+		Name: "stencil1d",
+		Exp:  "stencil",
+		Src: `
+assume np >= 4
+if id == 0 then
+  send x -> id + 1
+  recv r <- id + 1
+elif id <= np - 2 then
+  recv y <- id - 1
+  send x -> id + 1
+  recv r <- id + 1
+  send x -> id - 1
+else
+  recv y <- id - 1
+  send x -> id - 1
+end
+`,
+		Env:         noEnv,
+		NPFor:       identityNP,
+		WantPattern: "shift",
+	}
+}
+
+// TransposeSquare is the NAS-CG square-grid transpose (Fig 6, first branch).
+func TransposeSquare() *Workload {
+	return &Workload{
+		Name: "nascg_square",
+		Exp:  "fig6",
+		Src: `
+assume nrows >= 1
+assume np == nrows * nrows
+send x -> (id % nrows) * nrows + id / nrows
+recv y <- (id % nrows) * nrows + id / nrows
+`,
+		Env:         func(scale int) map[string]int64 { return map[string]int64{"nrows": int64(scale)} },
+		NPFor:       func(scale int) int { return scale * scale },
+		WantPattern: "permutation",
+	}
+}
+
+// TransposeRect is the rectangular (ncols = 2*nrows) transpose of
+// Section VIII-B.
+func TransposeRect() *Workload {
+	return &Workload{
+		Name: "nascg_rect",
+		Exp:  "fig6",
+		Src: `
+assume nrows >= 1
+assume ncols == 2 * nrows
+assume np == 2 * nrows * nrows
+send x -> id % 2 + 2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows))
+recv y <- id % 2 + 2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows))
+`,
+		Env: func(scale int) map[string]int64 {
+			return map[string]int64{"nrows": int64(scale), "ncols": int64(2 * scale)}
+		},
+		NPFor:       func(scale int) int { return 2 * scale * scale },
+		WantPattern: "permutation",
+	}
+}
+
+// LeakyBroadcast is Fanout with a bug: the root also sends one message
+// nobody receives (experiment E10's message leak).
+func LeakyBroadcast() *Workload {
+	return &Workload{
+		Name: "leaky_broadcast",
+		Exp:  "verify",
+		Src: `
+assume np >= 3
+if id == 0 then
+  for i := 1 to np - 1 do
+    send x -> i
+  end
+  send x -> 1
+else
+  recv y <- 0
+end
+`,
+		Env:         noEnv,
+		NPFor:       identityNP,
+		WantPattern: "broadcast",
+	}
+}
+
+// TypeMismatch matches a "halo"-tagged send with a "data"-tagged receive.
+func TypeMismatch() *Workload {
+	return &Workload{
+		Name: "type_mismatch",
+		Exp:  "verify",
+		Src: `
+assume np >= 2
+if id == 0 then
+  send x -> 1 : halo
+elif id == 1 then
+  recv y <- 0 : data
+end
+`,
+		Env:         noEnv,
+		NPFor:       identityNP,
+		WantPattern: "point-to-point",
+	}
+}
+
+// StencilDim builds a d-dimensional torus-free stencil for a CONCRETE grid:
+// roles are materialized per dimension as range comparisons over the
+// linearized rank. Used by the model-checking and simulator experiments
+// (the symbolic analysis covers the d=1 case, matching the paper's own
+// demonstration).
+func StencilDim(d int, side int) *Workload {
+	if d < 1 {
+		d = 1
+	}
+	np := 1
+	for i := 0; i < d; i++ {
+		np *= side
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "assume np >= %d\n", np)
+	stride := 1
+	for dim := 0; dim < d; dim++ {
+		// Shift "up" along this dimension: senders are ranks whose
+		// coordinate in this dimension is < side-1; receivers have coord
+		// > 0. For the linearized layout, coord = (id / stride) %% side.
+		fmt.Fprintf(&b, "if (id / %d) %% %d <= %d then\n", stride, side, side-2)
+		fmt.Fprintf(&b, "  send x -> id + %d\n", stride)
+		b.WriteString("end\n")
+		fmt.Fprintf(&b, "if (id / %d) %% %d >= 1 then\n", stride, side)
+		fmt.Fprintf(&b, "  recv y <- id - %d\n", stride)
+		b.WriteString("end\n")
+		stride *= side
+	}
+	return &Workload{
+		Name:        fmt.Sprintf("stencil%dd", d),
+		Exp:         "stencil",
+		Src:         b.String(),
+		Env:         noEnv,
+		NPFor:       func(int) int { return np },
+		WantPattern: "shift",
+	}
+}
+
+// SendFirstShift is the aggregation-friendly variant of the 1-D shift:
+// every sender posts its message before anyone receives. Under blocking
+// sends the analysis must unroll-and-widen the pipeline; under the
+// Section X non-blocking extension the aggregated send matches the whole
+// receiver set in one step (experiment E12).
+func SendFirstShift() *Workload {
+	return &Workload{
+		Name: "sendfirst_shift",
+		Exp:  "aggregation",
+		Src: `
+assume np >= 3
+if id <= np - 2 then
+  send x -> id + 1
+end
+if id >= 1 then
+  recv y <- id - 1
+end
+`,
+		Env:         noEnv,
+		NPFor:       identityNP,
+		WantPattern: "shift",
+	}
+}
+
+// Stencil2DFixedWidth is a two-dimensional column shift on an nx=4-wide
+// grid with a symbolic number of rows: stride-4 communication that the
+// unit-stride pipeline widening cannot summarize, but aggregated sends
+// match set-level (experiment E12).
+func Stencil2DFixedWidth() *Workload {
+	return &Workload{
+		Name: "stencil2d_fixed",
+		Exp:  "aggregation",
+		Src: `
+assume nx == 4
+assume np == 4 * ny
+assume ny >= 3
+assume np >= 12
+if id <= np - 5 then
+  send x -> id + 4
+end
+if id >= 4 then
+  recv y <- id - 4
+end
+`,
+		Env:         func(scale int) map[string]int64 { return map[string]int64{"nx": 4, "ny": int64(scale)} },
+		NPFor:       func(scale int) int { return 4 * scale },
+		WantPattern: "shift",
+	}
+}
+
+// All returns the symbolic-analysis workloads in a stable order.
+func All() []*Workload {
+	return []*Workload{
+		Fig2Exchange(),
+		Fig5ExchangeRoot(),
+		Fanout(),
+		Gather(),
+		Fig7Shift(),
+		Stencil1D(),
+		TransposeSquare(),
+		TransposeRect(),
+	}
+}

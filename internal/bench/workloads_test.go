@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestAllWorkloadsParse(t *testing.T) {
+	for _, w := range All() {
+		prog, g := w.Parse()
+		if prog == nil || g == nil {
+			t.Errorf("%s: nil parse", w.Name)
+		}
+		if len(g.CommNodes()) == 0 {
+			t.Errorf("%s: no communication nodes", w.Name)
+		}
+	}
+}
+
+func TestWorkloadsRunCleanly(t *testing.T) {
+	for _, w := range All() {
+		scale := 4
+		if strings.HasPrefix(w.Name, "nascg") {
+			scale = 3
+		}
+		np := w.NPFor(scale)
+		_, g := w.Parse()
+		res, err := sim.Run(g, np, sim.Options{Env: w.Env(scale)})
+		if err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+			continue
+		}
+		if res.Deadlocked {
+			t.Errorf("%s: deadlocked at np=%d", w.Name, np)
+		}
+		if len(res.Failures) > 0 {
+			t.Errorf("%s: assert failures %v", w.Name, res.Failures)
+		}
+		if len(res.Leaked) > 0 {
+			t.Errorf("%s: leaked messages %v", w.Name, res.Leaked)
+		}
+	}
+}
+
+func TestBuggyWorkloads(t *testing.T) {
+	_, g := LeakyBroadcast().Parse()
+	res, err := sim.Run(g, 4, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Leaked) != 1 {
+		t.Errorf("leaky broadcast leaked %d messages, want 1", len(res.Leaked))
+	}
+	_, g = TypeMismatch().Parse()
+	res, err = sim.Run(g, 2, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Error("type mismatch program should still deliver (tags are metadata)")
+	}
+}
+
+func TestStencilDimMessageCounts(t *testing.T) {
+	// A d-dimensional side^d stencil shifting up in every dimension has
+	// d * side^(d-1) * (side-1) messages.
+	for d := 1; d <= 3; d++ {
+		side := 3
+		w := StencilDim(d, side)
+		np := w.NPFor(0)
+		_, g := w.Parse()
+		res, err := sim.Run(g, np, sim.Options{})
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if res.Deadlocked {
+			t.Fatalf("d=%d: deadlocked", d)
+		}
+		want := d * pow(side, d-1) * (side - 1)
+		if len(res.Events) != want {
+			t.Errorf("d=%d: %d messages, want %d", d, len(res.Events), want)
+		}
+	}
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}
+
+func TestStencilRoleCount(t *testing.T) {
+	// 2d+1 roles: count distinct (send?, recv?) participation patterns per
+	// rank... the d-dimensional stencil partitions ranks into corner/edge/
+	// interior classes; verify the d=1 case has exactly 3 roles.
+	w := StencilDim(1, 5)
+	_, g := w.Parse()
+	res, err := sim.Run(g, 5, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type role struct{ sends, recvs int }
+	roles := map[int]*role{}
+	for i := 0; i < 5; i++ {
+		roles[i] = &role{}
+	}
+	for _, e := range res.Events {
+		roles[e.Sender].sends++
+		roles[e.Receiver].recvs++
+	}
+	distinct := map[role]bool{}
+	for _, r := range roles {
+		distinct[*r] = true
+	}
+	if len(distinct) != 3 {
+		t.Errorf("d=1 stencil roles = %d, want 3 (2d+1)", len(distinct))
+	}
+}

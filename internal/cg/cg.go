@@ -1,0 +1,729 @@
+// Package cg implements constraint graphs: conjunctions of difference
+// inequalities x <= y + c over named integer variables, the dataflow state
+// representation of the paper's Section VII client analysis (following CLR
+// ch. 25.5 and Shaham et al).
+//
+// The graph is kept transitively closed so entailment queries are O(1)
+// lookups. Closure is maintained two ways, mirroring the two variants
+// profiled in the paper's Section IX:
+//
+//   - a full O(n^3) Floyd-Warshall pass (FullClose), and
+//   - an O(n^2) incremental update applied when a single constraint is
+//     added to an already-closed graph (AddLE).
+//
+// Both are instrumented (invocation counts, variable counts, wall time) so
+// the benchmark harness can regenerate the paper's profile. Two storage
+// backends are provided — a dense array matrix and a Go map — reproducing
+// the paper's observation that container-based storage is much slower than
+// arrays for this workload.
+package cg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Inf is the internal "no constraint" bound. It is kept far from the int64
+// limits so additions cannot overflow.
+const Inf = math.MaxInt64 / 4
+
+// ZeroVar is the distinguished variable fixed at 0; constraints against it
+// encode unary bounds (x <= c is x - ZeroVar <= c).
+const ZeroVar = "$0"
+
+// Backend selects the storage strategy for the closed difference matrix.
+type Backend int
+
+// Available backends.
+const (
+	// ArrayBackend stores bounds in a dense [][]int64 matrix.
+	ArrayBackend Backend = iota
+	// MapBackend stores bounds in a Go map keyed by variable pair — the
+	// "STL container" analogue from the paper's Section IX discussion.
+	MapBackend
+)
+
+func (b Backend) String() string {
+	switch b {
+	case ArrayBackend:
+		return "array"
+	case MapBackend:
+		return "map"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// Stats accumulates closure instrumentation, shared across all graphs
+// created from the same Options so an entire analysis run can be profiled.
+type Stats struct {
+	FullClosures int           // number of O(n^3) closure passes
+	FullVarsSum  int64         // sum of variable counts over those passes
+	IncrClosures int           // number of O(n^2) incremental updates
+	IncrVarsSum  int64         // sum of variable counts over those updates
+	ClosureTime  time.Duration // total wall time inside closure code
+	// State-maintenance accounting beyond closure: joins, widenings and
+	// graph copies, the other costs of keeping the dataflow state at each
+	// pCFG node consistent (the paper's Section IX "92.5%" covers all of
+	// this).
+	Joins        int
+	JoinVarsSum  int64
+	MaintainTime time.Duration // join + widen + clone wall time
+}
+
+// AvgJoinVars returns the mean variable count per join/widen.
+func (s *Stats) AvgJoinVars() float64 {
+	if s.Joins == 0 {
+		return 0
+	}
+	return float64(s.JoinVarsSum) / float64(s.Joins)
+}
+
+// MaintenanceTime returns all time spent keeping dataflow state consistent
+// (closure plus join/widen/clone).
+func (s *Stats) MaintenanceTime() time.Duration { return s.ClosureTime + s.MaintainTime }
+
+// AvgFullVars returns the mean variable count per full closure.
+func (s *Stats) AvgFullVars() float64 {
+	if s.FullClosures == 0 {
+		return 0
+	}
+	return float64(s.FullVarsSum) / float64(s.FullClosures)
+}
+
+// AvgIncrVars returns the mean variable count per incremental update.
+func (s *Stats) AvgIncrVars() float64 {
+	if s.IncrClosures == 0 {
+		return 0
+	}
+	return float64(s.IncrVarsSum) / float64(s.IncrClosures)
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// Options configures graph construction.
+type Options struct {
+	Backend Backend
+	Stats   *Stats // optional shared instrumentation
+}
+
+// Graph is a transitively closed difference-constraint store. The zero
+// value is not usable; call New.
+type Graph struct {
+	opts       Options
+	names      []string
+	ids        map[string]int
+	dense      [][]int64       // ArrayBackend
+	sparse     map[int64]int64 // MapBackend; missing key = Inf
+	consistent bool
+}
+
+func pairKey(i, j int) int64 { return int64(i)<<32 | int64(j) }
+
+// New returns an empty, consistent graph containing only ZeroVar.
+func New(opts Options) *Graph {
+	g := &Graph{opts: opts, ids: map[string]int{}, consistent: true}
+	if opts.Backend == MapBackend {
+		g.sparse = map[int64]int64{}
+	}
+	g.intern(ZeroVar)
+	return g
+}
+
+// NewDefault returns a graph with the array backend and no shared stats.
+func NewDefault() *Graph { return New(Options{}) }
+
+// intern returns the id for name, adding the variable if needed.
+func (g *Graph) intern(name string) int {
+	if id, ok := g.ids[name]; ok {
+		return id
+	}
+	id := len(g.names)
+	g.names = append(g.names, name)
+	g.ids[name] = id
+	if g.opts.Backend == ArrayBackend {
+		for i := range g.dense {
+			g.dense[i] = append(g.dense[i], Inf)
+		}
+		row := make([]int64, id+1)
+		for j := range row {
+			row[j] = Inf
+		}
+		g.dense = append(g.dense, row)
+		g.dense[id][id] = 0
+	}
+	return id
+}
+
+func (g *Graph) get(i, j int) int64 {
+	if i == j {
+		if g.opts.Backend == ArrayBackend {
+			return g.dense[i][j]
+		}
+		if v, ok := g.sparse[pairKey(i, j)]; ok {
+			return v
+		}
+		return 0
+	}
+	if g.opts.Backend == ArrayBackend {
+		return g.dense[i][j]
+	}
+	if v, ok := g.sparse[pairKey(i, j)]; ok {
+		return v
+	}
+	return Inf
+}
+
+func (g *Graph) set(i, j int, v int64) {
+	if g.opts.Backend == ArrayBackend {
+		g.dense[i][j] = v
+		return
+	}
+	if v >= Inf && i != j {
+		delete(g.sparse, pairKey(i, j))
+		return
+	}
+	g.sparse[pairKey(i, j)] = v
+}
+
+// NumVars returns the number of interned variables (including ZeroVar).
+func (g *Graph) NumVars() int { return len(g.names) }
+
+// Vars returns all variable names except ZeroVar, sorted.
+func (g *Graph) Vars() []string {
+	out := make([]string, 0, len(g.names)-1)
+	for _, n := range g.names {
+		if n != ZeroVar {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasVar reports whether name has been interned.
+func (g *Graph) HasVar(name string) bool {
+	_, ok := g.ids[name]
+	return ok
+}
+
+// Consistent reports whether the constraints are satisfiable.
+func (g *Graph) Consistent() bool { return g.consistent }
+
+// MarkInconsistent forces the graph into the unsatisfiable state.
+func (g *Graph) MarkInconsistent() { g.consistent = false }
+
+// AddVar ensures name is present (unconstrained if new).
+func (g *Graph) AddVar(name string) { g.intern(name) }
+
+// AddLE adds the constraint x <= y + c (x - y <= c), maintaining closure
+// with the O(n^2) incremental algorithm. Either side may be ZeroVar.
+// Returns false if the constraint makes the graph inconsistent.
+func (g *Graph) AddLE(x, y string, c int64) bool {
+	if !g.consistent {
+		return false
+	}
+	i, j := g.intern(x), g.intern(y)
+	if i == j {
+		if c < 0 {
+			g.consistent = false
+		}
+		return g.consistent
+	}
+	if g.get(i, j) <= c {
+		return true // already entailed
+	}
+	// Inconsistency: existing bound j - i <= d with c + d < 0.
+	if d := g.get(j, i); d < Inf && c+d < 0 {
+		g.consistent = false
+		return false
+	}
+	g.set(i, j, c)
+	g.incrementalClose(i, j)
+	return g.consistent
+}
+
+// AddEq adds x = y + c.
+func (g *Graph) AddEq(x, y string, c int64) bool {
+	return g.AddLE(x, y, c) && g.AddLE(y, x, -c)
+}
+
+// SetConst adds x = c.
+func (g *Graph) SetConst(x string, c int64) bool { return g.AddEq(x, ZeroVar, c) }
+
+// incrementalClose restores closure after tightening edge (i,j): for every
+// pair (a,b), a->i->j->b may now be shorter. O(n^2).
+func (g *Graph) incrementalClose(i, j int) {
+	start := time.Now()
+	n := len(g.names)
+	w := g.get(i, j)
+	for a := 0; a < n; a++ {
+		dai := g.get(a, i)
+		if dai >= Inf {
+			continue
+		}
+		through := dai + w
+		for b := 0; b < n; b++ {
+			djb := g.get(j, b)
+			if djb >= Inf {
+				continue
+			}
+			cand := through + djb
+			if cand < g.get(a, b) {
+				g.set(a, b, cand)
+				if a == b && cand < 0 {
+					g.consistent = false
+				}
+			}
+		}
+	}
+	if st := g.opts.Stats; st != nil {
+		st.IncrClosures++
+		st.IncrVarsSum += int64(n)
+		st.ClosureTime += time.Since(start)
+	}
+}
+
+// FullClose recomputes the transitive closure with Floyd-Warshall, O(n^3).
+// Needed after bulk edits (Join, Widen do not require it; Forget uses it).
+func (g *Graph) FullClose() {
+	start := time.Now()
+	n := len(g.names)
+	for k := 0; k < n; k++ {
+		for a := 0; a < n; a++ {
+			dak := g.get(a, k)
+			if dak >= Inf {
+				continue
+			}
+			for b := 0; b < n; b++ {
+				dkb := g.get(k, b)
+				if dkb >= Inf {
+					continue
+				}
+				if cand := dak + dkb; cand < g.get(a, b) {
+					g.set(a, b, cand)
+				}
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		if g.get(a, a) < 0 {
+			g.consistent = false
+		}
+	}
+	if st := g.opts.Stats; st != nil {
+		st.FullClosures++
+		st.FullVarsSum += int64(n)
+		st.ClosureTime += time.Since(start)
+	}
+}
+
+// DiffBound returns the tightest known bound on x - y, with ok=false when
+// unconstrained or either variable is unknown.
+func (g *Graph) DiffBound(x, y string) (int64, bool) {
+	i, okx := g.ids[x]
+	j, oky := g.ids[y]
+	if !okx || !oky {
+		return 0, false
+	}
+	b := g.get(i, j)
+	if b >= Inf {
+		return 0, false
+	}
+	return b, true
+}
+
+// Entails reports whether the graph implies x <= y + c. An inconsistent
+// graph entails everything.
+func (g *Graph) Entails(x, y string, c int64) bool {
+	if !g.consistent {
+		return true
+	}
+	if x == y {
+		return c >= 0
+	}
+	b, ok := g.DiffBound(x, y)
+	return ok && b <= c
+}
+
+// EntailsLT reports whether the graph implies x < y + c.
+func (g *Graph) EntailsLT(x, y string, c int64) bool { return g.Entails(x, y, c-1) }
+
+// ConstVal returns the exact known value of x, if the graph pins it.
+func (g *Graph) ConstVal(x string) (int64, bool) {
+	hi, ok1 := g.DiffBound(x, ZeroVar)
+	lo, ok2 := g.DiffBound(ZeroVar, x)
+	if ok1 && ok2 && hi == -lo {
+		return hi, true
+	}
+	return 0, false
+}
+
+// EqualWitnesses returns, for variable x, every pair (y, c) with the graph
+// entailing x = y + c, including (ZeroVar, v) when x has a known constant
+// value. x itself is excluded. Results are sorted by variable name.
+func (g *Graph) EqualWitnesses(x string) []Witness {
+	i, ok := g.ids[x]
+	if !ok || !g.consistent {
+		return nil
+	}
+	var out []Witness
+	for j, name := range g.names {
+		if j == i {
+			continue
+		}
+		up := g.get(i, j)
+		down := g.get(j, i)
+		if up < Inf && down < Inf && up == -down {
+			out = append(out, Witness{Var: name, C: up})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Var < out[b].Var })
+	return out
+}
+
+// Witness records the fact x = Var + C for some subject variable x.
+type Witness struct {
+	Var string
+	C   int64
+}
+
+// ForEachBound calls fn for every finite off-diagonal bound x - y <= c in
+// the closed graph, in deterministic (interning) order.
+func (g *Graph) ForEachBound(fn func(x, y string, c int64)) {
+	n := len(g.names)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if b := g.get(i, j); b < Inf {
+				fn(g.names[i], g.names[j], b)
+			}
+		}
+	}
+}
+
+// Forget removes all constraints mentioning x while preserving everything
+// entailed between other variables (the graph is already closed, so simply
+// resetting x's row and column is a sound projection).
+func (g *Graph) Forget(x string) {
+	i, ok := g.ids[x]
+	if !ok {
+		return
+	}
+	n := len(g.names)
+	for a := 0; a < n; a++ {
+		if a != i {
+			g.set(i, a, Inf)
+			g.set(a, i, Inf)
+		}
+	}
+	g.set(i, i, 0)
+}
+
+// Drop removes variable x entirely from the graph (Forget plus deletion of
+// the slot). All other constraints are preserved.
+func (g *Graph) Drop(x string) {
+	i, ok := g.ids[x]
+	if !ok || x == ZeroVar {
+		return
+	}
+	g.Forget(x)
+	last := len(g.names) - 1
+	if g.opts.Backend == ArrayBackend {
+		if i != last {
+			lastName := g.names[last]
+			for a := 0; a < len(g.names); a++ {
+				g.dense[a][i] = g.dense[a][last]
+				g.dense[i][a] = g.dense[last][a]
+			}
+			g.dense[i][i] = g.dense[last][last]
+			g.names[i] = lastName
+			g.ids[lastName] = i
+		}
+		g.dense = g.dense[:last]
+		for a := range g.dense {
+			g.dense[a] = g.dense[a][:last]
+		}
+	} else {
+		delete(g.sparse, pairKey(i, i))
+		if i != last {
+			lastName := g.names[last]
+			for a := 0; a < len(g.names); a++ {
+				if v, ok := g.sparse[pairKey(a, last)]; ok {
+					delete(g.sparse, pairKey(a, last))
+					if a == last {
+						g.sparse[pairKey(i, i)] = v
+					} else {
+						g.sparse[pairKey(a, i)] = v
+					}
+				}
+				if v, ok := g.sparse[pairKey(last, a)]; ok {
+					delete(g.sparse, pairKey(last, a))
+					if a != last {
+						g.sparse[pairKey(i, a)] = v
+					}
+				}
+			}
+			g.names[i] = lastName
+			g.ids[lastName] = i
+		}
+	}
+	g.names = g.names[:last]
+	delete(g.ids, x)
+}
+
+// Shift applies the invertible assignment x := x + k: every bound involving
+// x moves by k. Closure is preserved.
+func (g *Graph) Shift(x string, k int64) {
+	i, ok := g.ids[x]
+	if !ok {
+		g.intern(x)
+		return
+	}
+	n := len(g.names)
+	for a := 0; a < n; a++ {
+		if a == i {
+			continue
+		}
+		if b := g.get(i, a); b < Inf {
+			g.set(i, a, b+k)
+		}
+		if b := g.get(a, i); b < Inf {
+			g.set(a, i, b-k)
+		}
+	}
+}
+
+// Rename changes variable old to new (new must not exist yet).
+func (g *Graph) Rename(old, new string) {
+	if old == new {
+		return
+	}
+	i, ok := g.ids[old]
+	if !ok {
+		return
+	}
+	if _, exists := g.ids[new]; exists {
+		panic(fmt.Sprintf("cg: Rename target %q already exists", new))
+	}
+	delete(g.ids, old)
+	g.ids[new] = i
+	g.names[i] = new
+}
+
+// Clone returns a deep copy sharing Options (and therefore Stats).
+func (g *Graph) Clone() *Graph {
+	start := time.Now()
+	defer func() {
+		if st := g.opts.Stats; st != nil {
+			st.MaintainTime += time.Since(start)
+		}
+	}()
+	ng := &Graph{
+		opts:       g.opts,
+		names:      append([]string(nil), g.names...),
+		ids:        make(map[string]int, len(g.ids)),
+		consistent: g.consistent,
+	}
+	for k, v := range g.ids {
+		ng.ids[k] = v
+	}
+	if g.opts.Backend == ArrayBackend {
+		ng.dense = make([][]int64, len(g.dense))
+		for i, row := range g.dense {
+			ng.dense[i] = append([]int64(nil), row...)
+		}
+	} else {
+		ng.sparse = make(map[int64]int64, len(g.sparse))
+		for k, v := range g.sparse {
+			ng.sparse[k] = v
+		}
+	}
+	return ng
+}
+
+// alignVars makes both graphs contain the union of their variables.
+func alignVars(a, b *Graph) {
+	for _, n := range a.names {
+		b.intern(n)
+	}
+	for _, n := range b.names {
+		a.intern(n)
+	}
+}
+
+// Join returns the least upper bound (convex hull) of a and b: pointwise
+// maximum of the closed matrices. If either side is inconsistent the other
+// is returned (bottom is the identity of join).
+func Join(a, b *Graph) *Graph {
+	if !a.consistent {
+		return b.Clone()
+	}
+	if !b.consistent {
+		return a.Clone()
+	}
+	start := time.Now()
+	defer func() {
+		if st := a.opts.Stats; st != nil {
+			st.Joins++
+			st.JoinVarsSum += int64(len(a.names))
+			st.MaintainTime += time.Since(start)
+		}
+	}()
+	ra, rb := a.Clone(), b.Clone()
+	alignVars(ra, rb)
+	n := len(ra.names)
+	for i := 0; i < n; i++ {
+		ji := rb.ids[ra.names[i]]
+		for j := 0; j < n; j++ {
+			jj := rb.ids[ra.names[j]]
+			va := ra.get(i, j)
+			vb := rb.get(ji, jj)
+			if vb > va {
+				ra.set(i, j, vb)
+			}
+		}
+	}
+	// Pointwise max of closed matrices is closed; no re-closure needed.
+	return ra
+}
+
+// Widen returns a widened with b: bounds of a that b does not respect are
+// dropped to Inf, guaranteeing a finite ascending chain. The result is not
+// re-closed (closing after widening would defeat termination).
+func Widen(a, b *Graph) *Graph {
+	if !a.consistent {
+		return b.Clone()
+	}
+	if !b.consistent {
+		return a.Clone()
+	}
+	start := time.Now()
+	defer func() {
+		if st := a.opts.Stats; st != nil {
+			st.Joins++
+			st.JoinVarsSum += int64(len(a.names))
+			st.MaintainTime += time.Since(start)
+		}
+	}()
+	ra, rb := a.Clone(), b.Clone()
+	alignVars(ra, rb)
+	n := len(ra.names)
+	for i := 0; i < n; i++ {
+		ji := rb.ids[ra.names[i]]
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			jj := rb.ids[ra.names[j]]
+			if rb.get(ji, jj) > ra.get(i, j) {
+				ra.set(i, j, Inf)
+			}
+		}
+	}
+	return ra
+}
+
+// Leq reports whether a entails all constraints of b (a is at least as
+// precise, i.e. a ⊑ b in the may-analysis lattice ordered by precision).
+func Leq(a, b *Graph) bool {
+	if !a.consistent {
+		return true
+	}
+	if !b.consistent {
+		return false
+	}
+	for i, ni := range b.names {
+		for j, nj := range b.names {
+			if i == j {
+				continue
+			}
+			vb := b.get(i, j)
+			if vb >= Inf {
+				continue
+			}
+			ia, oki := a.ids[ni]
+			ja, okj := a.ids[nj]
+			if !oki || !okj || a.get(ia, ja) > vb {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports mutual entailment over the union of variables.
+func Equal(a, b *Graph) bool { return Leq(a, b) && Leq(b, a) }
+
+// String renders all non-trivial constraints, sorted, e.g.
+// "i <= np - 1; x = 5".
+func (g *Graph) String() string {
+	if !g.consistent {
+		return "inconsistent"
+	}
+	var parts []string
+	n := len(g.names)
+	done := map[[2]int]bool{}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || done[[2]int{i, j}] {
+				continue
+			}
+			up := g.get(i, j)
+			if up >= Inf {
+				continue
+			}
+			down := g.get(j, i)
+			if down < Inf && down == -up {
+				done[[2]int{j, i}] = true
+				parts = append(parts, renderEq(g.names[i], g.names[j], up))
+			} else {
+				parts = append(parts, renderLE(g.names[i], g.names[j], up))
+			}
+		}
+	}
+	sort.Strings(parts)
+	if len(parts) == 0 {
+		return "true"
+	}
+	return strings.Join(parts, "; ")
+}
+
+func renderEq(x, y string, c int64) string {
+	if y == ZeroVar {
+		return fmt.Sprintf("%s = %d", x, c)
+	}
+	if x == ZeroVar {
+		return renderEq(y, ZeroVar, -c)
+	}
+	switch {
+	case c == 0:
+		return fmt.Sprintf("%s = %s", x, y)
+	case c > 0:
+		return fmt.Sprintf("%s = %s + %d", x, y, c)
+	default:
+		return fmt.Sprintf("%s = %s - %d", x, y, -c)
+	}
+}
+
+func renderLE(x, y string, c int64) string {
+	if y == ZeroVar {
+		return fmt.Sprintf("%s <= %d", x, c)
+	}
+	if x == ZeroVar {
+		return fmt.Sprintf("%s >= %d", y, -c)
+	}
+	switch {
+	case c == 0:
+		return fmt.Sprintf("%s <= %s", x, y)
+	case c > 0:
+		return fmt.Sprintf("%s <= %s + %d", x, y, c)
+	default:
+		return fmt.Sprintf("%s <= %s - %d", x, y, -c)
+	}
+}

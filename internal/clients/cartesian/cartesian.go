@@ -1,0 +1,165 @@
+// Package cartesian implements the paper's Section VIII client analysis:
+// send-receive matching over cartesian process topologies using
+// Hierarchical Sequence Maps. It extends the Section VII symbolic matcher —
+// simple var+c patterns are still matched by range arithmetic — with HSM
+// proofs of surjectivity (set-equality) and identity (sequence-equality)
+// for expressions built from +, -, *, / and % over the process rank, such
+// as the NAS-CG transpose and d-dimensional nearest-neighbor stencils.
+package cartesian
+
+import (
+	"repro/internal/ast"
+	"repro/internal/clients/symbolic"
+	"repro/internal/core"
+	"repro/internal/hsm"
+	"repro/internal/sym"
+)
+
+// Matcher is the Section VIII client analysis.
+type Matcher struct {
+	simple symbolic.Matcher
+	ctx    *hsm.Ctx
+	prover *hsm.Prover
+
+	// HSMMatches counts matches proved by HSM reasoning (instrumentation:
+	// matches the simple client could not handle).
+	HSMMatches int
+	// HSMAttempts counts HSM match attempts.
+	HSMAttempts int
+}
+
+// New builds a cartesian matcher from the program's global invariants
+// (collected with core.ScanInvariants): multiplicative equalities such as
+// np = nrows*ncols become HSM normalization substitutions, and declared
+// lower bounds discharge positivity side conditions.
+func New(inv *core.Invariants) *Matcher {
+	ctx := hsm.NewCtx()
+	for name, repl := range inv.Subst {
+		ctx.WithInvariant(name, repl)
+	}
+	for name, lb := range inv.LowerBounds {
+		ctx.WithLowerBound(name, lb)
+	}
+	return &Matcher{ctx: ctx, prover: hsm.NewProver(ctx)}
+}
+
+// Name identifies the client analysis.
+func (m *Matcher) Name() string { return "cartesian" }
+
+// Prover exposes the underlying HSM prover (instrumentation).
+func (m *Matcher) Prover() *hsm.Prover { return m.prover }
+
+// SimpleMatches reports how many matches the embedded Section VII matcher
+// handled.
+func (m *Matcher) SimpleMatches() int { return m.simple.Matches }
+
+// Match first tries the Section VII symbolic matcher; if the expressions
+// are beyond var+c, it attempts a whole-set HSM match: the send expression
+// must map the sender set onto exactly the receiver set (set-equality) and
+// compose with the receive expression to the identity (sequence-equality).
+func (m *Matcher) Match(st *core.State, sender *core.ProcSet, dest ast.Expr, receiver *core.ProcSet, src ast.Expr) (*core.MatchPlan, bool) {
+	if plan, ok := m.simple.Match(st, sender, dest, receiver, src); ok {
+		return plan, ok
+	}
+	m.HSMAttempts++
+	sIDH, ok := m.idHSM(sender)
+	if !ok {
+		return nil, false
+	}
+	rIDH, ok := m.idHSM(receiver)
+	if !ok {
+		return nil, false
+	}
+	hd, err := m.ctx.Convert(dest, sIDH)
+	if err != nil {
+		return nil, false
+	}
+	// Surjectivity: the send expression's image is exactly the receiver set.
+	if !m.prover.SetEqual(hd, rIDH) {
+		return nil, false
+	}
+	// Identity: applying the receive expression to the send image yields
+	// each sender back.
+	comp, err := m.ctx.Convert(src, hd)
+	if err != nil {
+		return nil, false
+	}
+	if !m.prover.SeqEqual(comp, sIDH) {
+		return nil, false
+	}
+	m.HSMMatches++
+	return &core.MatchPlan{
+		SenderMatched: sender.Range,
+		RecvMatched:   receiver.Range,
+	}, true
+}
+
+// SelfMatch proves a whole-set permutation exchange: dest maps the set onto
+// itself (set-equality) with src inverting it (sequence-equality of the
+// composition with the identity map) — exactly the paper's Section VIII-B
+// transpose proofs.
+func (m *Matcher) SelfMatch(st *core.State, ps *core.ProcSet, dest, src ast.Expr) bool {
+	if m.simple.SelfMatch(st, ps, dest, src) {
+		return true
+	}
+	m.HSMAttempts++
+	idh, ok := m.idHSM(ps)
+	if !ok {
+		return false
+	}
+	hd, err := m.ctx.Convert(dest, idh)
+	if err != nil {
+		return false
+	}
+	if !m.prover.SetEqual(hd, idh) {
+		return false
+	}
+	comp, err := m.ctx.Convert(src, hd)
+	if err != nil {
+		return false
+	}
+	if !m.prover.SeqEqual(comp, idh) {
+		return false
+	}
+	m.HSMMatches++
+	return true
+}
+
+// idHSM builds the identity HSM [lb : n, 1] for a process set, requiring
+// globally meaningful bounds (no per-set variables) and a provably
+// non-empty range.
+func (m *Matcher) idHSM(ps *core.ProcSet) (*hsm.HSM, bool) {
+	lb, ok := globalAtom(ps.Range.LB)
+	if !ok {
+		return nil, false
+	}
+	ub, ok := globalAtom(ps.Range.UB)
+	if !ok {
+		return nil, false
+	}
+	n := sym.AddConst(sym.Sub(ub, lb), 1)
+	if !m.ctx.ProvePos(n) {
+		return nil, false
+	}
+	return hsm.IDRange(lb, n), true
+}
+
+// globalAtom picks a bound atom that references no per-set (ps-prefixed)
+// variables, so it is meaningful in the HSM context's global namespace.
+func globalAtom(b interface{ Atoms() []sym.Expr }) (sym.Expr, bool) {
+	for _, a := range b.Atoms() {
+		global := true
+		for _, v := range a.Vars() {
+			if len(v) >= 2 && v[0] == 'p' && v[1] == 's' {
+				global = false
+				break
+			}
+		}
+		if global {
+			return a, true
+		}
+	}
+	return sym.Zero, false
+}
+
+var _ core.Matcher = (*Matcher)(nil)

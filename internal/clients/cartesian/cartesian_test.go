@@ -1,0 +1,142 @@
+package cartesian_test
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/clients/cartesian"
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+// analyzeCart runs the full analysis with the cartesian client.
+func analyzeCart(t *testing.T, src string) (*core.Result, *cfg.Graph, *cartesian.Matcher) {
+	t.Helper()
+	prog, err := parser.Parse("test.mpl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g := cfg.Build(prog)
+	m := cartesian.New(core.ScanInvariants(g))
+	res, err := core.Analyze(g, core.Options{Matcher: m})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return res, g, m
+}
+
+// Fig 6, square branch: every process exchanges with its transpose in an
+// nrows x nrows grid. Modeled with send-then-recv (the engine's self-match
+// rule, justified by eager buffering, performs the paper's Section VIII-B
+// permutation proof).
+const nascgSquareSrc = `
+assume nrows >= 1
+assume np == nrows * nrows
+send x -> (id % nrows) * nrows + id / nrows
+recv y <- (id % nrows) * nrows + id / nrows
+print y
+`
+
+func TestNASCGSquareTranspose(t *testing.T) {
+	res, g, m := analyzeCart(t, nascgSquareSrc)
+	if !res.Clean() {
+		t.Fatalf("analysis not clean: %v", res.TopReasons())
+	}
+	if len(res.Matches) != 1 {
+		t.Fatalf("matches = %v, want 1 self-exchange", res.Matches)
+	}
+	match := res.Matches[0]
+	if g.Node(match.SendNode).Kind != cfg.Send || g.Node(match.RecvNode).Kind != cfg.Recv {
+		t.Errorf("matched nodes %v -> %v", g.Node(match.SendNode), g.Node(match.RecvNode))
+	}
+	if match.Sender.String() != "[0..np - 1]" || match.Receiver.String() != "[0..np - 1]" {
+		t.Errorf("exchange ranges = %v -> %v, want whole set", match.Sender, match.Receiver)
+	}
+	if m.HSMMatches == 0 {
+		t.Error("expected the HSM prover to perform the match")
+	}
+}
+
+// Fig 6, rectangular branch (ncols = 2*nrows).
+const nascgRectSrc = `
+assume nrows >= 1
+assume ncols == 2 * nrows
+assume np == 2 * nrows * nrows
+send x -> id % 2 + 2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows))
+recv y <- id % 2 + 2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows))
+`
+
+func TestNASCGRectTranspose(t *testing.T) {
+	res, _, m := analyzeCart(t, nascgRectSrc)
+	if !res.Clean() {
+		t.Fatalf("analysis not clean: %v", res.TopReasons())
+	}
+	if len(res.Matches) != 1 {
+		t.Fatalf("matches = %v, want 1", res.Matches)
+	}
+	if m.HSMMatches == 0 {
+		t.Error("expected HSM match")
+	}
+}
+
+// The combined sendrecv statement also models the exchange.
+const sendrecvTransposeSrc = `
+assume nrows >= 1
+assume np == nrows * nrows
+sendrecv x -> (id % nrows) * nrows + id / nrows, y <- (id % nrows) * nrows + id / nrows
+`
+
+func TestSendRecvTranspose(t *testing.T) {
+	res, _, _ := analyzeCart(t, sendrecvTransposeSrc)
+	if !res.Clean() {
+		t.Fatalf("analysis not clean: %v", res.TopReasons())
+	}
+	if len(res.Matches) != 1 {
+		t.Fatalf("matches = %v, want 1", res.Matches)
+	}
+}
+
+// The cartesian client still handles everything the symbolic client does.
+const fig2Src = `
+assume np >= 3
+if id == 0 then
+  x := 5
+  send x -> 1
+  recv y <- 1
+elif id == 1 then
+  recv y <- 0
+  send y -> 0
+end
+`
+
+func TestCartesianSubsumesSymbolic(t *testing.T) {
+	res, _, m := analyzeCart(t, fig2Src)
+	if !res.Clean() {
+		t.Fatalf("tops: %v", res.TopReasons())
+	}
+	if len(res.Matches) != 2 {
+		t.Errorf("matches = %v", res.Matches)
+	}
+	if m.SimpleMatches() == 0 {
+		t.Error("simple matcher should have handled the var+c matches")
+	}
+	if m.HSMMatches != 0 {
+		t.Errorf("HSM matches = %d, want 0", m.HSMMatches)
+	}
+}
+
+// A non-permutation expression must NOT self-match: everyone sending to
+// process 0 while trying to receive from 0 deadlocks (except the trivial
+// np=1 case) and the analysis reports ⊤.
+const badSelfSrc = `
+assume np >= 2
+send x -> 0
+recv y <- 0
+`
+
+func TestNonPermutationRejected(t *testing.T) {
+	res, _, _ := analyzeCart(t, badSelfSrc)
+	if len(res.Tops) == 0 {
+		t.Fatal("expected ⊤ for the non-permutation self exchange")
+	}
+}

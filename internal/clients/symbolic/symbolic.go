@@ -1,0 +1,193 @@
+// Package symbolic implements the paper's Section VII client analysis: the
+// simple symbolic send-receive matcher for message expressions of the form
+// var + c (including id + c and plain constants/variables), over process
+// sets represented as symbolic ranges backed by constraint graphs.
+//
+// Matching implements the framework's two conditions (Section VI): the send
+// expression surjectively maps the matched sender subset onto the matched
+// receiver subset, and the composition of the receive and send expressions
+// is the identity on the senders. For var+c expressions this reduces to
+// range arithmetic decided by constraint-graph entailment.
+package symbolic
+
+import (
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/procset"
+	"repro/internal/sym"
+	"repro/internal/tri"
+)
+
+// Matcher is the Section VII client. The zero value is ready to use.
+type Matcher struct {
+	// Matches counts successful match operations (instrumentation).
+	Matches int
+	// Attempts counts match attempts.
+	Attempts int
+}
+
+// Name identifies the client analysis.
+func (m *Matcher) Name() string { return "symbolic" }
+
+// classify splits an affine matcher expression e (over IDMarker) into its
+// id coefficient and the residual offset expression.
+func classify(e sym.Expr) (idCoef int64, offset sym.Expr) {
+	idCoef = e.Coeff(core.IDMarker)
+	offset = sym.Sub(e, sym.Scale(sym.Var(core.IDMarker), idCoef))
+	return idCoef, offset
+}
+
+// Match implements core.Matcher.
+func (m *Matcher) Match(st *core.State, sender *core.ProcSet, dest ast.Expr, receiver *core.ProcSet, src ast.Expr) (*core.MatchPlan, bool) {
+	m.Attempts++
+	d, ok := st.AffineExprID(sender, dest)
+	if !ok {
+		return nil, false
+	}
+	s, ok := st.AffineExprID(receiver, src)
+	if !ok {
+		return nil, false
+	}
+	dID, dOfs := classify(d)
+	sID, sOfs := classify(s)
+	if (dID != 0 && dID != 1) || (sID != 0 && sID != 1) {
+		return nil, false
+	}
+	ctx := st.Ctx()
+	S, R := sender.Range, receiver.Range
+
+	var plan *core.MatchPlan
+	switch {
+	case dID == 1 && sID == 1:
+		// send -> id + c, recv <- id + c'. Identity needs c + c' = 0.
+		if !st.EntailsZero(sym.Add(dOfs, sOfs)) {
+			return nil, false
+		}
+		plan = matchShift(st, ctx, S, R, dOfs)
+	case dID == 0 && sID == 1:
+		// All matched senders target the constant dOfs; the receiver at
+		// dOfs expects sender dOfs + sOfs. Identity forces the matched
+		// sender to be that single process.
+		target := dOfs
+		expectedSender := sym.Add(dOfs, sOfs)
+		plan = matchSingletons(st, ctx, S, R, expectedSender, target)
+	case dID == 1 && sID == 0:
+		// Receivers name a fixed sender sOfs; senders target id + dOfs.
+		// Identity: the sender sOfs maps to sOfs + dOfs, which must be the
+		// matched receiver.
+		expectedSender := sOfs
+		target := sym.Add(sOfs, dOfs)
+		plan = matchSingletons(st, ctx, S, R, expectedSender, target)
+	default: // both constant
+		// Identity on the sender singleton {sOfs} requires recv(send(x))=x:
+		// the receiver dOfs expects sOfs, and sOfs targets dOfs.
+		expectedSender := sOfs
+		target := dOfs
+		plan = matchSingletons(st, ctx, S, R, expectedSender, target)
+	}
+	if plan == nil {
+		return nil, false
+	}
+	m.Matches++
+	return plan, true
+}
+
+// matchShift handles the id+c / id-c case: the image of the senders is the
+// sender range shifted by c; the matched receivers are the intersection of
+// that image with the receiver range.
+func matchShift(st *core.State, ctx procset.Ctx, S, R procset.Set, c sym.Expr) *core.MatchPlan {
+	image := S.OffsetExpr(c)
+	if !image.IsValid() {
+		return nil
+	}
+	inter, ok := intersect(ctx, image, R)
+	// Matching must be exact (Section VI): the matched subset has to be
+	// provably non-empty, otherwise the leftover ranges would not exactly
+	// represent the remaining blocked processes. Ambiguous boundary cases
+	// are resolved by the engine's emptiness case-split instead.
+	if !ok || !inter.IsValid() || inter.Empty(ctx) != tri.False {
+		return nil
+	}
+	matchedSenders := inter.OffsetExpr(sym.Neg(c))
+	if !matchedSenders.IsValid() {
+		return nil
+	}
+	sRests, ok := subtract(ctx, S, matchedSenders)
+	if !ok {
+		return nil
+	}
+	rRests, ok := subtract(ctx, R, inter)
+	if !ok {
+		return nil
+	}
+	return &core.MatchPlan{
+		SenderMatched: matchedSenders,
+		SenderRests:   sRests,
+		RecvMatched:   inter,
+		RecvRests:     rRests,
+	}
+}
+
+// matchSingletons handles the cases where the match pairs a single sender
+// process with a single receiver process.
+func matchSingletons(st *core.State, ctx procset.Ctx, S, R procset.Set, senderExpr, targetExpr sym.Expr) *core.MatchPlan {
+	if _, _, ok := senderExpr.AsVarPlusConst(); !ok {
+		return nil
+	}
+	if _, _, ok := targetExpr.AsVarPlusConst(); !ok {
+		return nil
+	}
+	if S.Contains(ctx, senderExpr) != tri.True {
+		return nil
+	}
+	if R.Contains(ctx, targetExpr) != tri.True {
+		return nil
+	}
+	sm := procset.Singleton(senderExpr)
+	rm := procset.Singleton(targetExpr)
+	sRests, ok := subtract(ctx, S, sm)
+	if !ok {
+		return nil
+	}
+	rRests, ok := subtract(ctx, R, rm)
+	if !ok {
+		return nil
+	}
+	return &core.MatchPlan{
+		SenderMatched: sm,
+		SenderRests:   sRests,
+		RecvMatched:   rm,
+		RecvRests:     rRests,
+	}
+}
+
+// intersect and subtract delegate to the shared procset range algebra.
+func intersect(ctx procset.Ctx, a, b procset.Set) (procset.Set, bool) {
+	return procset.Intersect(ctx, a, b)
+}
+
+func subtract(ctx procset.Ctx, whole, part procset.Set) ([]procset.Set, bool) {
+	return procset.Subtract(ctx, whole, part)
+}
+
+// SelfMatch implements core.Matcher: the symbolic client only proves the
+// trivial identity permutation (send -> id matched by recv <- id); richer
+// permutations need the cartesian client.
+func (m *Matcher) SelfMatch(st *core.State, ps *core.ProcSet, dest, src ast.Expr) bool {
+	d, ok := st.AffineExprID(ps, dest)
+	if !ok {
+		return false
+	}
+	s, ok := st.AffineExprID(ps, src)
+	if !ok {
+		return false
+	}
+	dID, dOfs := classify(d)
+	sID, sOfs := classify(s)
+	if dID != 1 || sID != 1 {
+		return false
+	}
+	return st.EntailsZero(dOfs) && st.EntailsZero(sOfs)
+}
+
+var _ core.Matcher = (*Matcher)(nil)

@@ -1,0 +1,594 @@
+// Package core implements the paper's parallel dataflow analysis framework
+// over parallel control-flow graphs (pCFGs, Sections IV-VI).
+//
+// A pCFG node is a tuple of (process set, CFG node) pairs; the analysis
+// walks an abstract configuration graph in which each configuration holds:
+//
+//   - a list of symbolic process sets, each positioned at a CFG node and
+//     possibly blocked on a communication operation,
+//   - a constraint-graph dataflow state over per-set variable namespaces
+//     (the Section VII client state), and
+//   - the send-receive matches established so far.
+//
+// The engine (engine.go) performs the paper's propagate step: transfer
+// functions for unblocked sets, process-set splitting at id-dependent
+// branches, send-receive matching through a pluggable Matcher (Section VII's
+// symbolic matcher, Section VIII's HSM-based cartesian matcher), set merging,
+// and widening with the bound-atom intersection of Section VII-D extended by
+// parametric generalization. ⊤ marks analysis give-up, exactly as the
+// framework prescribes when no match can be made.
+package core
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/cfg"
+	"repro/internal/cg"
+	"repro/internal/procset"
+	"repro/internal/sym"
+	"repro/internal/tri"
+)
+
+// PV builds the namespaced constraint-graph variable for per-set variable
+// name on process set id, e.g. PV(0, "x") == "ps0.x".
+func PV(id int, name string) string { return fmt.Sprintf("ps%d.%s", id, name) }
+
+// pvPrefix returns the namespace prefix of a set.
+func pvPrefix(id int) string { return fmt.Sprintf("ps%d.", id) }
+
+// ProcSet is one symbolic process set within a configuration: the paper's
+// (process set id, CFG node) tuple element plus its pSets entry.
+type ProcSet struct {
+	ID      int         // stable identifier within a state lineage
+	Node    *cfg.Node   // CFG node the set is about to execute
+	Range   procset.Set // the processes represented
+	Blocked bool        // true when waiting at a communication operation
+	// Approx marks a set whose range is an over-approximation. Only sets
+	// that have terminated (reached Exit) may be approximate: they never
+	// participate in matching, so exactness (required by Section VI) is
+	// preserved where it matters.
+	Approx bool
+}
+
+func (p *ProcSet) String() string {
+	b := ""
+	if p.Blocked {
+		b = "*"
+	}
+	if p.Approx {
+		b += "~"
+	}
+	return fmt.Sprintf("%s@n%d%s", p.Range, p.Node.ID, b)
+}
+
+// AllProcs returns the full range [0..np-1].
+func AllProcs() procset.Set {
+	return procset.Range(sym.Zero, sym.VarPlus("np", -1))
+}
+
+// Match records an established send-receive match: the communication edge
+// between two CFG nodes together with the symbolic process ranges involved.
+// Accumulated matches form the application's communication topology.
+type Match struct {
+	SendNode int
+	RecvNode int
+	Sender   procset.Set
+	Receiver procset.Set
+}
+
+func (m *Match) String() string {
+	return fmt.Sprintf("n%d%s -> n%d%s", m.SendNode, m.Sender, m.RecvNode, m.Receiver)
+}
+
+// State is one abstract configuration (a pCFG node plus its dataflow state).
+type State struct {
+	Sets    []*ProcSet
+	G       *cg.Graph
+	Matches []*Match
+	// Pending holds in-flight aggregated sends (the non-blocking send
+	// extension; see pending.go).
+	Pending []*PendingSend
+	Top     bool
+	TopWhy  string
+	nextID  int
+	// nextFrozen numbers frozen-variable twins minted by pending sends.
+	nextFrozen int
+	// assigned marks program variables that are written somewhere (by an
+	// assignment or a receive). Variables never written hold the same value
+	// on every process (their input/default value), so they are treated as
+	// global symbols rather than per-set variables.
+	assigned map[string]bool
+}
+
+// SetAssignedVars installs the set of program variables that are written
+// anywhere in the program (collected from the CFG by the engine).
+func (st *State) SetAssignedVars(m map[string]bool) { st.assigned = m }
+
+// varName resolves a program variable reference for set psID: written
+// variables live in the set's namespace; never-written ones are global.
+func (st *State) varName(psID int, name string) string {
+	if st.assigned == nil || st.assigned[name] {
+		return PV(psID, name)
+	}
+	return name
+}
+
+// NewState builds the initial configuration: one set holding all processes
+// [0..np-1] at the CFG entry, with np >= 1 known.
+func NewState(entry *cfg.Node, opts cg.Options) *State {
+	g := cg.New(opts)
+	g.AddLE(cg.ZeroVar, "np", -1) // np >= 1
+	all := AllProcs()
+	return &State{
+		Sets:   []*ProcSet{{ID: 0, Node: entry, Range: all}},
+		G:      g,
+		nextID: 1,
+	}
+}
+
+// Ctx returns the procset comparison context for this state.
+func (st *State) Ctx() procset.Ctx { return procset.Ctx{G: st.G} }
+
+// Clone deep-copies the configuration.
+func (st *State) Clone() *State {
+	ns := &State{
+		G:          st.G.Clone(),
+		Top:        st.Top,
+		TopWhy:     st.TopWhy,
+		nextID:     st.nextID,
+		nextFrozen: st.nextFrozen,
+		Pending:    clonePendings(st.Pending),
+		assigned:   st.assigned,
+	}
+	ns.Sets = make([]*ProcSet, len(st.Sets))
+	for i, p := range st.Sets {
+		cp := *p
+		ns.Sets[i] = &cp
+	}
+	ns.Matches = make([]*Match, len(st.Matches))
+	for i, m := range st.Matches {
+		cm := *m
+		ns.Matches[i] = &cm
+	}
+	return ns
+}
+
+// FreshID allocates a new process-set identifier.
+func (st *State) FreshID() int {
+	id := st.nextID
+	st.nextID++
+	return id
+}
+
+// Set returns the process set with the given ID, or nil.
+func (st *State) Set(id int) *ProcSet {
+	for _, p := range st.Sets {
+		if p.ID == id {
+			return p
+		}
+	}
+	return nil
+}
+
+// MarkTop sends the configuration to ⊤ with a reason (the framework's
+// give-up transition).
+func (st *State) MarkTop(why string) {
+	st.Top = true
+	if st.TopWhy == "" {
+		st.TopWhy = why
+	}
+}
+
+// namespaceVars returns all constraint-graph variables in set id's
+// namespace.
+func (st *State) namespaceVars(id int) []string {
+	prefix := pvPrefix(id)
+	var out []string
+	for _, v := range st.G.Vars() {
+		if strings.HasPrefix(v, prefix) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CopyNamespace duplicates every constraint involving set from's variables
+// into set to's namespace, preserving relations with globals and other sets.
+// Used when a process set splits: the new subset inherits the old state
+// (the paper's splitPSet).
+func (st *State) CopyNamespace(from, to int) {
+	fromPrefix, toPrefix := pvPrefix(from), pvPrefix(to)
+	rename := func(v string) string {
+		if strings.HasPrefix(v, fromPrefix) {
+			return toPrefix + strings.TrimPrefix(v, fromPrefix)
+		}
+		return v
+	}
+	type bound struct {
+		x, y string
+		c    int64
+	}
+	var toAdd []bound
+	st.G.ForEachBound(func(x, y string, c int64) {
+		nx, ny := rename(x), rename(y)
+		if nx != x || ny != y {
+			toAdd = append(toAdd, bound{nx, ny, c})
+		}
+	})
+	for _, b := range toAdd {
+		st.G.AddLE(b.x, b.y, b.c)
+	}
+}
+
+// DropNamespace removes all of set id's variables from the graph.
+func (st *State) DropNamespace(id int) {
+	for _, v := range st.namespaceVars(id) {
+		st.G.Drop(v)
+	}
+}
+
+// SplitSet splits ps into two subsets with the given ranges; ps keeps first,
+// and a fresh set receives second (with a copied namespace). Returns the new
+// set. Both remain at ps's node with ps's blocked flag.
+func (st *State) SplitSet(ps *ProcSet, first, second procset.Set) *ProcSet {
+	nid := st.FreshID()
+	st.CopyNamespace(ps.ID, nid)
+	ps.Range = first
+	np := &ProcSet{ID: nid, Node: ps.Node, Range: second, Blocked: ps.Blocked}
+	st.Sets = append(st.Sets, np)
+	return np
+}
+
+// RemoveSet deletes the set with the given id (discovered empty), forgetting
+// its namespace.
+func (st *State) RemoveSet(id int) {
+	st.invalidateNamespace(id)
+	st.DropNamespace(id)
+	for i, p := range st.Sets {
+		if p.ID == id {
+			st.Sets = append(st.Sets[:i], st.Sets[i+1:]...)
+			return
+		}
+	}
+}
+
+// MergeSets merges set b into set a (both must be at the same CFG node with
+// adjacent ranges, checked by the caller). The merged dataflow state is the
+// join of "a's view" and "b's view renamed to a" — each variable keeps only
+// facts valid for both subsets.
+func (st *State) MergeSets(a, b *ProcSet, merged procset.Set) {
+	// Ranges and matches may reference per-set variables whose facts the
+	// merge will weaken or drop (e.g. the root's loop counter i with i = np
+	// at the loop exit); rewrite them to equality witnesses first.
+	st.invalidateNamespace(a.ID)
+	st.invalidateNamespace(b.ID)
+	// View 1: project away b.
+	g1 := st.G.Clone()
+	for _, v := range namespaceVarsOf(g1, b.ID) {
+		g1.Forget(v)
+	}
+	// View 2: project away a, rename b -> a.
+	g2 := st.G.Clone()
+	for _, v := range namespaceVarsOf(g2, a.ID) {
+		g2.Forget(v)
+	}
+	bPrefix, aPrefix := pvPrefix(b.ID), pvPrefix(a.ID)
+	for _, v := range namespaceVarsOf(g2, b.ID) {
+		target := aPrefix + strings.TrimPrefix(v, bPrefix)
+		if g2.HasVar(target) {
+			// Target was just forgotten (unconstrained): copy b's bounds
+			// onto it and drop the source.
+			copyBounds(g2, v, target)
+			g2.Drop(v)
+		} else {
+			g2.Rename(v, target)
+		}
+	}
+	st.G = cg.Join(g1, g2)
+	a.Range = merged
+	// Range atoms referencing b's variables must be rewritten before b's
+	// namespace disappears; Enrich already ran during merge checks.
+	st.removeSetKeepingRanges(b.ID)
+}
+
+func (st *State) removeSetKeepingRanges(id int) {
+	for i, p := range st.Sets {
+		if p.ID == id {
+			st.Sets = append(st.Sets[:i], st.Sets[i+1:]...)
+			break
+		}
+	}
+	st.DropNamespace(id)
+}
+
+func namespaceVarsOf(g *cg.Graph, id int) []string {
+	prefix := pvPrefix(id)
+	var out []string
+	for _, v := range g.Vars() {
+		if strings.HasPrefix(v, prefix) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// copyBounds copies all constraints of variable from onto variable to.
+func copyBounds(g *cg.Graph, from, to string) {
+	type bound struct {
+		x, y string
+		c    int64
+	}
+	var toAdd []bound
+	g.ForEachBound(func(x, y string, c int64) {
+		switch {
+		case x == from && y != to:
+			toAdd = append(toAdd, bound{to, y, c})
+		case y == from && x != to:
+			toAdd = append(toAdd, bound{x, to, c})
+		}
+	})
+	for _, b := range toAdd {
+		g.AddLE(b.x, b.y, b.c)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Canonical ordering, shape keys, alignment
+
+var psVarRe = regexp.MustCompile(`ps\d+\.`)
+
+// anonRangeKey renders a range with set prefixes erased, for stable
+// tie-breaking independent of set IDs.
+func anonRangeKey(s procset.Set) string {
+	return psVarRe.ReplaceAllString(s.String(), "ps.")
+}
+
+// sortCanonical orders sets by (CFG node, blocked, anonymized range).
+func (st *State) sortCanonical() {
+	sort.SliceStable(st.Sets, func(i, j int) bool {
+		a, b := st.Sets[i], st.Sets[j]
+		if a.Node.ID != b.Node.ID {
+			return a.Node.ID < b.Node.ID
+		}
+		if a.Blocked != b.Blocked {
+			return !a.Blocked
+		}
+		return anonRangeKey(a.Range) < anonRangeKey(b.Range)
+	})
+}
+
+// ShapeKey identifies the pCFG node this configuration occupies: the sorted
+// multiset of (CFG node, blocked) pairs.
+func (st *State) ShapeKey() string {
+	if st.Top {
+		return "TOP"
+	}
+	st.sortCanonical()
+	st.sortPending()
+	parts := make([]string, len(st.Sets))
+	for i, p := range st.Sets {
+		b := ""
+		if p.Blocked {
+			b = "*"
+		}
+		parts[i] = fmt.Sprintf("n%d%s", p.Node.ID, b)
+	}
+	key := strings.Join(parts, "|")
+	for _, p := range st.Pending {
+		key += fmt.Sprintf("|p%d%s", p.Node, p.Shape)
+	}
+	return key
+}
+
+// FullKey identifies the configuration including ranges, dataflow state and
+// matches; used for fixpoint detection.
+func (st *State) FullKey() string {
+	if st.Top {
+		return "TOP:" + st.TopWhy
+	}
+	st.sortCanonical()
+	var b strings.Builder
+	for _, p := range st.Sets {
+		fmt.Fprintf(&b, "%s@n%d", p.Range.StringAll(), p.Node.ID)
+		if p.Blocked {
+			b.WriteString("*")
+		}
+		if p.Approx {
+			b.WriteString("~")
+		}
+		b.WriteString("|")
+	}
+	b.WriteString("#")
+	b.WriteString(st.G.String())
+	b.WriteString("#")
+	for _, m := range st.Matches {
+		b.WriteString(m.String())
+		b.WriteString(";")
+	}
+	st.sortPending()
+	for _, p := range st.Pending {
+		b.WriteString(p.String())
+		if p.ValOK {
+			fmt.Fprintf(&b, "=%s", p.Val)
+		}
+		b.WriteString(";")
+	}
+	return b.String()
+}
+
+// AlignTo renames st's set IDs positionally onto ref's (both must share the
+// same ShapeKey and be canonically sorted). Ranges, matches and the
+// constraint graph are rewritten consistently.
+func (st *State) AlignTo(ref *State) {
+	st.sortCanonical()
+	ref.sortCanonical()
+	if len(st.Sets) != len(ref.Sets) {
+		return
+	}
+	mapping := map[int]int{}
+	identical := true
+	for i := range st.Sets {
+		mapping[st.Sets[i].ID] = ref.Sets[i].ID
+		if st.Sets[i].ID != ref.Sets[i].ID {
+			identical = false
+		}
+	}
+	if identical {
+		return
+	}
+	st.renameSets(mapping)
+}
+
+// renameSets applies a simultaneous set-ID renaming.
+func (st *State) renameSets(mapping map[int]int) {
+	// Two-phase variable rename through temporaries to avoid collisions.
+	var renames [][2]string
+	for from, to := range mapping {
+		if from == to {
+			continue
+		}
+		fromPrefix, toPrefix := pvPrefix(from), pvPrefix(to)
+		for _, v := range st.namespaceVars(from) {
+			renames = append(renames, [2]string{v, toPrefix + strings.TrimPrefix(v, fromPrefix)})
+		}
+	}
+	sort.Slice(renames, func(i, j int) bool { return renames[i][0] < renames[j][0] })
+	for i, r := range renames {
+		st.G.Rename(r[0], fmt.Sprintf("$tmp%d", i))
+	}
+	for i, r := range renames {
+		st.G.Rename(fmt.Sprintf("$tmp%d", i), r[1])
+	}
+	// Substitution environment for range atoms.
+	env := map[string]sym.Expr{}
+	for _, r := range renames {
+		env[r[0]] = sym.Var(r[1])
+	}
+	for _, p := range st.Sets {
+		if to, ok := mapping[p.ID]; ok {
+			p.ID = to
+		}
+		p.Range = p.Range.SubstAll(env)
+	}
+	for _, m := range st.Matches {
+		m.Sender = m.Sender.SubstAll(env)
+		m.Receiver = m.Receiver.SubstAll(env)
+	}
+	if st.nextID <= maxID(st.Sets) {
+		st.nextID = maxID(st.Sets) + 1
+	}
+}
+
+func maxID(sets []*ProcSet) int {
+	m := 0
+	for _, p := range sets {
+		if p.ID > m {
+			m = p.ID
+		}
+	}
+	return m
+}
+
+// SubstEverywhere rewrites a variable in all ranges and match records (used
+// by invertible assignments and widening-parameter shifts).
+func (st *State) SubstEverywhere(name string, repl sym.Expr) {
+	for _, p := range st.Sets {
+		if p.Range.Uses(name) {
+			p.Range = p.Range.Subst(name, repl)
+		}
+	}
+	for _, m := range st.Matches {
+		if m.Sender.Uses(name) {
+			m.Sender = m.Sender.Subst(name, repl)
+		}
+		if m.Receiver.Uses(name) {
+			m.Receiver = m.Receiver.Subst(name, repl)
+		}
+	}
+	for _, p := range st.Pending {
+		if p.Senders.Uses(name) {
+			p.Senders = p.Senders.Subst(name, repl)
+		}
+		if p.Shape == PendFan && p.Dests.Uses(name) {
+			p.Dests = p.Dests.Subst(name, repl)
+		}
+		if p.Offset.Uses(name) {
+			p.Offset = sym.Subst(p.Offset, name, repl)
+		}
+		if p.ValOK && p.Val.Uses(name) {
+			p.Val = sym.Subst(p.Val, name, repl)
+		}
+	}
+}
+
+// EnrichEverywhere expands all range bounds with constraint-graph equality
+// witnesses (done before widening so the atom intersection can succeed).
+func (st *State) EnrichEverywhere() {
+	ctx := st.Ctx()
+	for _, p := range st.Sets {
+		p.Range = p.Range.Enrich(ctx)
+	}
+	for _, m := range st.Matches {
+		m.Sender = m.Sender.Enrich(ctx)
+		m.Receiver = m.Receiver.Enrich(ctx)
+	}
+	for _, p := range st.Pending {
+		p.Senders = p.Senders.Enrich(ctx)
+		if p.Shape == PendFan {
+			p.Dests = p.Dests.Enrich(ctx)
+		}
+	}
+}
+
+// AddMatch records a send-receive match, folding it into an existing record
+// for the same CFG node pair when the ranges union cleanly (in either
+// direction — forward pipelines accumulate upward, backward ones downward).
+func (st *State) AddMatch(sendNode, recvNode int, sender, receiver procset.Set) {
+	ctx := st.Ctx()
+	sender = sender.Enrich(ctx)
+	receiver = receiver.Enrich(ctx)
+	for _, m := range st.Matches {
+		if m.SendNode != sendNode || m.RecvNode != recvNode {
+			continue
+		}
+		mS := m.Sender.Enrich(ctx)
+		mR := m.Receiver.Enrich(ctx)
+		// Same-range re-match (loop fixpoint): keep as is.
+		if mS.SameRange(ctx, sender) == tri.True && mR.SameRange(ctx, receiver) == tri.True {
+			return
+		}
+		su, ok1 := mS.UnionAdjacent(ctx, sender)
+		ru, ok2 := mR.UnionAdjacent(ctx, receiver)
+		if ok1 && ok2 {
+			m.Sender, m.Receiver = su, ru
+			return
+		}
+		su, ok1 = sender.UnionAdjacent(ctx, mS)
+		ru, ok2 = receiver.UnionAdjacent(ctx, mR)
+		if ok1 && ok2 {
+			m.Sender, m.Receiver = su, ru
+			return
+		}
+	}
+	st.Matches = append(st.Matches, &Match{SendNode: sendNode, RecvNode: recvNode, Sender: sender, Receiver: receiver})
+	sort.SliceStable(st.Matches, func(i, j int) bool {
+		if st.Matches[i].SendNode != st.Matches[j].SendNode {
+			return st.Matches[i].SendNode < st.Matches[j].SendNode
+		}
+		return st.Matches[i].RecvNode < st.Matches[j].RecvNode
+	})
+}
+
+func (st *State) String() string {
+	if st.Top {
+		return "⊤ (" + st.TopWhy + ")"
+	}
+	var parts []string
+	for _, p := range st.Sets {
+		parts = append(parts, p.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,1469 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/cfg"
+	"repro/internal/cg"
+	"repro/internal/procset"
+	"repro/internal/sym"
+	"repro/internal/tri"
+)
+
+// Options configures the pCFG analysis engine.
+type Options struct {
+	// Matcher is the client analysis's send-receive matcher (required).
+	Matcher Matcher
+	// CGOpts selects the constraint-graph backend and instrumentation.
+	CGOpts cg.Options
+	// JoinVisits is how many revisits of a pCFG shape use plain join before
+	// switching to widening (default 12). The join ladder must run long
+	// enough for stable relations (e.g. between widening parameters and np)
+	// to separate from genuinely growing bounds before widening drops the
+	// latter.
+	JoinVisits int
+	// MaxVisits bounds revisits of one shape before giving up (default 64).
+	MaxVisits int
+	// MaxSteps bounds total propagate steps (default 100000).
+	MaxSteps int
+	// MaxSets bounds the process sets per configuration before the
+	// analysis gives up (default 24); fragmentation beyond this indicates
+	// a pattern outside the client's abstraction.
+	MaxSets int
+	// NonBlockingSends enables the Section X extension: sends do not block;
+	// they aggregate into pending-send records that receivers later match.
+	// Patterns that send before receiving (all-to-one-then-back, send-first
+	// stencils) then need no pipeline analysis.
+	NonBlockingSends bool
+	// Trace receives step-by-step analysis logging when non-nil.
+	Trace io.Writer
+}
+
+func (o *Options) joinVisits() int {
+	if o.JoinVisits <= 0 {
+		return 12
+	}
+	return o.JoinVisits
+}
+
+func (o *Options) maxVisits() int {
+	if o.MaxVisits <= 0 {
+		return 64
+	}
+	return o.MaxVisits
+}
+
+func (o *Options) maxSets() int {
+	if o.MaxSets <= 0 {
+		return 24
+	}
+	return o.MaxSets
+}
+
+func (o *Options) maxSteps() int {
+	if o.MaxSteps <= 0 {
+		return 100000
+	}
+	return o.MaxSteps
+}
+
+// PCFGEdge is one explored pCFG edge: a transition between configurations.
+type PCFGEdge struct {
+	From, To string // shape keys
+	Action   string
+}
+
+// Result is the outcome of the analysis.
+type Result struct {
+	// Matches is the communication topology: the union of send-receive
+	// matches over all terminal configurations.
+	Matches []*Match
+	// Finals are the configurations where every process set reached Exit.
+	Finals []*State
+	// Tops are the give-up configurations with their reasons.
+	Tops []*State
+	// Configs counts distinct pCFG nodes (configuration shapes) explored.
+	Configs int
+	// Edges are the explored pCFG edges.
+	Edges []PCFGEdge
+	// Steps counts propagate invocations; Widenings counts widen events.
+	Steps     int
+	Widenings int
+	// Prints records what the analysis knows at each print site: the
+	// constant-propagation observations of the Fig 2 client.
+	Prints []PrintObs
+}
+
+// PrintObs is a dataflow fact observed at a print statement: the printing
+// process range and the printed value when the analysis pins it.
+type PrintObs struct {
+	Node  int    // CFG node of the print
+	Range string // printing process set
+	Val   int64  // known constant value
+	Known bool   // false when the value is not a compile-time constant
+}
+
+// PCFGDot renders the explored pCFG (configurations and transitions) as a
+// Graphviz digraph; matching transitions are highlighted.
+func (r *Result) PCFGDot(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	ids := map[string]int{}
+	nodeID := func(key string) int {
+		if id, ok := ids[key]; ok {
+			return id
+		}
+		id := len(ids)
+		ids[key] = id
+		label := key
+		if label == "" {
+			label = "start"
+		}
+		fmt.Fprintf(&b, "  c%d [label=%q];\n", id, label)
+		return id
+	}
+	seen := map[string]bool{}
+	for _, e := range r.Edges {
+		k := e.From + ">" + e.To + ">" + e.Action
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		from := nodeID(e.From)
+		to := nodeID(e.To)
+		style := ""
+		if strings.HasPrefix(e.Action, "match") || strings.HasPrefix(e.Action, "pending-match") ||
+			strings.HasPrefix(e.Action, "self-match") || strings.HasPrefix(e.Action, "exchange") {
+			style = ", style=bold, color=blue"
+		}
+		fmt.Fprintf(&b, "  c%d -> c%d [label=%q%s];\n", from, to, e.Action, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Clean reports whether the analysis completed without giving up anywhere.
+func (r *Result) Clean() bool { return len(r.Tops) == 0 && len(r.Finals) > 0 }
+
+// TopReasons lists the distinct give-up reasons.
+func (r *Result) TopReasons() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range r.Tops {
+		if !seen[t.TopWhy] {
+			seen[t.TopWhy] = true
+			out = append(out, t.TopWhy)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+type tableEntry struct {
+	st         *State
+	visits     int
+	widenParam string
+	// paramMints counts fresh widening parameters anchored at this key; a
+	// key that keeps needing new parameters is not converging.
+	paramMints int
+}
+
+type engine struct {
+	g      *cfg.Graph
+	opts   Options
+	table  map[string]*tableEntry
+	work   []string
+	inWork map[string]bool
+	inv    *Invariants
+	res    *Result
+	nParam int
+}
+
+// Analyze runs the parallel dataflow analysis over the program's CFG.
+func Analyze(g *cfg.Graph, opts Options) (*Result, error) {
+	if opts.Matcher == nil {
+		return nil, fmt.Errorf("core: Options.Matcher is required")
+	}
+	e := &engine{
+		g:      g,
+		opts:   opts,
+		table:  map[string]*tableEntry{},
+		inWork: map[string]bool{},
+		inv:    NewInvariants(),
+		res:    &Result{},
+	}
+	// Pre-scan assume statements for global invariants (np = nrows*ncols
+	// etc.) so the HSM matcher has them from the start.
+	for _, n := range g.Nodes {
+		if n.Kind == cfg.Assume {
+			e.inv.Collect(n.Cond)
+		}
+	}
+	init := NewState(g.Entry, opts.CGOpts)
+	init.SetAssignedVars(assignedVars(g))
+	InjectAffineConsequences(init.G, e.inv)
+	e.normalize(init)
+	e.insert("", init, "start")
+	finalKeys := map[string]bool{}
+	topKeys := map[string]bool{}
+
+	budgetExhausted := false
+	for len(e.work) > 0 {
+		if e.res.Steps >= e.opts.maxSteps() {
+			budgetExhausted = true
+			break
+		}
+		key := e.work[0]
+		e.work = e.work[1:]
+		e.inWork[key] = false
+		entry := e.table[key]
+		if entry == nil {
+			continue
+		}
+		st := entry.st
+		if st.Top {
+			if !topKeys[key] {
+				topKeys[key] = true
+				e.res.Tops = append(e.res.Tops, st)
+			}
+			continue
+		}
+		if e.allAtExit(st) {
+			if !finalKeys[key] {
+				finalKeys[key] = true
+				e.res.Finals = append(e.res.Finals, st)
+			}
+			continue
+		}
+		e.res.Steps++
+		succs := e.step(st)
+		for _, sa := range succs {
+			e.insert(key, sa.st, sa.action)
+		}
+	}
+	// Refresh finals/tops from the table (entries may have been widened
+	// after first being recorded).
+	e.res.Finals = e.res.Finals[:0]
+	e.res.Tops = e.res.Tops[:0]
+	for k, entry := range e.table {
+		if entry.st.Top {
+			e.res.Tops = append(e.res.Tops, entry.st)
+		} else if finalKeys[k] || e.allAtExit(entry.st) {
+			e.res.Finals = append(e.res.Finals, entry.st)
+		}
+	}
+	if budgetExhausted {
+		e.res.Tops = append(e.res.Tops, &State{Top: true, TopWhy: "step budget exhausted"})
+	}
+	for _, fin := range e.res.Finals {
+		fin.ResolveHelpers()
+	}
+	sort.Slice(e.res.Finals, func(i, j int) bool { return e.res.Finals[i].FullKey() < e.res.Finals[j].FullKey() })
+	sort.Slice(e.res.Tops, func(i, j int) bool { return e.res.Tops[i].TopWhy < e.res.Tops[j].TopWhy })
+	e.res.Configs = len(e.table)
+	e.collectMatches()
+	return e.res, nil
+}
+
+// collectMatches unions match records over terminal configurations (finals
+// first; top configurations contribute when no final exists).
+func (e *engine) collectMatches() {
+	sources := e.res.Finals
+	if len(sources) == 0 {
+		for _, t := range e.res.Tops {
+			sources = append(sources, t)
+		}
+	}
+	seen := map[string]bool{}
+	for _, st := range sources {
+		ctx := st.Ctx()
+		for _, m := range st.Matches {
+			// Skip artifacts whose ranges are provably empty in this
+			// terminal state (e.g. the last pipeline stage under the final
+			// value of a widening parameter).
+			if m.Sender.Empty(ctx) == tri.True || m.Receiver.Empty(ctx) == tri.True {
+				continue
+			}
+			// Finals have already been enriched and helper-resolved.
+			cm := *m
+			k := cm.String()
+			if !seen[k] {
+				seen[k] = true
+				e.res.Matches = append(e.res.Matches, &cm)
+			}
+		}
+	}
+	sort.Slice(e.res.Matches, func(i, j int) bool {
+		a, b := e.res.Matches[i], e.res.Matches[j]
+		if a.SendNode != b.SendNode {
+			return a.SendNode < b.SendNode
+		}
+		if a.RecvNode != b.RecvNode {
+			return a.RecvNode < b.RecvNode
+		}
+		return a.String() < b.String()
+	})
+}
+
+func (e *engine) tracef(format string, args ...any) {
+	if e.opts.Trace != nil {
+		fmt.Fprintf(e.opts.Trace, format+"\n", args...)
+	}
+}
+
+// assignedVars collects program variables written anywhere in the CFG.
+func assignedVars(g *cfg.Graph) map[string]bool {
+	out := map[string]bool{}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case cfg.Assign:
+			out[n.AssignName] = true
+		case cfg.Recv, cfg.SendRecv:
+			out[n.RecvName] = true
+		}
+	}
+	return out
+}
+
+func (e *engine) allAtExit(st *State) bool {
+	for _, p := range st.Sets {
+		if p.Node.Kind != cfg.Exit {
+			return false
+		}
+	}
+	return len(st.Sets) > 0
+}
+
+type succ struct {
+	st     *State
+	action string
+}
+
+// insert merges a successor configuration into the table, joining/widening
+// on revisit, and schedules it.
+func (e *engine) insert(fromKey string, st *State, action string) {
+	if !st.Top && len(st.Sets) == 0 {
+		// Unreachable configuration (inconsistent constraints): drop.
+		return
+	}
+	st.CanonicalizeParams()
+	key := st.ShapeKey()
+	e.res.Edges = append(e.res.Edges, PCFGEdge{From: fromKey, To: key, Action: action})
+	entry := e.table[key]
+	if entry == nil {
+		e.table[key] = &tableEntry{st: st}
+		e.push(key)
+		e.tracef("new    %-40s %s", key, st)
+		return
+	}
+	entry.visits++
+	if entry.visits > e.opts.maxVisits() {
+		if !entry.st.Top {
+			entry.st = &State{Top: true, TopWhy: "widening did not converge at " + key}
+			e.push(key)
+		}
+		return
+	}
+	if entry.st.Top {
+		return
+	}
+	if st.Top {
+		entry.st = st
+		e.push(key)
+		return
+	}
+	before := entry.st.FullKey()
+	st.AlignTo(entry.st)
+	widened := e.combine(entry, st)
+	if widened.Top {
+		entry.st = widened
+		e.push(key)
+		return
+	}
+	remap := widened.CanonicalizeParams()
+	if to, ok := remap[entry.widenParam]; ok {
+		entry.widenParam = to
+	}
+	if widened.FullKey() != before {
+		e.res.Widenings++
+		entry.st = widened
+		e.push(key)
+		e.tracef("widen  %-40s %s", key, widened)
+	}
+}
+
+func (e *engine) push(key string) {
+	if !e.inWork[key] {
+		e.inWork[key] = true
+		e.work = append(e.work, key)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Combining states at a shared pCFG node (join / widen, Section VII-D)
+
+type nodePair struct{ s, r int }
+
+// combine merges incoming state nw into the table entry's state.
+func (e *engine) combine(entry *tableEntry, nw *State) *State {
+	return e.combineRetry(entry, nw, 4)
+}
+
+func (e *engine) combineRetry(entry *tableEntry, nw *State, retries int) *State {
+	old := entry.st
+	old.EnrichEverywhere()
+	nw.EnrichEverywhere()
+
+	// First attempt plain bound-atom intersection on all ranges.
+	widenedSets := make([]procset.Set, len(old.Sets))
+	approx := make([]bool, len(old.Sets))
+	var failing []int
+	for i := range old.Sets {
+		if old.Sets[i].Approx || nw.Sets[i].Approx {
+			// Approximate (terminated) sets widen to the full range.
+			widenedSets[i] = AllProcs()
+			approx[i] = true
+			continue
+		}
+		w, ok := old.Sets[i].Range.Widen(nw.Sets[i].Range)
+		if ok {
+			widenedSets[i] = w
+		} else if old.Sets[i].Node.Kind == cfg.Exit {
+			widenedSets[i] = AllProcs()
+			approx[i] = true
+		} else {
+			failing = append(failing, i)
+		}
+	}
+	// Match widening: align by node pair.
+	oldM := map[nodePair]*Match{}
+	for _, m := range old.Matches {
+		oldM[nodePair{m.SendNode, m.RecvNode}] = m
+	}
+	var matchFail []nodePair
+	mergedMatches := map[nodePair]*Match{}
+	for _, m := range nw.Matches {
+		k := nodePair{m.SendNode, m.RecvNode}
+		om := oldM[k]
+		if om == nil {
+			cm := *m
+			mergedMatches[k] = &cm
+			continue
+		}
+		ws, ok1 := om.Sender.Widen(m.Sender)
+		wr, ok2 := om.Receiver.Widen(m.Receiver)
+		if ok1 && ok2 {
+			mergedMatches[k] = &Match{SendNode: k.s, RecvNode: k.r, Sender: ws, Receiver: wr}
+		} else {
+			matchFail = append(matchFail, k)
+		}
+	}
+	for k, m := range oldM {
+		if _, present := mergedMatches[k]; !present && !containsKey(matchFail, k) {
+			cm := *m
+			mergedMatches[k] = &cm
+		}
+	}
+
+	// Pending-send widening (same shape key implies aligned records).
+	old.sortPending()
+	nw.sortPending()
+	pendFail := len(old.Pending) != len(nw.Pending)
+	widenedPend := make([]*PendingSend, 0, len(old.Pending))
+	if !pendFail {
+		for i := range old.Pending {
+			po, pn := old.Pending[i], nw.Pending[i]
+			if po.Node != pn.Node || po.Shape != pn.Shape || !sym.Equal(po.Offset, pn.Offset) {
+				pendFail = true
+				break
+			}
+			ws, okS := po.Senders.Widen(pn.Senders)
+			wd, okD := procset.Set{}, true
+			if po.Shape == PendFan {
+				wd, okD = po.Dests.Widen(pn.Dests)
+			}
+			if !okS || !okD {
+				pendFail = true
+				break
+			}
+			cp := *po
+			cp.Senders = ws
+			if po.Shape == PendFan {
+				cp.Dests = wd
+			}
+			cp.ValOK = po.ValOK && pn.ValOK && sym.Equal(po.Val, pn.Val)
+			widenedPend = append(widenedPend, &cp)
+		}
+	}
+
+	if len(failing) > 0 || len(matchFail) > 0 || pendFail {
+		nw2, ok := e.parametricWiden(entry, old, nw)
+		if retries <= 0 || !ok {
+			var detail []string
+			for _, i := range failing {
+				detail = append(detail, fmt.Sprintf("set %s vs %s", old.Sets[i], nw.Sets[i]))
+			}
+			if pendFail {
+				detail = append(detail, fmt.Sprintf("pending %v vs %v", old.Pending, nw.Pending))
+			}
+			for _, k := range matchFail {
+				var oldR, newR string
+				for _, om := range old.Matches {
+					if om.SendNode == k.s && om.RecvNode == k.r {
+						oldR = om.String()
+					}
+				}
+				for _, m := range nw.Matches {
+					if m.SendNode == k.s && m.RecvNode == k.r {
+						newR = m.String()
+					}
+				}
+				detail = append(detail, fmt.Sprintf("match %s vs %s", oldR, newR))
+			}
+			return &State{Top: true, TopWhy: "widening failed: no common bound expressions: " + strings.Join(detail, "; ")}
+		}
+		// Retry after parametric generalization.
+		return e.combineRetry(entry, nw2, retries-1)
+	}
+
+	out := old.Clone()
+	for i := range out.Sets {
+		out.Sets[i].Range = widenedSets[i]
+		out.Sets[i].Blocked = old.Sets[i].Blocked
+		out.Sets[i].Approx = approx[i]
+	}
+	out.Pending = widenedPend
+	out.Matches = nil
+	for _, m := range mergedMatches {
+		out.Matches = append(out.Matches, m)
+	}
+	sort.Slice(out.Matches, func(i, j int) bool {
+		a, b := out.Matches[i], out.Matches[j]
+		if a.SendNode != b.SendNode {
+			return a.SendNode < b.SendNode
+		}
+		return a.RecvNode < b.RecvNode
+	})
+	if entry.visits <= e.opts.joinVisits() {
+		out.G = cg.Join(old.G, nw.G)
+	} else {
+		out.G = cg.Widen(old.G, nw.G)
+	}
+	if nw.nextID > out.nextID {
+		out.nextID = nw.nextID
+	}
+	return out
+}
+
+func containsKey(ks []nodePair, k nodePair) bool {
+	for _, x := range ks {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+// parametricWiden introduces (or advances) the widening parameter for this
+// pCFG node so that bounds advancing by a uniform stride per iteration gain
+// a common symbolic atom (the generalization that yields Fig 8's set-level
+// matches without a program loop variable). It may mutate old and returns a
+// replacement for nw on success.
+func (e *engine) parametricWiden(entry *tableEntry, old, nw *State) (*State, bool) {
+	// First try the shift interpretation on the key's established
+	// parameter: the new state's k corresponds to old k ± 1 (one pipeline
+	// step later/earlier).
+	if k := entry.widenParam; k != "" && nw.G.HasVar(k) && old.G.HasVar(k) {
+		for _, delta := range []int64{1, -1} {
+			trial := nw.Clone()
+			trial.G.Shift(k, delta)
+			trial.SubstEverywhere(k, sym.VarPlus(k, -delta))
+			trial.EnrichEverywhere()
+			if !e.sameFailure(old, trial) {
+				return trial, true
+			}
+		}
+	}
+	// An incoming state from a lineage that never saw the parameter (e.g.
+	// the original concrete loop entry): anchor the EXISTING parameter in
+	// it rather than minting an alias, so the widened key stabilizes.
+	if k := entry.widenParam; k != "" && old.G.HasVar(k) && !nw.G.HasVar(k) {
+		oldPrim, newPrim, ok := firstFailingBound(old, nw)
+		if ok {
+			vOld, cOld, ok1 := splitVarPlusConst(oldPrim)
+			vNew, cNew, ok2 := splitVarPlusConst(newPrim)
+			if ok1 && ok2 {
+				trial := nw.Clone()
+				if vOld == k {
+					// old bound = k + cOld, so seed k = newPrim - cOld.
+					trial.G.AddEq(k, vNew, cNew-cOld)
+				} else {
+					trial.G.AddEq(k, vNew, cNew)
+				}
+				trial.EnrichEverywhere()
+				old.EnrichEverywhere()
+				if !e.sameFailure(old, trial) {
+					return trial, true
+				}
+			}
+		}
+	}
+	// Anchor fresh parameters to failing bounds: for each failing pair,
+	// mint k with k = bound_old in old and k = bound_new in new; enrichment
+	// then inserts the common atom (k + c) into every failing bound related
+	// to the anchor through the constraint graph — constant bounds via the
+	// zero variable, var-relative bounds via their shared base variable.
+	// Several independent bound families may each need their own anchor.
+	trial := nw.Clone()
+	var prevOld, prevNew sym.Expr
+	for tries := 0; tries < 6; tries++ {
+		oldPrim, newPrim, ok := firstFailingBound(old, trial)
+		if !ok {
+			return nil, false
+		}
+		if tries > 0 && sym.Equal(oldPrim, prevOld) && sym.Equal(newPrim, prevNew) {
+			// The anchor did not help this bound; give up.
+			return nil, false
+		}
+		prevOld, prevNew = oldPrim, newPrim
+		vOld, cOld, ok1 := splitVarPlusConst(oldPrim)
+		vNew, cNew, ok2 := splitVarPlusConst(newPrim)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		if entry.paramMints >= 8 {
+			// Parameter anchoring is not converging for this key.
+			return nil, false
+		}
+		entry.paramMints++
+		k := fmt.Sprintf("wp%d", e.nParam)
+		e.nParam++
+		entry.widenParam = k
+		old.G.AddEq(k, vOld, cOld)
+		trial.G.AddEq(k, vNew, cNew)
+		old.EnrichEverywhere()
+		trial.EnrichEverywhere()
+		if !e.sameFailure(old, trial) {
+			return trial, true
+		}
+	}
+	return nil, false
+}
+
+// firstFailingBound locates the primary atoms of the first bound pair whose
+// atom intersection is empty.
+func firstFailingBound(old, nw *State) (a, b sym.Expr, ok bool) {
+	for i := range old.Sets {
+		or, nr := old.Sets[i].Range, nw.Sets[i].Range
+		for _, pair := range [][2]procset.Bound{{or.LB, nr.LB}, {or.UB, nr.UB}} {
+			if !boundsIntersect(pair[0], pair[1]) {
+				return pair[0].Primary(), pair[1].Primary(), true
+			}
+		}
+	}
+	for _, m := range nw.Matches {
+		for _, om := range old.Matches {
+			if om.SendNode != m.SendNode || om.RecvNode != m.RecvNode {
+				continue
+			}
+			for _, pair := range [][2]procset.Bound{
+				{om.Sender.LB, m.Sender.LB}, {om.Sender.UB, m.Sender.UB},
+				{om.Receiver.LB, m.Receiver.LB}, {om.Receiver.UB, m.Receiver.UB},
+			} {
+				if !boundsIntersect(pair[0], pair[1]) {
+					return pair[0].Primary(), pair[1].Primary(), true
+				}
+			}
+		}
+	}
+	if len(old.Pending) == len(nw.Pending) {
+		for i := range old.Pending {
+			po, pn := old.Pending[i], nw.Pending[i]
+			pairs := [][2]procset.Bound{
+				{po.Senders.LB, pn.Senders.LB}, {po.Senders.UB, pn.Senders.UB},
+			}
+			if po.Shape == PendFan {
+				pairs = append(pairs,
+					[2]procset.Bound{po.Dests.LB, pn.Dests.LB},
+					[2]procset.Bound{po.Dests.UB, pn.Dests.UB})
+			}
+			for _, pair := range pairs {
+				if !boundsIntersect(pair[0], pair[1]) {
+					return pair[0].Primary(), pair[1].Primary(), true
+				}
+			}
+		}
+	}
+	return sym.Zero, sym.Zero, false
+}
+
+// commonDelta finds the uniform per-iteration advance (+1 or -1) of all
+// bounds whose atom intersection failed.
+func (e *engine) commonDelta(old, nw *State) (int64, bool) {
+	posOK, negOK := true, true
+	any := false
+	check := func(a, b procset.Set) {
+		for _, pair := range [][2]procset.Bound{{a.LB, b.LB}, {a.UB, b.UB}} {
+			if boundsIntersect(pair[0], pair[1]) {
+				continue
+			}
+			any = true
+			if !advancesBy(pair[0], pair[1], 1) {
+				posOK = false
+			}
+			if !advancesBy(pair[0], pair[1], -1) {
+				negOK = false
+			}
+		}
+	}
+	for i := range old.Sets {
+		check(old.Sets[i].Range, nw.Sets[i].Range)
+	}
+	for _, m := range nw.Matches {
+		for _, om := range old.Matches {
+			if om.SendNode == m.SendNode && om.RecvNode == m.RecvNode {
+				check(om.Sender, m.Sender)
+				check(om.Receiver, m.Receiver)
+			}
+		}
+	}
+	if len(old.Pending) == len(nw.Pending) {
+		for i := range old.Pending {
+			check(old.Pending[i].Senders, nw.Pending[i].Senders)
+			if old.Pending[i].Shape == PendFan {
+				check(old.Pending[i].Dests, nw.Pending[i].Dests)
+			}
+		}
+	}
+	switch {
+	case !any:
+		return 0, false
+	case posOK:
+		return 1, true
+	case negOK:
+		return -1, true
+	}
+	return 0, false
+}
+
+// sameFailure reports whether range widening would still fail.
+func (e *engine) sameFailure(old, nw *State) bool {
+	for i := range old.Sets {
+		if _, ok := old.Sets[i].Range.Widen(nw.Sets[i].Range); !ok {
+			return true
+		}
+	}
+	if len(old.Pending) != len(nw.Pending) {
+		return true
+	}
+	for i := range old.Pending {
+		po, pn := old.Pending[i], nw.Pending[i]
+		if _, ok := po.Senders.Widen(pn.Senders); !ok {
+			return true
+		}
+		if po.Shape == PendFan {
+			if _, ok := po.Dests.Widen(pn.Dests); !ok {
+				return true
+			}
+		}
+	}
+	for _, m := range nw.Matches {
+		for _, om := range old.Matches {
+			if om.SendNode == m.SendNode && om.RecvNode == m.RecvNode {
+				if _, ok := om.Sender.Widen(m.Sender); !ok {
+					return true
+				}
+				if _, ok := om.Receiver.Widen(m.Receiver); !ok {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func boundsIntersect(a, b procset.Bound) bool {
+	return a.Intersect(b).IsValid()
+}
+
+// advancesBy reports whether some atom of b equals some atom of a plus
+// delta.
+func advancesBy(a, b procset.Bound, delta int64) bool {
+	for _, aa := range a.Atoms() {
+		for _, bb := range b.Atoms() {
+			if d, ok := sym.Cmp(bb, aa); ok && d == delta {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Propagate: one analysis step (Fig 4's propagate)
+
+// step computes the successor configurations of st.
+func (e *engine) step(st *State) []succ {
+	// 1. An unblocked set at a sequential node advances (transfer function).
+	st.sortCanonical()
+	for _, ps := range st.Sets {
+		if ps.Blocked || ps.Node.Kind == cfg.Exit {
+			continue
+		}
+		if ps.Node.IsComm() {
+			if e.opts.NonBlockingSends && ps.Node.Kind == cfg.Send {
+				return e.issueSendStep(st, ps.ID)
+			}
+			continue
+		}
+		return e.advanceSet(st, ps.ID)
+	}
+	return e.stepBlocked(st, len(st.Sets)+1)
+}
+
+// stepBlocked handles a configuration whose sets are all blocked or at
+// exit: matching, self-matching, emptiness case-splits, then ⊤. depth
+// bounds nested emptiness splits.
+func (e *engine) stepBlocked(st *State, depth int) []succ {
+	// 2a. Satisfy receives from pending (non-blocking) sends.
+	if s, ok := e.tryPendingMatches(st); ok {
+		return s
+	}
+	// 2b. Match blocked sends to receives.
+	if s, ok := e.tryMatches(st); ok {
+		return s
+	}
+	// 3. Self-matches (permutation exchanges).
+	if s, ok := e.trySelfMatches(st); ok {
+		return s
+	}
+	// 4. Case-split on possibly-empty blocked sets.
+	if s, ok := e.tryEmptinessSplit(st, depth); ok {
+		return s
+	}
+	// 5. Stuck: the framework gives up with ⊤.
+	ns := st.Clone()
+	var blocked []string
+	for _, p := range ns.Sets {
+		if p.Blocked {
+			blocked = append(blocked, nodeDesc(p.Node)+p.Range.String())
+		}
+	}
+	ns.MarkTop("no send-receive match possible; blocked: " + strings.Join(blocked, ", "))
+	return []succ{{ns, "give-up"}}
+}
+
+// advanceSet executes the node of set id, returning successor states.
+func (e *engine) advanceSet(st *State, id int) []succ {
+	ns := st.Clone()
+	ps := ns.Set(id)
+	node := ps.Node
+	switch node.Kind {
+	case cfg.Entry, cfg.Skip:
+		advance(ps)
+	case cfg.Assign:
+		ns.ApplyAssign(ps, node.AssignName, node.AssignRhs)
+		advance(ps)
+	case cfg.Print:
+		e.recordPrint(ns, ps, node)
+		advance(ps)
+	case cfg.Assume:
+		ns.GlobalAssume(ps, node.Cond, e.inv)
+		advance(ps)
+	case cfg.Assert:
+		// Assertions are checked by the verifier; the analysis may assume
+		// them (they hold in non-aborting executions).
+		ns.AssumeCond(ps, node.Cond, false)
+		advance(ps)
+	case cfg.Branch:
+		return e.branchSet(ns, ps)
+	default:
+		ns.MarkTop("unexpected node kind " + node.Kind.String())
+	}
+	e.normalize(ns)
+	return []succ{{ns, nodeDesc(node)}}
+}
+
+// recordPrint captures the constant-propagation fact at a print site.
+func (e *engine) recordPrint(ns *State, ps *ProcSet, node *cfg.Node) {
+	obs := PrintObs{Node: node.ID, Range: ps.Range.String()}
+	if expr, ok := ns.AffineExpr(ps, node.Arg); ok {
+		if c, isConst := expr.IsConst(); isConst {
+			obs.Val, obs.Known = c, true
+		} else if v, c2, okd := expr.AsVarPlusConst(); okd && v != "" {
+			if base, okc := ns.G.ConstVal(v); okc {
+				obs.Val, obs.Known = base+c2, true
+			}
+		}
+	}
+	for _, p := range e.res.Prints {
+		if p == obs {
+			return
+		}
+	}
+	e.res.Prints = append(e.res.Prints, obs)
+}
+
+// branchSet handles a conditional: id-dependent conditions split the set;
+// uniform conditions either resolve or fork the configuration.
+func (e *engine) branchSet(ns *State, ps *ProcSet) []succ {
+	return e.branchSetDepth(ns, ps, 4)
+}
+
+func (e *engine) branchSetDepth(ns *State, ps *ProcSet, depth int) []succ {
+	node := ps.Node
+	tN, fN := node.SuccBranch()
+	usesID := ast.UsesIdent(node.Cond, "id")
+	singleton := ns.Ctx()
+	isSingle := ps.Range.IsSingleton(singleton) == tri.True
+
+	if usesID && !isSingle {
+		if op, pivot, ok := ns.idComparison(ps, node.Cond); ok {
+			yes, no, ok2 := SplitByIDCond(ns.Ctx(), op, ps.Range, pivot)
+			if ok2 {
+				return e.applyIDSplit(ns, ps, yes, no, tN, fN)
+			}
+			// Exact splitting needs the pivot's order against the range
+			// bounds; fork the configuration on the first unresolved
+			// comparison and retry each side with the extra fact.
+			if depth > 0 {
+				if out, ok3 := e.forkOnBoundCmp(ns, ps, pivot, depth); ok3 {
+					return out
+				}
+			}
+		}
+		ns.MarkTop(fmt.Sprintf("unsupported id-dependent condition: %s on %s [G: %s]", node.Cond, ps.Range, ns.G))
+		return []succ{{ns, "give-up"}}
+	}
+
+	switch ns.EvalCond(ps, node.Cond) {
+	case tri.True:
+		ps.Node = tN
+		ps.Blocked = false
+		ns.AssumeCond(ps, node.Cond, false)
+		e.normalize(ns)
+		return []succ{{ns, nodeDesc(node) + "=true"}}
+	case tri.False:
+		ps.Node = fN
+		ps.Blocked = false
+		ns.AssumeCond(ps, node.Cond, true)
+		e.normalize(ns)
+		return []succ{{ns, nodeDesc(node) + "=false"}}
+	default:
+		// Fork the configuration: both branches possible.
+		alt := ns.Clone()
+		ps.Node = tN
+		ps.Blocked = false
+		ns.AssumeCond(ps, node.Cond, false)
+		e.normalize(ns)
+		ap := alt.Set(ps.ID)
+		ap.Node = fN
+		ap.Blocked = false
+		alt.AssumeCond(ap, node.Cond, true)
+		e.normalize(alt)
+		return []succ{{ns, nodeDesc(node) + "=true?"}, {alt, nodeDesc(node) + "=false?"}}
+	}
+}
+
+// forkOnBoundCmp case-splits the configuration on an unresolved comparison
+// between the branch pivot and one of the set's range bounds, then retries
+// the branch on both sides.
+func (e *engine) forkOnBoundCmp(ns *State, ps *ProcSet, pivot sym.Expr, depth int) ([]succ, bool) {
+	ctx := ns.Ctx()
+	pv, pc, okP := splitVarPlusConst(pivot)
+	if !okP {
+		return nil, false
+	}
+	rng := ps.Range.Enrich(ctx)
+	for _, b := range []procset.Bound{rng.LB, rng.UB} {
+		bnd := procset.NewBound(pivot)
+		if ctx.LeqBound(bnd, b, 0) != tri.Unknown && ctx.LeqBound(b, bnd, 0) != tri.Unknown {
+			continue
+		}
+		bv, bc, okB := splitVarPlusConst(b.Primary())
+		if !okB {
+			continue
+		}
+		// Side A: pivot <= bound; side B: bound <= pivot - 1.
+		nsA := ns.Clone()
+		nsA.G.AddLE(pv, bv, bc-pc)
+		nsB := ns.Clone()
+		nsB.G.AddLE(bv, pv, pc-bc-1)
+		var out []succ
+		if nsA.G.Consistent() {
+			out = append(out, e.branchSetDepth(nsA, nsA.Set(ps.ID), depth-1)...)
+		}
+		if nsB.G.Consistent() {
+			out = append(out, e.branchSetDepth(nsB, nsB.Set(ps.ID), depth-1)...)
+		}
+		if len(out) > 0 {
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// applyIDSplit distributes the yes/no sub-ranges of an id-dependent branch
+// over the true/false successors, dropping provably empty pieces.
+func (e *engine) applyIDSplit(ns *State, ps *ProcSet, yes, no []procset.Set, tN, fN *cfg.Node) []succ {
+	ctx := ns.Ctx()
+	type piece struct {
+		rng  procset.Set
+		node *cfg.Node
+	}
+	var pieces []piece
+	for _, r := range yes {
+		if r.IsValid() && r.Empty(ctx) != tri.True {
+			pieces = append(pieces, piece{r, tN})
+		}
+	}
+	for _, r := range no {
+		if r.IsValid() && r.Empty(ctx) != tri.True {
+			pieces = append(pieces, piece{r, fN})
+		}
+	}
+	if len(pieces) == 0 {
+		// Entire set vanished (inconsistent range): drop it.
+		ns.RemoveSet(ps.ID)
+		e.normalize(ns)
+		return []succ{{ns, "empty-split"}}
+	}
+	// First piece reuses ps; the rest are fresh sets with copied state.
+	ps.Range = pieces[0].rng
+	ps.Node = pieces[0].node
+	ps.Blocked = false
+	for _, pc := range pieces[1:] {
+		np := ns.SplitSet(ps, ps.Range, pc.rng)
+		np.Node = pc.node
+		np.Blocked = false
+	}
+	e.normalize(ns)
+	return []succ{{ns, nodeDesc(ps.Node) + "-idsplit"}}
+}
+
+// ---------------------------------------------------------------------------
+// Matching
+
+// commFacets returns the destination (send side) and source (recv side)
+// expressions a blocked set offers.
+func commFacets(n *cfg.Node) (dest ast.Expr, src ast.Expr) {
+	switch n.Kind {
+	case cfg.Send:
+		return n.Dest, nil
+	case cfg.Recv:
+		return nil, n.Src
+	case cfg.SendRecv:
+		return n.Dest, n.Src
+	}
+	return nil, nil
+}
+
+// issueSendStep records a non-blocking send and advances the issuing set;
+// unsupported destination expressions fall back to the blocking treatment.
+func (e *engine) issueSendStep(st *State, id int) []succ {
+	ns := st.Clone()
+	ps := ns.Set(id)
+	node := ps.Node
+	if ns.IssueSend(ps, node) {
+		advance(ps)
+		e.normalize(ns)
+		return []succ{{ns, fmt.Sprintf("issue n%d", node.ID)}}
+	}
+	ps.Blocked = true
+	e.normalize(ns)
+	return []succ{{ns, fmt.Sprintf("block n%d", node.ID)}}
+}
+
+// tryPendingMatches satisfies a blocked receive from an in-flight pending
+// send, respecting per-channel FIFO order conservatively.
+func (e *engine) tryPendingMatches(st *State) ([]succ, bool) {
+	for _, r := range st.Sets {
+		if !r.Blocked || r.Node.Kind != cfg.Recv {
+			continue
+		}
+		src, ok := st.AffineExprID(r, r.Node.Src)
+		if !ok {
+			continue
+		}
+		for idx := range st.Pending {
+			ns := st.Clone()
+			nr := ns.Set(r.ID)
+			pm, ok := ns.MatchPending(nr, src, idx)
+			if !ok {
+				continue
+			}
+			if e.fifoConflict(ns, idx, pm) {
+				continue
+			}
+			recvNode := nr.Node
+			// Release the matched receivers; leftover pieces stay blocked.
+			ctx := ns.Ctx()
+			nr.Range = pm.RecvMatched
+			for _, rr := range pm.RecvRests {
+				if !rr.IsValid() || rr.Empty(ctx) == tri.True {
+					continue
+				}
+				rest := ns.SplitSet(nr, pm.RecvMatched, rr)
+				rest.Blocked = true
+			}
+			ns.ReplacePending(idx, pm.PendingRests)
+			// Value propagation from the frozen payload.
+			rv := PV(nr.ID, recvNode.RecvName)
+			ns.invalidateVar(rv)
+			ns.G.Forget(rv)
+			if pm.Pending.ValOK {
+				if w, c, okd := splitVarPlusConst(pm.Pending.Val); okd {
+					ns.G.AddEq(rv, w, c)
+				}
+			}
+			ns.AddMatch(pm.Pending.Node, recvNode.ID, pm.SendersMatched, pm.RecvMatched)
+			advance(nr)
+			e.normalize(ns)
+			return []succ{{ns, fmt.Sprintf("pending-match n%d->n%d", pm.Pending.Node, recvNode.ID)}}, true
+		}
+	}
+	return nil, false
+}
+
+// fifoConflict reports whether delivering pending record idx to the matched
+// receivers could violate FIFO order: an earlier pending record must not
+// possibly carry a message on any of the same (sender, receiver) channels.
+func (e *engine) fifoConflict(st *State, idx int, pm *PendingMatch) bool {
+	ctx := st.Ctx()
+	for i := 0; i < idx; i++ {
+		q := st.Pending[i]
+		qd := q.DestRange()
+		if !qd.IsValid() {
+			return true // cannot reason: be conservative
+		}
+		destOverlap, ok := procset.Intersect(ctx, qd, pm.RecvMatched)
+		if !ok {
+			return true
+		}
+		if destOverlap.Empty(ctx) == tri.True {
+			continue
+		}
+		sendOverlap, ok := procset.Intersect(ctx, q.Senders, pm.SendersMatched)
+		if !ok {
+			return true
+		}
+		if sendOverlap.Empty(ctx) != tri.True {
+			return true
+		}
+	}
+	return false
+}
+
+// tryMatches attempts pairwise send-receive matching in deterministic order;
+// the first success forms the successor (the framework propagates real
+// state only along the matched edge).
+func (e *engine) tryMatches(st *State) ([]succ, bool) {
+	for _, sender := range st.Sets {
+		if !sender.Blocked || sender.Node.Kind != cfg.Send {
+			continue
+		}
+		for _, receiver := range st.Sets {
+			if receiver == sender || !receiver.Blocked || receiver.Node.Kind != cfg.Recv {
+				continue
+			}
+			ns := st.Clone()
+			if out, ok := e.applyPairMatch(ns, ns.Set(sender.ID), ns.Set(receiver.ID)); ok {
+				return out, true
+			}
+		}
+	}
+	// sendrecv pair exchange between two distinct sets.
+	for _, a := range st.Sets {
+		if !a.Blocked || a.Node.Kind != cfg.SendRecv {
+			continue
+		}
+		for _, b := range st.Sets {
+			if b == a || !b.Blocked || b.Node.Kind != cfg.SendRecv {
+				continue
+			}
+			ns := st.Clone()
+			if out, ok := e.applySendRecvPair(ns, ns.Set(a.ID), ns.Set(b.ID)); ok {
+				return out, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// applyPairMatch matches sender's send against receiver's recv.
+func (e *engine) applyPairMatch(ns *State, sender, receiver *ProcSet) ([]succ, bool) {
+	plan, ok := e.opts.Matcher.Match(ns, sender, sender.Node.Dest, receiver, receiver.Node.Src)
+	if !ok {
+		return nil, false
+	}
+	sendNode, recvNode := sender.Node, receiver.Node
+	action := fmt.Sprintf("match n%d->n%d", sendNode.ID, recvNode.ID)
+
+	relSender := e.applyPlanSide(ns, sender, plan.SenderMatched, plan.SenderRests)
+	relReceiver := e.applyPlanSide(ns, receiver, plan.RecvMatched, plan.RecvRests)
+
+	// Value propagation: send value -> receiver's variable.
+	e.propagateValue(ns, relSender, plan.SenderMatched, sendNode.Value, relReceiver, recvNode.RecvName)
+
+	ns.AddMatch(sendNode.ID, recvNode.ID, plan.SenderMatched, plan.RecvMatched)
+	advance(relSender)
+	advance(relReceiver)
+	e.normalize(ns)
+	return []succ{{ns, action}}, true
+}
+
+// applySendRecvPair matches two sets blocked on sendrecv against each other
+// in both directions; both directions must agree on whole-set matches.
+func (e *engine) applySendRecvPair(ns *State, a, b *ProcSet) ([]succ, bool) {
+	planAB, ok := e.opts.Matcher.Match(ns, a, a.Node.Dest, b, b.Node.Src)
+	if !ok || len(planAB.SenderRests) > 0 || len(planAB.RecvRests) > 0 {
+		return nil, false
+	}
+	planBA, ok := e.opts.Matcher.Match(ns, b, b.Node.Dest, a, a.Node.Src)
+	if !ok || len(planBA.SenderRests) > 0 || len(planBA.RecvRests) > 0 {
+		return nil, false
+	}
+	aNode, bNode := a.Node, b.Node
+	e.propagateValue(ns, a, planAB.SenderMatched, aNode.Value, b, bNode.RecvName)
+	e.propagateValue(ns, b, planBA.SenderMatched, bNode.Value, a, aNode.RecvName)
+	ns.AddMatch(aNode.ID, bNode.ID, planAB.SenderMatched, planAB.RecvMatched)
+	ns.AddMatch(bNode.ID, aNode.ID, planBA.SenderMatched, planBA.RecvMatched)
+	advance(a)
+	advance(b)
+	e.normalize(ns)
+	return []succ{{ns, fmt.Sprintf("exchange n%d<->n%d", aNode.ID, bNode.ID)}}, true
+}
+
+// applyPlanSide splits a matched set into its released and still-blocked
+// pieces, returning the released set.
+func (e *engine) applyPlanSide(ns *State, ps *ProcSet, matched procset.Set, rests []procset.Set) *ProcSet {
+	ctx := ns.Ctx()
+	ps.Range = matched
+	for _, r := range rests {
+		if !r.IsValid() || r.Empty(ctx) == tri.True {
+			continue
+		}
+		rest := ns.SplitSet(ps, matched, r)
+		rest.Blocked = true // stays at the comm node
+	}
+	return ps
+}
+
+// propagateValue transfers the sent value into the receiver's variable: an
+// equality when the payload is a set-constant affine expression (or the
+// matched sets are singletons), otherwise the receiver variable is
+// invalidated.
+func (e *engine) propagateValue(ns *State, sender *ProcSet, senderRange procset.Set, value ast.Expr, receiver *ProcSet, recvVar string) {
+	rv := PV(receiver.ID, recvVar)
+	ns.invalidateVar(rv)
+	ns.G.Forget(rv)
+	expr, ok := ns.affineExprRange(sender, senderRange, value)
+	if !ok {
+		return
+	}
+	if w, c, okd := splitVarPlusConst(expr); okd {
+		ns.G.AddEq(rv, w, c)
+	}
+}
+
+// trySelfMatches looks for a set blocked at a send (or sendrecv) whose own
+// subsequent receive completes a whole-set permutation exchange — the
+// paper's transpose pattern (Section VIII-B), justified by eager buffering.
+func (e *engine) trySelfMatches(st *State) ([]succ, bool) {
+	for _, ps := range st.Sets {
+		if !ps.Blocked {
+			continue
+		}
+		switch ps.Node.Kind {
+		case cfg.SendRecv:
+			if e.opts.Matcher.SelfMatch(st, ps, ps.Node.Dest, ps.Node.Src) {
+				ns := st.Clone()
+				nps := ns.Set(ps.ID)
+				e.propagateValue(ns, nps, nps.Range, ps.Node.Value, nps, ps.Node.RecvName)
+				ns.AddMatch(ps.Node.ID, ps.Node.ID, nps.Range, nps.Range)
+				advance(nps)
+				e.normalize(ns)
+				return []succ{{ns, fmt.Sprintf("self-exchange n%d", ps.Node.ID)}}, true
+			}
+		case cfg.Send:
+			// Find the next comm node along a straight-line path.
+			recvNode, inter := straightLineRecv(ps.Node)
+			if recvNode == nil {
+				continue
+			}
+			if !e.opts.Matcher.SelfMatch(st, ps, ps.Node.Dest, recvNode.Src) {
+				continue
+			}
+			ns := st.Clone()
+			nps := ns.Set(ps.ID)
+			sendNode := nps.Node
+			// Advance through intermediate sequential nodes.
+			advance(nps)
+			for _, n := range inter {
+				if n.Kind == cfg.Assign {
+					ns.ApplyAssign(nps, n.AssignName, n.AssignRhs)
+				}
+				nps.Node = n.SuccSeq()
+			}
+			// Now at recvNode; consume it.
+			nps.Node = recvNode
+			e.propagateValue(ns, nps, nps.Range, sendNode.Value, nps, recvNode.RecvName)
+			ns.AddMatch(sendNode.ID, recvNode.ID, nps.Range, nps.Range)
+			advance(nps)
+			e.normalize(ns)
+			return []succ{{ns, fmt.Sprintf("self-match n%d->n%d", sendNode.ID, recvNode.ID)}}, true
+		}
+	}
+	return nil, false
+}
+
+// straightLineRecv walks sequential successors from a send node until the
+// next communication node; it succeeds only when that node is a recv and
+// the path is branch-free. Returns the recv node and intermediate nodes.
+func straightLineRecv(send *cfg.Node) (*cfg.Node, []*cfg.Node) {
+	var inter []*cfg.Node
+	n := send.SuccSeq()
+	for n != nil {
+		switch n.Kind {
+		case cfg.Recv:
+			return n, inter
+		case cfg.Assign, cfg.Print, cfg.Skip, cfg.Assume, cfg.Assert:
+			inter = append(inter, n)
+			n = n.SuccSeq()
+		default:
+			return nil, nil
+		}
+	}
+	return nil, nil
+}
+
+// tryEmptinessSplit forks the configuration on a blocked set whose range
+// may be empty: one branch removes it (adding the emptiness constraint),
+// the other assumes it non-empty and immediately continues the blocked-step
+// logic under that assumption (so the extra fact is not lost by folding
+// back into the same pCFG node).
+func (e *engine) tryEmptinessSplit(st *State, depth int) ([]succ, bool) {
+	if depth <= 0 {
+		return nil, false
+	}
+	ctx := st.Ctx()
+	for _, ps := range st.Sets {
+		if !ps.Blocked {
+			continue
+		}
+		if ps.Range.Empty(ctx) != tri.Unknown {
+			continue
+		}
+		lbv, lbc, ok1 := splitVarPlusConst(ps.Range.LB.Primary())
+		ubv, ubc, ok2 := splitVarPlusConst(ps.Range.UB.Primary())
+		if !ok1 || !ok2 {
+			continue
+		}
+		// Branch A: the set is empty (lb > ub) and disappears.
+		emptySt := st.Clone()
+		emptySt.G.AddLE(ubv, lbv, lbc-ubc-1) // ub <= lb - 1
+		emptySt.RemoveSet(ps.ID)
+		e.normalize(emptySt)
+		// Branch B: non-empty (lb <= ub); continue stepping inline.
+		nonEmpty := st.Clone()
+		nonEmpty.G.AddLE(lbv, ubv, ubc-lbc)
+		e.normalize(nonEmpty)
+		out := []succ{{emptySt, fmt.Sprintf("assume %s empty", ps.Range)}}
+		out = append(out, e.stepBlocked(nonEmpty, depth-1)...)
+		return out, true
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------------
+// Normalization: blocked flags, empty-set removal, merging
+
+// normalize canonicalizes a configuration after a step: comm nodes block,
+// provably empty sets disappear, adjacent sets at the same node merge, and
+// invalid ranges force ⊤.
+func (e *engine) normalize(st *State) {
+	if st.Top {
+		return
+	}
+	if !st.G.Consistent() {
+		// Unreachable configuration: model as empty final (no sets). Mark
+		// top with a reason to aid debugging; callers treat inconsistent
+		// graphs as unreachable.
+		st.Sets = nil
+		return
+	}
+	for _, ps := range st.Sets {
+		if ps.Node.IsComm() {
+			if e.opts.NonBlockingSends && ps.Node.Kind == cfg.Send && !ps.Blocked {
+				continue // stays runnable; step() will issue the send
+			}
+			ps.Blocked = true
+		}
+	}
+	st.dropEmptyPendings()
+	ctx := st.Ctx()
+	// Remove provably empty sets.
+	for i := 0; i < len(st.Sets); {
+		if st.Sets[i].Range.Empty(ctx) == tri.True {
+			st.RemoveSet(st.Sets[i].ID)
+			ctx = st.Ctx()
+		} else {
+			i++
+		}
+	}
+	if !st.RangesValid() {
+		st.MarkTop("process-set bounds no longer representable")
+		return
+	}
+	if len(st.Sets) > e.opts.maxSets() {
+		st.MarkTop(fmt.Sprintf("configuration fragmented into %d process sets (limit %d)", len(st.Sets), e.opts.maxSets()))
+		return
+	}
+	// Merge same-node adjacent sets (both directions), repeating to a fixed
+	// point.
+	for changed := true; changed; {
+		changed = false
+		st.sortCanonical()
+	outer:
+		for i := 0; i < len(st.Sets); i++ {
+			for j := i + 1; j < len(st.Sets); j++ {
+				a, b := st.Sets[i], st.Sets[j]
+				if a.Node != b.Node || a.Blocked != b.Blocked {
+					continue
+				}
+				ctx := st.Ctx()
+				ar := a.Range.Enrich(ctx)
+				br := b.Range.Enrich(ctx)
+				if !a.Approx && !b.Approx {
+					if u, ok := ar.UnionAdjacent(ctx, br); ok {
+						st.MergeSets(a, b, u)
+						changed = true
+						break outer
+					}
+					if u, ok := br.UnionAdjacent(ctx, ar); ok {
+						st.MergeSets(b, a, u)
+						changed = true
+						break outer
+					}
+				}
+				if a.Node.Kind == cfg.Exit {
+					// Terminated sets never match again, so an exact range
+					// is not required: merge approximately.
+					st.MergeSets(a, b, AllProcs())
+					a.Approx = true
+					changed = true
+					break outer
+				}
+			}
+		}
+	}
+	if len(st.Sets) == 0 {
+		return
+	}
+	st.sortCanonical()
+}

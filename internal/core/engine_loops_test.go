@@ -1,0 +1,116 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fig 5 / Fig 1 (mdcask): exchange with root. Process 0 loops over every
+// other process, sending then receiving; others receive then send back.
+const fig5Src = `
+assume np >= 4
+if id == 0 then
+  for i := 1 to np - 1 do
+    send x -> i
+    recv y <- i
+  end
+else
+  recv y <- 0
+  send y -> 0
+end
+`
+
+func TestFig5ExchangeWithRoot(t *testing.T) {
+	res, g := analyze(t, fig5Src)
+	if !res.Clean() {
+		t.Fatalf("analysis not clean: tops=%v", res.TopReasons())
+	}
+	pairs := matchPairs(res, g)
+	want := [][2]string{
+		{"send x -> i", "recv y <- 0"},
+		{"send y -> 0", "recv y <- i"},
+	}
+	for _, w := range want {
+		if !pairs[w] {
+			t.Errorf("missing match %v; have %v", w, pairs)
+		}
+	}
+	if len(res.Matches) != 2 {
+		t.Errorf("got %d matches, want 2: %v", len(res.Matches), res.Matches)
+	}
+	// The root broadcast must cover workers [1..np-1]: the receiver range
+	// of the root's send spans all non-root processes.
+	var rootSend string
+	for _, m := range res.Matches {
+		if g.Node(m.SendNode).Label() == "send x -> i" {
+			rootSend = m.Receiver.String()
+		}
+	}
+	if !coversWorkers(rootSend) {
+		t.Errorf("root send receivers = %q, want a range covering [1..np-1]", rootSend)
+	}
+}
+
+// coversWorkers accepts [1..np - 1] in its direct or variable-witness form.
+func coversWorkers(s string) bool {
+	return s == "[1..np - 1]" || (strings.HasPrefix(s, "[1..") && strings.Contains(s, "np - 1"))
+}
+
+// Fig 7: one-dimensional nearest-neighbor shift. Expected matches (Fig 8):
+// [0]->[1], [1..np-3]->[2..np-2], [np-2]->[np-1].
+const fig7Src = `
+assume np >= 4
+if id == 0 then
+  send x -> id + 1
+elif id <= np - 2 then
+  recv y <- id - 1
+  send x -> id + 1
+else
+  recv y <- id - 1
+end
+`
+
+func TestFig7Shift(t *testing.T) {
+	res, g := analyze(t, fig7Src)
+	if !res.Clean() {
+		t.Fatalf("analysis not clean: tops=%v", res.TopReasons())
+	}
+	// Fig 8 reports three set-level matches over two distinct send nodes
+	// (process 0's and the middle set's) and two recv nodes (middle, last).
+	if len(res.Matches) != 3 {
+		t.Fatalf("got %d matches, want 3: %v", len(res.Matches), res.Matches)
+	}
+	sendNodes := map[int]bool{}
+	recvNodes := map[int]bool{}
+	ranges := map[string]bool{}
+	for _, m := range res.Matches {
+		sendNodes[m.SendNode] = true
+		recvNodes[m.RecvNode] = true
+		ranges[m.Sender.String()+"->"+m.Receiver.String()] = true
+	}
+	if len(sendNodes) != 2 || len(recvNodes) != 2 {
+		t.Errorf("distinct send/recv nodes = %d/%d, want 2/2: %v", len(sendNodes), len(recvNodes), res.Matches)
+	}
+	// Fig 8's exact set-level matches.
+	for _, want := range []string{
+		"[0]->[1]",
+		"[1..np - 3]->[2..np - 2]",
+		"[np - 2]->[np - 1]",
+	} {
+		if !ranges[want] {
+			t.Errorf("missing Fig 8 match %q; have %v", want, ranges)
+		}
+	}
+	// The final configuration must be fully general: all processes merged
+	// back into [0..np-1] at the exit.
+	foundGeneral := false
+	for _, f := range res.Finals {
+		if len(f.Sets) == 1 && f.Sets[0].Range.String() == "[0..np - 1]" {
+			foundGeneral = true
+		}
+	}
+	if !foundGeneral {
+		t.Errorf("no general final configuration; finals: %v", res.Finals)
+	}
+	_ = g
+}

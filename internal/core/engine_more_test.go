@@ -1,0 +1,230 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/clients/cartesian"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/validate"
+)
+
+// analyzeCartHere analyzes with the HSM-capable client.
+func analyzeCartHere(t *testing.T, src string) (*core.Result, *cfg.Graph) {
+	t.Helper()
+	prog, err := parser.Parse("t.mpl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g := cfg.Build(prog)
+	res, err := core.Analyze(g, core.Options{Matcher: cartesian.New(core.ScanInvariants(g))})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return res, g
+}
+
+// Two distinct sets exchanging via the combined sendrecv statement: the
+// pairwise exchange path (applySendRecvPair).
+func TestSendRecvPairExchange(t *testing.T) {
+	src := `
+assume np >= 4
+if id <= np / 2 - 1 then
+  sendrecv x -> id + np / 2, y <- id + np / 2
+else
+  sendrecv x -> id - np / 2, y <- id - np / 2
+end
+`
+	// np/2 is not affine for symbolic np, so pin the halves with a helper
+	// variable instead.
+	src = `
+assume np == 2 * half
+assume half >= 2
+if id <= half - 1 then
+  sendrecv x -> id + half, y <- id + half
+else
+  sendrecv x -> id - half, y <- id - half
+end
+`
+	res, g := analyzeCartHere(t, src)
+	if !res.Clean() {
+		t.Fatalf("not clean: %v", res.TopReasons())
+	}
+	if len(res.Matches) != 2 {
+		t.Fatalf("matches = %v, want 2 (both directions)", res.Matches)
+	}
+	if err := validate.Check(g, res, 8, map[string]int64{"half": 4}); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+// A while-loop gather: the root receives from each worker in turn.
+func TestGatherLoop(t *testing.T) {
+	src := `
+assume np >= 4
+if id == 0 then
+  i := 1
+  while i <= np - 1 do
+    recv y <- i
+    i := i + 1
+  end
+else
+  send x -> 0
+end
+`
+	res, g := analyzeCartHere(t, src)
+	if !res.Clean() {
+		t.Fatalf("not clean: %v", res.TopReasons())
+	}
+	if len(res.Matches) != 1 {
+		t.Fatalf("matches = %v", res.Matches)
+	}
+	m := res.Matches[0]
+	if m.Sender.String() != "[1..np - 1]" || m.Receiver.String() != "[0]" {
+		t.Errorf("gather match = %v -> %v", m.Sender, m.Receiver)
+	}
+	for _, np := range []int{4, 9} {
+		if err := validate.Check(g, res, np, nil); err != nil {
+			t.Errorf("np=%d: %v", np, err)
+		}
+	}
+}
+
+// Nested id conditionals: four roles from two levels of splitting.
+func TestNestedIDSplits(t *testing.T) {
+	src := `
+assume np >= 8
+if id <= np - 5 then
+  if id == 0 then
+    send a -> 1
+  elif id == 1 then
+    recv b <- 0
+  end
+else
+  if id == np - 1 then
+    send c -> np - 2
+  elif id == np - 2 then
+    recv d <- np - 1
+  end
+end
+`
+	res, g := analyzeCartHere(t, src)
+	if !res.Clean() {
+		t.Fatalf("not clean: %v", res.TopReasons())
+	}
+	if len(res.Matches) != 2 {
+		t.Fatalf("matches = %v, want 2", res.Matches)
+	}
+	if err := validate.Check(g, res, 9, nil); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+// Asserts are assumed by the analysis (non-aborting executions) and the
+// facts they carry refine conditions.
+func TestAssertRefinesState(t *testing.T) {
+	src := `
+assume np >= 2
+x := 5
+assert x == 5
+if x == 5 then
+  y := 1
+else
+  y := 2
+end
+print y
+`
+	res, _ := analyzeCartHere(t, src)
+	if !res.Clean() {
+		t.Fatalf("not clean: %v", res.TopReasons())
+	}
+	if len(res.Prints) != 1 || !res.Prints[0].Known || res.Prints[0].Val != 1 {
+		t.Errorf("prints = %v, want the single value 1", res.Prints)
+	}
+}
+
+// Without an np lower bound the worker set [1..np-1] may be empty; the
+// engine must case-split rather than assume either way.
+func TestNoNPAssumption(t *testing.T) {
+	src := `
+if id == 0 then
+  send x -> 1
+elif id == 1 then
+  recv y <- 0
+end
+`
+	res, g := analyzeCartHere(t, src)
+	// The engine case-splits on np: at np = 1 the program really is buggy
+	// (process 0 sends to the nonexistent rank 1), so the analysis must
+	// flag that world with ⊤ while still covering np >= 2 with clean
+	// finals that match the simulator.
+	if len(res.Tops) == 0 {
+		t.Error("np=1 leak world not flagged")
+	}
+	if len(res.Finals) == 0 {
+		t.Fatal("no finals for the np >= 2 worlds")
+	}
+	for _, np := range []int{2, 4} {
+		if err := validate.Check(g, res, np, nil); err != nil {
+			t.Errorf("np=%d: %v", np, err)
+		}
+	}
+}
+
+// Branch conditions over unconstrained data fork the exploration; both
+// paths' communications must appear in the topology.
+func TestDataDependentBranchBothPaths(t *testing.T) {
+	src := `
+assume np >= 3
+if id == 0 then
+  if seed < 10 then
+    send x -> 1
+  else
+    send x -> 2
+  end
+elif id == 1 then
+  if seed < 10 then
+    recv y <- 0
+  end
+elif id == 2 then
+  if seed >= 10 then
+    recv y <- 0
+  end
+end
+`
+	res, _ := analyzeCartHere(t, src)
+	if !res.Clean() {
+		t.Fatalf("not clean: %v", res.TopReasons())
+	}
+	if len(res.Matches) != 2 {
+		t.Errorf("matches = %v, want both branch topologies", res.Matches)
+	}
+}
+
+// The pCFG record of the exploration is available for inspection.
+func TestPCFGEdgesRecorded(t *testing.T) {
+	res, _ := analyzeCartHere(t, `
+assume np >= 3
+if id == 0 then
+  send x -> 1
+elif id == 1 then
+  recv y <- 0
+end`)
+	if res.Configs < 4 {
+		t.Errorf("configs = %d, want several", res.Configs)
+	}
+	if len(res.Edges) < res.Configs-1 {
+		t.Errorf("edges = %d for %d configs", len(res.Edges), res.Configs)
+	}
+	foundMatch := false
+	for _, e := range res.Edges {
+		if strings.HasPrefix(e.Action, "match ") {
+			foundMatch = true
+		}
+	}
+	if !foundMatch {
+		t.Error("no match edge recorded in the pCFG")
+	}
+}

@@ -1,0 +1,150 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/clients/symbolic"
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+// analyze parses and analyzes src with the symbolic matcher.
+func analyze(t *testing.T, src string) (*core.Result, *cfg.Graph) {
+	t.Helper()
+	prog, err := parser.Parse("test.mpl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g := cfg.Build(prog)
+	res, err := core.Analyze(g, core.Options{Matcher: &symbolic.Matcher{}})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return res, g
+}
+
+// matchPairs extracts (sendNode, recvNode) label pairs from the topology.
+func matchPairs(res *core.Result, g *cfg.Graph) map[[2]string]bool {
+	out := map[[2]string]bool{}
+	for _, m := range res.Matches {
+		out[[2]string{g.Node(m.SendNode).Label(), g.Node(m.RecvNode).Label()}] = true
+	}
+	return out
+}
+
+const fig2Src = `
+assume np >= 3
+if id == 0 then
+  x := 5
+  send x -> 1
+  recv y <- 1
+  print y
+elif id == 1 then
+  recv y <- 0
+  send y -> 0
+  print y
+end
+`
+
+func TestFig2Exchange(t *testing.T) {
+	res, g := analyze(t, fig2Src)
+	if !res.Clean() {
+		t.Fatalf("analysis not clean: tops=%v", res.TopReasons())
+	}
+	pairs := matchPairs(res, g)
+	want := [][2]string{
+		{"send x -> 1", "recv y <- 0"},
+		{"send y -> 0", "recv y <- 1"},
+	}
+	for _, w := range want {
+		if !pairs[w] {
+			t.Errorf("missing match %v; have %v", w, pairs)
+		}
+	}
+	if len(res.Matches) != 2 {
+		t.Errorf("got %d matches, want 2: %v", len(res.Matches), res.Matches)
+	}
+	// Constant propagation: both print sites observe y = 5 (the paper's
+	// Fig 2 walkthrough; the merged exit state afterwards loses the
+	// constant, exactly as Fig 2(c) shows with x=?, y=?).
+	if len(res.Finals) == 0 {
+		t.Fatal("no final configurations")
+	}
+	if len(res.Prints) != 2 {
+		t.Fatalf("print observations = %v, want 2", res.Prints)
+	}
+	for _, p := range res.Prints {
+		if !p.Known || p.Val != 5 {
+			t.Errorf("print at n%d on %s: val=%d known=%v, want 5", p.Node, p.Range, p.Val, p.Known)
+		}
+	}
+}
+
+func TestSequentialNoComm(t *testing.T) {
+	res, _ := analyze(t, "x := 1\ny := x + 2\nprint y")
+	if !res.Clean() {
+		t.Fatalf("tops: %v", res.TopReasons())
+	}
+	if len(res.Matches) != 0 {
+		t.Errorf("unexpected matches: %v", res.Matches)
+	}
+	fin := res.Finals[0]
+	if len(fin.Sets) != 1 {
+		t.Fatalf("final sets = %v", fin.Sets)
+	}
+	v := core.PV(fin.Sets[0].ID, "y")
+	if val, ok := fin.G.ConstVal(v); !ok || val != 3 {
+		t.Errorf("y = %d,%v, want 3", val, ok)
+	}
+	if fin.Sets[0].Range.String() != "[0..np - 1]" {
+		t.Errorf("range = %v", fin.Sets[0].Range)
+	}
+}
+
+func TestBranchUniformUnknown(t *testing.T) {
+	// A branch on unconstrained data forks the configuration; both paths
+	// must reach the end and merge into clean finals.
+	res, _ := analyze(t, `
+if x < 5 then
+  y := 1
+else
+  y := 2
+end
+print y`)
+	if !res.Clean() {
+		t.Fatalf("tops: %v", res.TopReasons())
+	}
+	if len(res.Matches) != 0 {
+		t.Errorf("matches: %v", res.Matches)
+	}
+}
+
+func TestDeadlockGoesTop(t *testing.T) {
+	// Process 0 receives from 1, but 1 never sends: the framework must
+	// give up with ⊤ rather than fabricate a match.
+	res, _ := analyze(t, `
+assume np >= 2
+if id == 0 then
+  recv y <- 1
+end
+`)
+	if len(res.Tops) == 0 {
+		t.Fatal("expected a ⊤ configuration for the deadlock")
+	}
+}
+
+func TestMismatchedPartnersGoTop(t *testing.T) {
+	// 0 sends to 1, but 1 expects a message from 2.
+	res, _ := analyze(t, `
+assume np >= 3
+if id == 0 then
+  send x -> 1
+elif id == 1 then
+  recv y <- 2
+end
+`)
+	if len(res.Tops) == 0 {
+		t.Fatal("expected ⊤ for mismatched partners")
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"repro/internal/ast"
+	"repro/internal/procset"
+)
+
+// MatchPlan describes the outcome of a successful send-receive match
+// attempt: the matched sender and receiver sub-ranges and the leftover
+// pieces that must remain blocked (the paper's split/release bookkeeping
+// returned by matchSendsRecvs).
+type MatchPlan struct {
+	// SenderMatched is the sub-range of the sender set whose sends matched.
+	SenderMatched procset.Set
+	// SenderRests are the leftover sender pieces (possibly empty ranges,
+	// filtered by the engine).
+	SenderRests []procset.Set
+	// RecvMatched is the receiver sub-range that matched.
+	RecvMatched procset.Set
+	// RecvRests are the leftover receiver pieces.
+	RecvRests []procset.Set
+}
+
+// Matcher is the client-analysis interface of the framework (the underlined
+// operations of Fig 4): it decides whether the communication expressions of
+// two blocked process sets match, i.e. whether the send expression
+// surjectively maps a sender subset onto a receiver subset with
+// (recv ∘ send) the identity on the senders.
+//
+// Implementations: clients/symbolic (Section VII, var+c expressions) and
+// clients/cartesian (Section VIII, HSM expressions over grids).
+type Matcher interface {
+	// Name identifies the client analysis.
+	Name() string
+	// Match attempts to match the send facet of sender against the receive
+	// facet of receiver. dest is sender's partner expression, src is
+	// receiver's. Returns a plan on success.
+	Match(st *State, sender *ProcSet, dest ast.Expr, receiver *ProcSet, src ast.Expr) (*MatchPlan, bool)
+	// SelfMatch proves a whole-set permutation exchange: dest maps ps onto
+	// itself bijectively and src inverts it (used for sendrecv and for
+	// send-then-recv exchanges such as the NAS-CG transpose).
+	SelfMatch(st *State, ps *ProcSet, dest, src ast.Expr) bool
+}

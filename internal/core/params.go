@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"regexp"
+
+	"repro/internal/cg"
+	"repro/internal/procset"
+	"repro/internal/sym"
+)
+
+// Widening parameters ("wp<n>", canonicalized to "k<n>") and frozen-value
+// twins ("fz<n>", canonicalized to "f<n>") are existential helper variables
+// minted with globally unique names. Two analysis lineages reaching the
+// same pCFG node mint different names for the same role, which would make
+// their states incomparable and the fixpoint diverge. CanonicalizeParams
+// renames them by order of first appearance in the state's canonical
+// rendering, so equivalent states become syntactically equal.
+
+var helperVarRe = regexp.MustCompile(`^(wp|fz|k|f)\d+$`)
+
+func isHelperVar(v string) bool { return helperVarRe.MatchString(v) }
+
+// CanonicalizeParams renames helper variables to canonical names and drops
+// stale ones from the constraint graph. It returns the applied renaming so
+// callers can translate names they hold (e.g. the table entry's widening
+// parameter).
+func (st *State) CanonicalizeParams() map[string]string {
+	st.sortCanonical()
+	st.sortPending()
+	var order []string
+	seen := map[string]bool{}
+	note := func(e sym.Expr) {
+		for _, v := range e.Vars() {
+			if isHelperVar(v) && !seen[v] {
+				seen[v] = true
+				order = append(order, v)
+			}
+		}
+	}
+	scanBound := func(b procset.Bound) {
+		for _, a := range b.Atoms() {
+			note(a)
+		}
+	}
+	scanSet := func(s procset.Set) { scanBound(s.LB); scanBound(s.UB) }
+	for _, p := range st.Sets {
+		scanSet(p.Range)
+	}
+	for _, m := range st.Matches {
+		scanSet(m.Sender)
+		scanSet(m.Receiver)
+	}
+	for _, p := range st.Pending {
+		scanSet(p.Senders)
+		if p.Shape == PendFan {
+			scanSet(p.Dests)
+		}
+		note(p.Offset)
+		if p.ValOK {
+			note(p.Val)
+		}
+	}
+	// Desired canonical names in appearance order.
+	mapping := map[string]string{}
+	nk, nf := 0, 0
+	for _, v := range order {
+		var want string
+		if v[0] == 'f' { // fz<n> or f<n>
+			want = fmt.Sprintf("f%d", nf)
+			nf++
+		} else { // wp<n> or k<n>
+			want = fmt.Sprintf("k%d", nk)
+			nk++
+		}
+		mapping[v] = want
+	}
+	// Drop stale helper variables (present in G but unused by any bound).
+	for _, v := range st.G.Vars() {
+		if isHelperVar(v) && !seen[v] {
+			st.G.Drop(v)
+		}
+	}
+	// Identity mapping: nothing to do.
+	identity := true
+	for from, to := range mapping {
+		if from != to {
+			identity = false
+		}
+	}
+	if identity {
+		return mapping
+	}
+	// Two-phase rename in the constraint graph (deterministic order).
+	for i, from := range order {
+		if st.G.HasVar(from) {
+			st.G.Rename(from, fmt.Sprintf("$p%d", i))
+		}
+	}
+	for i, from := range order {
+		if st.G.HasVar(fmt.Sprintf("$p%d", i)) {
+			st.G.Rename(fmt.Sprintf("$p%d", i), mapping[from])
+		}
+	}
+	// Substitute in ranges, matches and pendings (simultaneous).
+	env := map[string]sym.Expr{}
+	for from, to := range mapping {
+		if from != to {
+			env[from] = sym.Var(to)
+		}
+	}
+	if len(env) > 0 {
+		for _, p := range st.Sets {
+			p.Range = p.Range.SubstAll(env)
+		}
+		for _, m := range st.Matches {
+			m.Sender = m.Sender.SubstAll(env)
+			m.Receiver = m.Receiver.SubstAll(env)
+		}
+		for _, p := range st.Pending {
+			p.Senders = p.Senders.SubstAll(env)
+			if p.Shape == PendFan {
+				p.Dests = p.Dests.SubstAll(env)
+			}
+			p.Offset = sym.SubstAll(p.Offset, env)
+			if p.ValOK {
+				p.Val = sym.SubstAll(p.Val, env)
+			}
+		}
+	}
+	return mapping
+}
+
+// ResolveHelpers rewrites helper variables in a terminal state's ranges and
+// match records to equality witnesses over program symbols (constants, np,
+// grid sizes), so reported topology ranges are meaningful outside the
+// analysis (e.g. [k0] with k0 = np-2 becomes [np-2]).
+func (st *State) ResolveHelpers() {
+	for changed := true; changed; {
+		changed = false
+		used := map[string]bool{}
+		note := func(e sym.Expr) {
+			for _, v := range e.Vars() {
+				if isHelperVar(v) {
+					used[v] = true
+				}
+			}
+		}
+		for _, p := range st.Sets {
+			for _, a := range p.Range.LB.Atoms() {
+				note(a)
+			}
+			for _, a := range p.Range.UB.Atoms() {
+				note(a)
+			}
+		}
+		for _, m := range st.Matches {
+			for _, b := range []procset.Bound{m.Sender.LB, m.Sender.UB, m.Receiver.LB, m.Receiver.UB} {
+				for _, a := range b.Atoms() {
+					note(a)
+				}
+			}
+		}
+		for v := range used {
+			for _, w := range st.G.EqualWitnesses(v) {
+				if w.Var == cg.ZeroVar {
+					st.SubstEverywhere(v, sym.Const(w.C))
+					changed = true
+					break
+				}
+				if !isHelperVar(w.Var) && w.Var[0] != '$' && !isPSVar(w.Var) {
+					st.SubstEverywhere(v, sym.VarPlus(w.Var, w.C))
+					changed = true
+					break
+				}
+			}
+			if changed {
+				break
+			}
+		}
+	}
+}
+
+func isPSVar(v string) bool {
+	return len(v) > 2 && v[0] == 'p' && v[1] == 's' && containsDot(v)
+}
+
+func containsDot(v string) bool {
+	for i := 0; i < len(v); i++ {
+		if v[i] == '.' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,190 @@
+package hsm
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/sem"
+	"repro/internal/sym"
+)
+
+// IDRange returns the HSM mapping the i-th process of a contiguous set of n
+// processes starting at lb to its id: [lb : n, 1].
+func IDRange(lb, n sym.Expr) *HSM { return Run(lb, n, sym.One) }
+
+// ScalarExpr translates an MPL integer expression that does not reference
+// id into a symbolic polynomial (variables become symbols). Division and
+// modulus must resolve exactly (e.g. np/2 with the invariant np = 2*nrows).
+func (c *Ctx) ScalarExpr(e ast.Expr) (sym.Expr, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return sym.Const(x.Value), nil
+	case *ast.Ident:
+		if x.Name == sem.IDVar {
+			return sym.Zero, fmt.Errorf("hsm: id is not a scalar")
+		}
+		return c.norm(sym.Var(x.Name)), nil
+	case *ast.Unary:
+		if x.Op != ast.Neg {
+			return sym.Zero, fmt.Errorf("hsm: non-integer unary %v", x.Op)
+		}
+		v, err := c.ScalarExpr(x.X)
+		if err != nil {
+			return sym.Zero, err
+		}
+		return sym.Neg(v), nil
+	case *ast.Binary:
+		l, err := c.ScalarExpr(x.L)
+		if err != nil {
+			return sym.Zero, err
+		}
+		r, err := c.ScalarExpr(x.R)
+		if err != nil {
+			return sym.Zero, err
+		}
+		switch x.Op {
+		case ast.Add:
+			return sym.Add(l, r), nil
+		case ast.Sub:
+			return sym.Sub(l, r), nil
+		case ast.Mul:
+			return sym.Mul(l, r), nil
+		case ast.Div:
+			if q, ok := c.divExact(l, r); ok {
+				return q, nil
+			}
+			if lv, okl := l.IsConst(); okl {
+				if rv, okr := r.IsConst(); okr && rv > 0 && lv >= 0 {
+					return sym.Const(lv / rv), nil
+				}
+			}
+			return sym.Zero, fmt.Errorf("hsm: inexact scalar division %s / %s", l, r)
+		case ast.Mod:
+			if _, ok := c.divExact(l, r); ok {
+				return sym.Zero, nil
+			}
+			if lv, okl := l.IsConst(); okl {
+				if rv, okr := r.IsConst(); okr && rv > 0 && lv >= 0 {
+					return sym.Const(lv % rv), nil
+				}
+			}
+			return sym.Zero, fmt.Errorf("hsm: unresolvable scalar modulus %s %% %s", l, r)
+		}
+		return sym.Zero, fmt.Errorf("hsm: non-integer operator %v", x.Op)
+	}
+	return sym.Zero, fmt.Errorf("hsm: unsupported scalar expression %T", e)
+}
+
+// Convert builds the HSM describing the value of MPL expression e on each
+// process of a set, where idh gives the processes' id values in set order.
+// Set-constant subexpressions become scalars; id-dependent subexpressions
+// compose through the Table I operations.
+func (c *Ctx) Convert(e ast.Expr, idh *HSM) (*HSM, error) {
+	if !ast.UsesIdent(e, sem.IDVar) {
+		v, err := c.ScalarExpr(e)
+		if err != nil {
+			return nil, err
+		}
+		// A scalar is the same value on every process: broadcast.
+		return c.normalize(Node(Leaf(v), idh.Len(), sym.Zero)), nil
+	}
+	switch x := e.(type) {
+	case *ast.Ident: // must be id
+		return c.Normalize(idh), nil
+	case *ast.Unary:
+		if x.Op != ast.Neg {
+			return nil, fmt.Errorf("hsm: non-integer unary %v", x.Op)
+		}
+		h, err := c.Convert(x.X, idh)
+		if err != nil {
+			return nil, err
+		}
+		return c.MulScalar(h, sym.Const(-1)), nil
+	case *ast.Binary:
+		lScalar := !ast.UsesIdent(x.L, sem.IDVar)
+		rScalar := !ast.UsesIdent(x.R, sem.IDVar)
+		switch x.Op {
+		case ast.Add, ast.Sub:
+			sign := int64(1)
+			if x.Op == ast.Sub {
+				sign = -1
+			}
+			if rScalar {
+				h, err := c.Convert(x.L, idh)
+				if err != nil {
+					return nil, err
+				}
+				k, err := c.ScalarExpr(x.R)
+				if err != nil {
+					return nil, err
+				}
+				return c.normalize(c.AddScalar(h, sym.Scale(k, sign))), nil
+			}
+			if lScalar && x.Op == ast.Add {
+				h, err := c.Convert(x.R, idh)
+				if err != nil {
+					return nil, err
+				}
+				k, err := c.ScalarExpr(x.L)
+				if err != nil {
+					return nil, err
+				}
+				return c.normalize(c.AddScalar(h, k)), nil
+			}
+			lh, err := c.Convert(x.L, idh)
+			if err != nil {
+				return nil, err
+			}
+			rh, err := c.Convert(x.R, idh)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == ast.Sub {
+				rh = c.MulScalar(rh, sym.Const(-1))
+			}
+			return c.Add(lh, rh)
+		case ast.Mul:
+			if rScalar {
+				h, err := c.Convert(x.L, idh)
+				if err != nil {
+					return nil, err
+				}
+				k, err := c.ScalarExpr(x.R)
+				if err != nil {
+					return nil, err
+				}
+				return c.normalize(c.MulScalar(h, k)), nil
+			}
+			if lScalar {
+				h, err := c.Convert(x.R, idh)
+				if err != nil {
+					return nil, err
+				}
+				k, err := c.ScalarExpr(x.L)
+				if err != nil {
+					return nil, err
+				}
+				return c.normalize(c.MulScalar(h, k)), nil
+			}
+			return nil, fmt.Errorf("hsm: product of two id-dependent expressions: %s", e)
+		case ast.Div, ast.Mod:
+			if !rScalar {
+				return nil, fmt.Errorf("hsm: id-dependent divisor: %s", e)
+			}
+			h, err := c.Convert(x.L, idh)
+			if err != nil {
+				return nil, err
+			}
+			k, err := c.ScalarExpr(x.R)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == ast.Div {
+				return c.Div(h, k)
+			}
+			return c.Mod(h, k)
+		}
+		return nil, fmt.Errorf("hsm: non-integer operator %v in %s", x.Op, e)
+	}
+	return nil, fmt.Errorf("hsm: unsupported expression %T", e)
+}

@@ -1,0 +1,247 @@
+package hsm
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/sym"
+)
+
+// exprOf parses an MPL expression by wrapping it in an assignment.
+func exprOf(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	prog, err := parser.Parse("expr.mpl", "tmp := "+src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return prog.Stmts[0].(*ast.Assign).Rhs
+}
+
+// evalExpr concretely evaluates an MPL integer expression.
+func evalExpr(t *testing.T, e ast.Expr, env map[string]int64) int64 {
+	t.Helper()
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Value
+	case *ast.Ident:
+		return env[x.Name]
+	case *ast.Unary:
+		return -evalExpr(t, x.X, env)
+	case *ast.Binary:
+		l := evalExpr(t, x.L, env)
+		r := evalExpr(t, x.R, env)
+		switch x.Op {
+		case ast.Add:
+			return l + r
+		case ast.Sub:
+			return l - r
+		case ast.Mul:
+			return l * r
+		case ast.Div:
+			return l / r
+		case ast.Mod:
+			return l % r
+		}
+	}
+	t.Fatalf("evalExpr: unsupported %T", e)
+	return 0
+}
+
+// checkConvert converts src over [0..np-1] and compares elementwise with
+// concrete evaluation for each concrete binding in envs.
+func checkConvert(t *testing.T, ctx *Ctx, src string, npExpr sym.Expr, envs []map[string]int64) *HSM {
+	t.Helper()
+	e := exprOf(t, src)
+	h, err := ctx.Convert(e, IDRange(sym.Zero, npExpr))
+	if err != nil {
+		t.Fatalf("Convert(%q): %v", src, err)
+	}
+	for _, env := range envs {
+		np := ctx.norm(npExpr).Eval(env)
+		got := h.Enumerate(env, 10000)
+		if int64(len(got)) != np {
+			t.Fatalf("Convert(%q): length %d, want %d", src, len(got), np)
+		}
+		for id := int64(0); id < np; id++ {
+			cenv := map[string]int64{}
+			for k, v := range env {
+				cenv[k] = v
+			}
+			cenv["id"] = id
+			cenv["np"] = np
+			want := evalExpr(t, e, cenv)
+			if got[id] != want {
+				t.Fatalf("Convert(%q) at id=%d: got %d, want %d (env %v)", src, id, got[id], want, env)
+			}
+		}
+	}
+	return h
+}
+
+func squareCtx() *Ctx {
+	nr := sym.Var("nrows")
+	return NewCtx().
+		WithInvariant("np", sym.Mul(nr, nr)).
+		WithInvariant("ncols", nr).
+		WithLowerBound("nrows", 1)
+}
+
+func rectCtx() *Ctx {
+	nr := sym.Var("nrows")
+	return NewCtx().
+		WithInvariant("np", sym.Scale(sym.Mul(nr, nr), 2)).
+		WithInvariant("ncols", sym.Scale(nr, 2)).
+		WithLowerBound("nrows", 1)
+}
+
+func TestConvertSquareTranspose(t *testing.T) {
+	ctx := squareCtx()
+	envs := []map[string]int64{{"nrows": 2}, {"nrows": 3}, {"nrows": 4}}
+	h := checkConvert(t, ctx, "(id % nrows) * nrows + id / nrows", sym.Var("np"), envs)
+	if !Equal(h, transposeHSM(sym.Var("nrows"))) {
+		t.Errorf("square transpose HSM = %v", h)
+	}
+}
+
+func TestConvertRectTranspose(t *testing.T) {
+	// The ncols = 2*nrows transpose exchange from Section VIII-B:
+	// value = id%2 + 2*nrows*((id/2) % nrows) + 2*(id/(2*nrows)).
+	ctx := rectCtx()
+	envs := []map[string]int64{{"nrows": 2}, {"nrows": 3}}
+	h := checkConvert(t, ctx,
+		"id % 2 + 2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows))",
+		sym.Var("np"), envs)
+
+	// Surjection onto [0..np-1] (Section VIII-B2).
+	p := NewProver(ctx)
+	idSeq := IDRange(sym.Zero, sym.Var("np"))
+	if !p.SetEqual(h, idSeq) {
+		t.Errorf("rect transpose surjection not proved; h = %v", h)
+	}
+}
+
+func TestRectTransposeIdentity(t *testing.T) {
+	// Composing the rectangular exchange with itself is the identity:
+	// apply the same expression with id bound to the send HSM.
+	ctx := rectCtx()
+	e := exprOf(t, "id % 2 + 2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows))")
+	h, err := ctx.Convert(e, IDRange(sym.Zero, sym.Var("np")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := ctx.Convert(e, h)
+	if err != nil {
+		t.Fatalf("composition: %v", err)
+	}
+	p := NewProver(ctx)
+	if !p.SeqEqual(comp, IDRange(sym.Zero, sym.Var("np"))) {
+		t.Errorf("composition = %v, want identity", comp)
+	}
+}
+
+func TestSquareTransposeIdentityViaConvert(t *testing.T) {
+	ctx := squareCtx()
+	e := exprOf(t, "(id % nrows) * nrows + id / nrows")
+	h, err := ctx.Convert(e, IDRange(sym.Zero, sym.Var("np")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := ctx.Convert(e, h)
+	if err != nil {
+		t.Fatalf("composition: %v", err)
+	}
+	p := NewProver(ctx)
+	if !p.SeqEqual(comp, IDRange(sym.Zero, sym.Var("np"))) {
+		t.Errorf("composition = %v, want identity", comp)
+	}
+}
+
+func TestConvertShift(t *testing.T) {
+	// Nearest-neighbor shift: id+1 over [0..np-2] maps to [1..np-1].
+	ctx := NewCtx().WithLowerBound("np", 2)
+	e := exprOf(t, "id + 1")
+	h, err := ctx.Convert(e, IDRange(sym.Zero, sym.AddConst(sym.Var("np"), -1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Run(sym.One, sym.AddConst(sym.Var("np"), -1), sym.One)
+	if !Equal(h, want) {
+		t.Errorf("shift = %v, want %v", h, want)
+	}
+	// Composition with id-1 is the identity.
+	back := exprOf(t, "id - 1")
+	comp, err := ctx.Convert(back, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProver(ctx)
+	if !p.SeqEqual(comp, IDRange(sym.Zero, sym.AddConst(sym.Var("np"), -1))) {
+		t.Errorf("comp = %v", comp)
+	}
+}
+
+func TestConvertScalar(t *testing.T) {
+	ctx := NewCtx()
+	h, err := ctx.Convert(exprOf(t, "2 * root + 1"), IDRange(sym.Zero, sym.Var("np")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := map[string]int64{"np": 4, "root": 3}
+	got := h.Enumerate(env, 100)
+	for _, v := range got {
+		if v != 7 {
+			t.Fatalf("broadcast = %v", got)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("broadcast length = %d", len(got))
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	ctx := NewCtx().WithLowerBound("np", 1)
+	idh := IDRange(sym.Zero, sym.Var("np"))
+	bad := []string{
+		"id * id", // product of id-dependent operands
+		"np / id", // id-dependent divisor
+		"id / 0",  // divisor not positive
+		"x / 3",   // inexact scalar division
+	}
+	for _, src := range bad {
+		if _, err := ctx.Convert(exprOf(t, src), idh); err == nil {
+			t.Errorf("Convert(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestScalarExprResolution(t *testing.T) {
+	nr := sym.Var("nrows")
+	ctx := NewCtx().WithInvariant("np", sym.Scale(nr, 2)).WithLowerBound("nrows", 1)
+	// np / 2 resolves exactly to nrows under the invariant.
+	v, err := ctx.ScalarExpr(exprOf(t, "np / 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sym.Equal(v, nr) {
+		t.Errorf("np/2 = %v", v)
+	}
+	// np % 2 resolves to 0.
+	v, err = ctx.ScalarExpr(exprOf(t, "np % 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsZero() {
+		t.Errorf("np%%2 = %v", v)
+	}
+	// Constant folding: 7 / 2 = 3, 7 % 2 = 1.
+	if v, _ := ctx.ScalarExpr(exprOf(t, "7 / 2")); v.String() != "3" {
+		t.Errorf("7/2 = %v", v)
+	}
+	if v, _ := ctx.ScalarExpr(exprOf(t, "7 % 2")); v.String() != "1" {
+		t.Errorf("7%%2 = %v", v)
+	}
+	if _, err := ctx.ScalarExpr(exprOf(t, "id + 1")); err == nil {
+		t.Error("id accepted as scalar")
+	}
+}

@@ -1,0 +1,308 @@
+package hsm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sym"
+)
+
+// ErrNoRule indicates no Table I rule applies to the requested operation.
+var ErrNoRule = errors.New("hsm: no applicable rule")
+
+func noRule(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrNoRule, fmt.Sprintf(format, args...))
+}
+
+// maxOpDepth bounds rule recursion (reshape retries).
+const maxOpDepth = 24
+
+// isConstOne reports whether e is the constant 1 (used to skip no-op
+// reshapes that would otherwise loop).
+func isConstOne(e sym.Expr) bool {
+	v, ok := e.IsConst()
+	return ok && v == 1
+}
+
+// Normalize simplifies an HSM without changing its sequence:
+//   - parameters are normalized under the context's invariants,
+//   - trivial levels [c : 1, s] collapse to c,
+//   - adjacent levels merge when the outer stride equals the inner span
+//     ([[e:r,s]:r',r*s] == [e:r*r',s], the sequence-equality of Table I),
+//   - a node over a zero-stride node merges when possible.
+func (c *Ctx) Normalize(h *HSM) *HSM {
+	h = c.Norm(h)
+	return c.normalize(h)
+}
+
+func (c *Ctx) normalize(h *HSM) *HSM {
+	if h.IsLeaf() {
+		return h
+	}
+	child := c.normalize(h.Child)
+	r, s := c.norm(h.R), c.norm(h.S)
+	// [c : 1, s] == c
+	if v, ok := r.IsConst(); ok && v == 1 {
+		return child
+	}
+	if !child.IsLeaf() {
+		// Adjacency merge: [[e:ri,si] : r, ri*si] == [e : ri*r, si].
+		if c.equal(s, sym.Mul(child.R, child.S)) && !s.IsZero() {
+			return c.normalize(Node(child.Child, sym.Mul(child.R, r), child.S))
+		}
+		// Zero-stride inner with zero outer stride: [[e:ri,0] : r, 0] ==
+		// [e : ri*r, 0].
+		if s.IsZero() && child.S.IsZero() {
+			return c.normalize(Node(child.Child, sym.Mul(child.R, r), sym.Zero))
+		}
+	}
+	return Node(child, r, s)
+}
+
+// Add returns the elementwise sum of two equal-length HSMs (Table I
+// addition). Shapes are reconciled by splitting flat runs when the top-level
+// repetition counts differ by an exact factor.
+func (c *Ctx) Add(a, b *HSM) (*HSM, error) {
+	return c.add(c.Normalize(a), c.Normalize(b), maxOpDepth)
+}
+
+func (c *Ctx) add(a, b *HSM, depth int) (*HSM, error) {
+	if depth <= 0 {
+		return nil, noRule("add recursion limit on %s + %s", a, b)
+	}
+	if a.IsLeaf() && b.IsLeaf() {
+		return Leaf(sym.Add(a.Base, b.Base)), nil
+	}
+	if a.IsLeaf() || b.IsLeaf() {
+		return nil, noRule("length mismatch: %s + %s", a, b)
+	}
+	if c.equal(a.R, b.R) {
+		child, err := c.add(a.Child, b.Child, depth-1)
+		if err != nil {
+			return nil, err
+		}
+		return c.normalize(Node(child, c.norm(a.R), sym.Add(a.S, b.S))), nil
+	}
+	// Reshape: if a's count factors as b.R * p, split a's top level.
+	if p, ok := c.divExact(a.R, b.R); ok && c.ProvePos(p) {
+		ra, err := c.reshape(a, p)
+		if err == nil {
+			return c.add(ra, b, depth-1)
+		}
+	}
+	if p, ok := c.divExact(b.R, a.R); ok && c.ProvePos(p) {
+		rb, err := c.reshape(b, p)
+		if err == nil {
+			return c.add(a, rb, depth-1)
+		}
+	}
+	return nil, noRule("incompatible shapes: %s + %s", a, b)
+}
+
+// reshape splits the top level of h = [e : r, s] into [[e : p, s] : r/p, p*s]
+// (the adjacency sequence-equality read right to left), so the outer count
+// becomes r/p.
+func (c *Ctx) reshape(h *HSM, p sym.Expr) (*HSM, error) {
+	if h.IsLeaf() {
+		return nil, noRule("reshape of leaf %s", h)
+	}
+	outer, ok := c.divExact(h.R, p)
+	if !ok {
+		return nil, noRule("reshape: %s not divisible by %s", h.R, p)
+	}
+	inner := Node(h.Child, c.norm(p), h.S)
+	return Node(inner, outer, sym.Mul(p, h.S)), nil
+}
+
+// AddScalar adds a set-constant expression to every element.
+func (c *Ctx) AddScalar(h *HSM, k sym.Expr) *HSM {
+	if h.IsLeaf() {
+		return Leaf(sym.Add(h.Base, c.norm(k)))
+	}
+	return Node(c.AddScalar(h.Child, k), h.R, h.S)
+}
+
+// MulScalar multiplies every element by a set-constant expression (Table I
+// scalar multiplication): leaf values and all strides scale.
+func (c *Ctx) MulScalar(h *HSM, k sym.Expr) *HSM {
+	k = c.norm(k)
+	if h.IsLeaf() {
+		return Leaf(sym.Mul(h.Base, k))
+	}
+	return Node(c.MulScalar(h.Child, k), h.R, sym.Mul(h.S, k))
+}
+
+// divisible reports whether every element of h is exactly divisible by q,
+// returning the elementwise quotient.
+func (c *Ctx) divisible(h *HSM, q sym.Expr) (*HSM, bool) {
+	if h.IsLeaf() {
+		d, ok := c.divExact(h.Base, q)
+		if !ok {
+			return nil, false
+		}
+		return Leaf(d), true
+	}
+	child, ok := c.divisible(h.Child, q)
+	if !ok {
+		return nil, false
+	}
+	s, ok := c.divExact(h.S, q)
+	if !ok {
+		return nil, false
+	}
+	return Node(child, h.R, s), true
+}
+
+// Div computes the elementwise integer division h / q for a set-constant
+// divisor q > 0 (Table I division). Rules, tried in order on each level:
+//
+//	A. exact: q divides every element -> scale down.
+//	B. block: the child divides exactly and the level's shifts stay inside
+//	   one q-block (s*(r-1) < q) -> all copies share the child quotient.
+//	C. middle stride: the child's own top stride divides by q and the
+//	   residual parts stay inside one q-block -> quotient follows the
+//	   child's top-level index.
+//	D. reshape: split a level so that the new outer stride is a multiple
+//	   of q, then retry.
+func (c *Ctx) Div(h *HSM, q sym.Expr) (*HSM, error) {
+	q = c.norm(q)
+	if !c.ProvePos(q) {
+		return nil, noRule("divisor %s not provably positive", q)
+	}
+	return c.div(c.Normalize(h), q, maxOpDepth)
+}
+
+func (c *Ctx) div(h *HSM, q sym.Expr, depth int) (*HSM, error) {
+	if depth <= 0 {
+		return nil, noRule("div recursion limit on %s / %s", h, q)
+	}
+	// Rule A: exact division.
+	if quot, ok := c.divisible(h, q); ok {
+		return c.normalize(quot), nil
+	}
+	if h.IsLeaf() {
+		hv, okh := c.norm(h.Base).IsConst()
+		qv, okq := q.IsConst()
+		if okh && okq && qv > 0 && hv >= 0 {
+			return Leaf(sym.Const(hv / qv)), nil
+		}
+		return nil, noRule("leaf %s / %s", h, q)
+	}
+	// Rule A': the level stride alone is divisible by q. Floor division
+	// then distributes over the shifts regardless of the child's residues:
+	// (c + j*s)/q = c/q + j*(s/q) when q | s.
+	if sq, ok := c.divExact(h.S, q); ok {
+		if child, err := c.div(h.Child, q, depth-1); err == nil {
+			return c.normalize(Node(child, h.R, sq)), nil
+		}
+	}
+	// Rule B: child exactly divisible and shifts confined to one block:
+	// (child + j*s)/q == child/q when 0 <= childmax%... here child is a
+	// multiple of q so (child + j*s)/q = child/q given j*s <= s*(r-1) < q.
+	if quot, ok := c.divisible(h.Child, q); ok {
+		span := sym.Sub(q, sym.Mul(h.S, sym.AddConst(h.R, -1)))
+		if c.ProvePos(span) {
+			return c.normalize(Node(quot, h.R, sym.Zero)), nil
+		}
+	}
+	// Rule C: the quotient follows the child's top-level stride. With
+	// child = [cc : cr, cs], elements are cc + t*cs + j*s; if q | cs and
+	// max(cc) + s*(r-1) < q and min(cc) >= 0, then the quotient is
+	// t*(cs/q), independent of cc and j.
+	if !h.Child.IsLeaf() {
+		cc, cr, cs := h.Child.Child, h.Child.R, h.Child.S
+		if csq, ok := c.divExact(cs, q); ok {
+			cmin, cmax := cc.Bounds()
+			headroom := sym.Sub(q, sym.Add(cmax, sym.Mul(h.S, sym.AddConst(h.R, -1))))
+			if c.ProveNonNeg(cmin) && c.ProvePos(headroom) {
+				inner := Node(zeroLike(cc), cr, csq)
+				return c.normalize(Node(inner, h.R, sym.Zero)), nil
+			}
+		}
+	}
+	// Rule D: reshape so the outer stride becomes s*p with p = q/s.
+	if p, ok := c.divExact(q, h.S); ok && c.ProvePos(p) && !isConstOne(p) {
+		if re, err := c.reshape(h, p); err == nil {
+			// Outer stride of re is q; rule A will now apply at the outer
+			// level if the inner block divides down.
+			inner, err := c.div(re.Child, q, depth-1)
+			if err == nil {
+				outerS, ok := c.divExact(re.S, q)
+				if ok {
+					return c.normalize(Node(inner, re.R, outerS)), nil
+				}
+			}
+		}
+	}
+	return nil, noRule("%s / %s", h, q)
+}
+
+// Mod computes the elementwise h % q for a set-constant modulus q > 0
+// (Table I modulus). Rules per level:
+//
+//	A. q divides every element -> all zeros.
+//	B. the level stride is divisible by q -> drop the stride, recurse.
+//	C. the child is divisible by q and shifts stay below q -> shifts
+//	   survive over a zeroed child.
+//	D. reshape so the outer stride becomes a multiple of q, then retry.
+func (c *Ctx) Mod(h *HSM, q sym.Expr) (*HSM, error) {
+	q = c.norm(q)
+	if !c.ProvePos(q) {
+		return nil, noRule("modulus %s not provably positive", q)
+	}
+	return c.mod(c.Normalize(h), q, maxOpDepth)
+}
+
+func (c *Ctx) mod(h *HSM, q sym.Expr, depth int) (*HSM, error) {
+	if depth <= 0 {
+		return nil, noRule("mod recursion limit on %s %% %s", h, q)
+	}
+	// Rule A: all elements divisible -> zeros, shape collapsed.
+	if _, ok := c.divisible(h, q); ok {
+		return c.normalize(Node(Leaf(sym.Zero), h.Len(), sym.Zero)), nil
+	}
+	if h.IsLeaf() {
+		hv, okh := c.norm(h.Base).IsConst()
+		qv, okq := q.IsConst()
+		if okh && okq && qv > 0 && hv >= 0 {
+			return Leaf(sym.Const(hv % qv)), nil
+		}
+		return nil, noRule("leaf %s %% %s", h, q)
+	}
+	// Rule B: stride divisible by q: (child + j*s) % q == child % q.
+	if _, ok := c.divExact(h.S, q); ok {
+		child, err := c.mod(h.Child, q, depth-1)
+		if err != nil {
+			return nil, err
+		}
+		return c.normalize(Node(child, h.R, sym.Zero)), nil
+	}
+	// Rule C: child divisible by q and shifts stay below q: result is the
+	// shifts over a zeroed child.
+	if _, ok := c.divisible(h.Child, q); ok {
+		headroom := sym.Sub(q, sym.Mul(h.S, sym.AddConst(h.R, -1)))
+		if c.ProvePos(headroom) {
+			return c.normalize(Node(zeroLike(h.Child), h.R, h.S)), nil
+		}
+	}
+	// Rule C': child elements all within [0, q) and shifts multiples of q
+	// handled by rule B; general in-range child with small shifts:
+	cmin, cmax := h.Child.Bounds()
+	if c.ProveNonNeg(cmin) {
+		headroom := sym.Sub(q, sym.Add(cmax, sym.Mul(h.S, sym.AddConst(h.R, -1))))
+		if c.ProvePos(headroom) {
+			// Entire level already below q: identity.
+			return h, nil
+		}
+	}
+	// Rule D: reshape so outer stride is s*p = q exactly.
+	if p, ok := c.divExact(q, h.S); ok && c.ProvePos(p) && !isConstOne(p) {
+		if re, err := c.reshape(h, p); err == nil {
+			inner, err := c.mod(re.Child, q, depth-1)
+			if err == nil {
+				return c.normalize(Node(inner, re.R, sym.Zero)), nil
+			}
+		}
+	}
+	return nil, noRule("%s %% %s", h, q)
+}

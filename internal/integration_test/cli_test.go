@@ -1,0 +1,135 @@
+package integration_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one of the repo's commands into a temp dir.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+func TestCLIPsdfOnTestdata(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build skipped in -short mode")
+	}
+	bin := buildTool(t, "psdf")
+	root := repoRoot(t)
+	cases := []struct {
+		file string
+		args []string
+		want []string
+		fail bool
+	}{
+		{"mdcask.mpl", nil, []string{"exchange-with-root", "verify: ok"}, false},
+		{"shift1d.mpl", nil, []string{"topology: shift", "[1..np - 3]"}, false},
+		{"exchange.mpl", nil, []string{"always outputs 5"}, false},
+		{"fanout.mpl", []string{"-stats"}, []string{"broadcast", "stats:"}, false},
+		{"nascg_square.mpl", nil, []string{"permutation"}, false},
+		{"nascg_rect.mpl", nil, []string{"permutation"}, false},
+		{"leaky.mpl", nil, []string{"message-leak"}, true},
+		{"sendfirst_shift.mpl", []string{"-nonblocking"}, []string{"topology: shift"}, false},
+		{"mdcask.mpl", []string{"-client", "symbolic"}, []string{"exchange-with-root"}, false},
+		{"mdcask.mpl", []string{"-backend", "map"}, []string{"exchange-with-root"}, false},
+		{"mdcask.mpl", []string{"-dot"}, []string{"digraph"}, false},
+		{"mdcask.mpl", []string{"-cfg"}, []string{"digraph", "send x -> i"}, false},
+	}
+	for _, c := range cases {
+		args := append(append([]string{}, c.args...), filepath.Join(root, "testdata", c.file))
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if c.fail && err == nil {
+			t.Errorf("psdf %v: expected nonzero exit", args)
+		}
+		if !c.fail && err != nil {
+			t.Errorf("psdf %v: %v\n%s", args, err, out)
+			continue
+		}
+		for _, w := range c.want {
+			if !strings.Contains(string(out), w) {
+				t.Errorf("psdf %v: output missing %q:\n%s", args, w, out)
+			}
+		}
+	}
+}
+
+func TestCLIPsdfRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build skipped in -short mode")
+	}
+	bin := buildTool(t, "psdf-run")
+	root := repoRoot(t)
+	out, err := exec.Command(bin, "-np", "5", filepath.Join(root, "testdata", "mdcask.mpl")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("psdf-run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "messages=8") {
+		t.Errorf("psdf-run output:\n%s", out)
+	}
+	// Transpose with env bindings.
+	out, err = exec.Command(bin, "-np", "9", "-env", "nrows=3",
+		filepath.Join(root, "testdata", "nascg_square.mpl")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("psdf-run transpose: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "messages=9") {
+		t.Errorf("psdf-run transpose output:\n%s", out)
+	}
+	// The leaky program reports the leak but exits zero (no deadlock).
+	out, err = exec.Command(bin, "-np", "4", filepath.Join(root, "testdata", "leaky.mpl")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("psdf-run leaky: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "LEAKED") {
+		t.Errorf("psdf-run leaky output:\n%s", out)
+	}
+}
+
+func TestCLIPsdfBenchSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build skipped in -short mode")
+	}
+	bin := buildTool(t, "psdf-bench")
+	out, err := exec.Command(bin, "-exp", "table1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("psdf-bench: %v\n%s", err, out)
+	}
+	for _, w := range []string{"Table I", "paper", "measured", "yes"} {
+		if !strings.Contains(string(out), w) {
+			t.Errorf("psdf-bench output missing %q:\n%s", w, out)
+		}
+	}
+	// Unknown experiment id exits nonzero.
+	if _, err := exec.Command(bin, "-exp", "nope").CombinedOutput(); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+func scan(t *testing.T, src string) ([]Token, *source.DiagList) {
+	t.Helper()
+	var diags source.DiagList
+	toks := ScanAll(source.NewFile("t.mpl", src), &diags)
+	return toks, &diags
+}
+
+func kinds(toks []Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	toks, diags := scan(t, src)
+	if diags.HasErrors() {
+		t.Fatalf("scan(%q) errors: %v", src, diags.Err())
+	}
+	want = append(want, token.EOF)
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("scan(%q) = %v, want %v", src, toks, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan(%q)[%d] = %v, want %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, ":= -> <- + - * / % == != < <= > >= && || ! ( ) , ; :",
+		token.Assign, token.Arrow, token.LArrow, token.Plus, token.Minus,
+		token.Star, token.Slash, token.Percent, token.Eq, token.Neq,
+		token.Lt, token.Le, token.Gt, token.Ge, token.AndAnd, token.OrOr,
+		token.Not, token.LParen, token.RParen, token.Comma, token.Semicolon,
+		token.Colon)
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	expectKinds(t, "if then else elif end while do for to send recv receive sendrecv print assume assert skip var true false x y2 _tmp",
+		token.KwIf, token.KwThen, token.KwElse, token.KwElif, token.KwEnd,
+		token.KwWhile, token.KwDo, token.KwFor, token.KwTo, token.KwSend,
+		token.KwRecv, token.KwRecv, token.KwSendrecv, token.KwPrint,
+		token.KwAssume, token.KwAssert, token.KwSkip, token.KwVar,
+		token.KwTrue, token.KwFalse, token.Ident, token.Ident, token.Ident)
+}
+
+func TestNumbers(t *testing.T) {
+	toks, _ := scan(t, "0 42 123456")
+	if toks[0].Lit != "0" || toks[1].Lit != "42" || toks[2].Lit != "123456" {
+		t.Errorf("int literals wrong: %v", toks)
+	}
+}
+
+func TestComments(t *testing.T) {
+	expectKinds(t, "x # a comment\ny // another\nz", token.Ident, token.Ident, token.Ident)
+}
+
+func TestSendStatementTokens(t *testing.T) {
+	expectKinds(t, "send x -> id + 1",
+		token.KwSend, token.Ident, token.Arrow, token.Ident, token.Plus, token.Int)
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := scan(t, "x :=\n  5")
+	if p := toks[0].Span.Start; p.Line != 1 || p.Col != 1 {
+		t.Errorf("x at %v, want 1:1", p)
+	}
+	if p := toks[2].Span.Start; p.Line != 2 || p.Col != 3 {
+		t.Errorf("5 at %v, want 2:3", p)
+	}
+}
+
+func TestIllegalCharacters(t *testing.T) {
+	toks, diags := scan(t, "x @ y")
+	if !diags.HasErrors() {
+		t.Fatal("expected error for '@'")
+	}
+	if toks[1].Kind != token.Illegal {
+		t.Errorf("token = %v, want illegal", toks[1])
+	}
+}
+
+func TestSingleEquals(t *testing.T) {
+	_, diags := scan(t, "x = 5")
+	if !diags.HasErrors() {
+		t.Fatal("expected error for '='")
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	var diags source.DiagList
+	lx := New(source.NewFile("t.mpl", "x"), &diags)
+	lx.Next() // x
+	for i := 0; i < 3; i++ {
+		if tok := lx.Next(); tok.Kind != token.EOF {
+			t.Fatalf("Next after end = %v, want EOF", tok)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := scan(t, "abc 12 +")
+	if toks[0].String() != "ident(abc)" {
+		t.Errorf("String = %q", toks[0].String())
+	}
+	if toks[1].String() != "int(12)" {
+		t.Errorf("String = %q", toks[1].String())
+	}
+	if toks[2].String() != "+" {
+		t.Errorf("String = %q", toks[2].String())
+	}
+}

@@ -1,0 +1,64 @@
+// Package modelcheck implements the explicit-state baseline from the
+// paper's related work (MPI-SPIN / Pervez et al, Section II): the program's
+// communication behavior is established exactly, but only for one concrete
+// process count at a time, by exhaustively executing it.
+//
+// Because the execution model is interleaving-oblivious (the paper's
+// appendix proves every interleaving yields the same send-receive matches),
+// a single canonical schedule covers the entire interleaving space; the
+// state count we report is the number of distinct global states visited
+// along it, which grows with np — the scaling contrast with the
+// np-independent pCFG analysis is experiment E8.
+package modelcheck
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/sim"
+)
+
+// Result holds the exact topology for one process count.
+type Result struct {
+	NP int
+	// Edges maps (send node, recv node) pairs to the concrete (sender,
+	// receiver) rank pairs observed.
+	Edges map[[2]int][][2]int
+	// States is the number of global states visited (statements executed
+	// plus deliveries) — the model-checking cost proxy.
+	States int
+	// Deadlocked reports whether the program gets stuck.
+	Deadlocked bool
+}
+
+// Check executes the program for a fixed np and returns its exact
+// communication structure.
+func Check(g *cfg.Graph, np int, env map[string]int64) (*Result, error) {
+	simRes, err := sim.Run(g, np, sim.Options{Env: env})
+	if err != nil {
+		return nil, fmt.Errorf("modelcheck: %w", err)
+	}
+	res := &Result{
+		NP:         np,
+		Edges:      map[[2]int][][2]int{},
+		States:     simRes.Steps + len(simRes.Events),
+		Deadlocked: simRes.Deadlocked,
+	}
+	for _, e := range simRes.Events {
+		k := [2]int{e.SendNode, e.RecvNode}
+		res.Edges[k] = append(res.Edges[k], [2]int{e.Sender, e.Receiver})
+	}
+	return res, nil
+}
+
+// EdgeCount returns the number of distinct (send node, recv node) edges.
+func (r *Result) EdgeCount() int { return len(r.Edges) }
+
+// MessageCount returns the total number of delivered messages.
+func (r *Result) MessageCount() int {
+	n := 0
+	for _, pairs := range r.Edges {
+		n += len(pairs)
+	}
+	return n
+}

@@ -1,0 +1,76 @@
+package modelcheck
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cfg"
+	"repro/internal/parser"
+)
+
+func TestExactEdgesForFanout(t *testing.T) {
+	w := bench.Fanout()
+	_, g := w.Parse()
+	res, err := Check(g, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if res.EdgeCount() != 1 {
+		t.Errorf("edges = %d, want 1", res.EdgeCount())
+	}
+	if res.MessageCount() != 4 {
+		t.Errorf("messages = %d, want np-1 = 4", res.MessageCount())
+	}
+}
+
+func TestStatesGrowWithNP(t *testing.T) {
+	// The model-checking cost grows with np (the pCFG analysis does not) —
+	// the Section II scaling claim.
+	w := bench.Fig5ExchangeRoot()
+	_, g := w.Parse()
+	prev := 0
+	for _, np := range []int{4, 8, 16, 32} {
+		res, err := Check(g, np, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.States <= prev {
+			t.Errorf("states(np=%d) = %d, not growing (prev %d)", np, res.States, prev)
+		}
+		prev = res.States
+	}
+}
+
+func TestDeadlockReported(t *testing.T) {
+	prog, _ := parser.Parse("t.mpl", `
+assume np >= 2
+if id == 0 then
+  recv y <- 1
+end`)
+	g := cfg.Build(prog)
+	res, err := Check(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Error("deadlock not reported")
+	}
+}
+
+func TestEnvPropagated(t *testing.T) {
+	w := bench.TransposeSquare()
+	_, g := w.Parse()
+	res, err := Check(g, 9, w.Env(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatal("transpose deadlocked")
+	}
+	if res.MessageCount() != 9 {
+		t.Errorf("messages = %d, want 9", res.MessageCount())
+	}
+}

@@ -1,0 +1,96 @@
+// Package mpicfg implements the MPI-CFG baseline from the paper's related
+// work (Shires et al, Section II): a sequential analysis that first connects
+// every send to every receive and then prunes edges using purely sequential
+// information (here: message tags and constant partner expressions that can
+// never agree). It over-approximates the communication topology — the
+// precision comparison against the pCFG analysis is experiment E9.
+package mpicfg
+
+import (
+	"repro/internal/ast"
+	"repro/internal/cfg"
+)
+
+// Edge is a possible send-receive communication edge.
+type Edge struct {
+	SendNode, RecvNode int
+}
+
+// Result is the MPI-CFG approximation of the topology.
+type Result struct {
+	// Edges are the surviving send->recv edges.
+	Edges []Edge
+	// Initial is the all-pairs edge count before pruning.
+	Initial int
+	// PrunedByTag and PrunedByConst count removed edges per rule.
+	PrunedByTag   int
+	PrunedByConst int
+}
+
+// Analyze builds the MPI-CFG communication edges for a program.
+func Analyze(g *cfg.Graph) *Result {
+	res := &Result{}
+	var sends, recvs []*cfg.Node
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case cfg.Send:
+			sends = append(sends, n)
+		case cfg.Recv:
+			recvs = append(recvs, n)
+		case cfg.SendRecv:
+			sends = append(sends, n)
+			recvs = append(recvs, n)
+		}
+	}
+	for _, s := range sends {
+		for _, r := range recvs {
+			res.Initial++
+			if s.Tag != "" && r.Tag != "" && s.Tag != r.Tag {
+				res.PrunedByTag++
+				continue
+			}
+			if provablyDisjoint(s, r) {
+				res.PrunedByConst++
+				continue
+			}
+			res.Edges = append(res.Edges, Edge{SendNode: s.ID, RecvNode: r.ID})
+		}
+	}
+	return res
+}
+
+// provablyDisjoint applies the sequential pruning rule: when both the send
+// destination and the receive source are integer constants, the pair can
+// only match if some rank d receives from some rank s consistently — a
+// purely local refutation is possible only when the expressions are both
+// constant AND mutually exclusive given that a process cannot be two ranks
+// at once. With constant dest c and constant src c', the edge is feasible
+// for any receiver rank == c whose expected sender == c'; sequential
+// analysis cannot refute that, so only syntactically impossible self-sends
+// (dest == src == same node's own constant recv...) are pruned. We
+// implement the tag-style constant rule the MPI-CFG paper uses: constant
+// destination must lie in [0, inf) and constant source likewise; negative
+// constants are impossible ranks.
+func provablyDisjoint(s, r *cfg.Node) bool {
+	if c, ok := constOf(s.Dest); ok && c < 0 {
+		return true
+	}
+	if c, ok := constOf(r.Src); ok && c < 0 {
+		return true
+	}
+	return false
+}
+
+func constOf(e ast.Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Value, true
+	case *ast.Unary:
+		if x.Op == ast.Neg {
+			if v, ok := constOf(x.X); ok {
+				return -v, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,87 @@
+package mpicfg
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/parser"
+)
+
+func analyzeSrc(t *testing.T, src string) *Result {
+	t.Helper()
+	prog, err := parser.Parse("t.mpl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Analyze(cfg.Build(prog))
+}
+
+func TestAllPairs(t *testing.T) {
+	// 2 sends x 2 recvs = 4 initial edges, none pruned.
+	res := analyzeSrc(t, `
+if id == 0 then
+  send x -> 1
+  send x -> 2
+elif id == 1 then
+  recv y <- 0
+else
+  recv y <- 0
+end`)
+	if res.Initial != 4 || len(res.Edges) != 4 {
+		t.Errorf("initial=%d edges=%d, want 4/4", res.Initial, len(res.Edges))
+	}
+}
+
+func TestTagPruning(t *testing.T) {
+	res := analyzeSrc(t, `
+if id == 0 then
+  send x -> 1 : halo
+  send x -> 2 : data
+elif id == 1 then
+  recv y <- 0 : halo
+else
+  recv y <- 0 : data
+end`)
+	if res.Initial != 4 {
+		t.Fatalf("initial = %d", res.Initial)
+	}
+	if res.PrunedByTag != 2 || len(res.Edges) != 2 {
+		t.Errorf("prunedByTag=%d edges=%d, want 2/2", res.PrunedByTag, len(res.Edges))
+	}
+}
+
+func TestNegativeRankPruning(t *testing.T) {
+	res := analyzeSrc(t, `
+if id == 0 then
+  send x -> -1
+elif id == 1 then
+  recv y <- 0
+end`)
+	if res.PrunedByConst != 1 || len(res.Edges) != 0 {
+		t.Errorf("prunedByConst=%d edges=%d", res.PrunedByConst, len(res.Edges))
+	}
+}
+
+func TestSendRecvCountsBothWays(t *testing.T) {
+	res := analyzeSrc(t, `sendrecv x -> 1, y <- 1`)
+	// The sendrecv node acts as both a send and a recv: one self edge.
+	if res.Initial != 1 || len(res.Edges) != 1 {
+		t.Errorf("initial=%d edges=%d", res.Initial, len(res.Edges))
+	}
+}
+
+func TestOverApproximation(t *testing.T) {
+	// MPI-CFG connects the root's send to BOTH recv sites even though only
+	// one can match — the imprecision the pCFG analysis removes.
+	res := analyzeSrc(t, `
+if id == 0 then
+  send x -> 1
+elif id == 1 then
+  recv y <- 0
+else
+  recv z <- 5
+end`)
+	if len(res.Edges) != 2 {
+		t.Errorf("edges = %d, want 2 (over-approximate)", len(res.Edges))
+	}
+}

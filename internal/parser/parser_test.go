@@ -1,0 +1,271 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse("t.mpl", src)
+	if err != nil {
+		t.Fatalf("Parse(%q) error: %v", src, err)
+	}
+	return prog
+}
+
+func TestAssign(t *testing.T) {
+	prog := parseOK(t, "x := 5")
+	if len(prog.Stmts) != 1 {
+		t.Fatalf("got %d statements, want 1", len(prog.Stmts))
+	}
+	a, ok := prog.Stmts[0].(*ast.Assign)
+	if !ok {
+		t.Fatalf("stmt = %T, want Assign", prog.Stmts[0])
+	}
+	if a.Name != "x" {
+		t.Errorf("name = %q", a.Name)
+	}
+	if lit, ok := a.Rhs.(*ast.IntLit); !ok || lit.Value != 5 {
+		t.Errorf("rhs = %v", a.Rhs)
+	}
+}
+
+func TestVarDecl(t *testing.T) {
+	prog := parseOK(t, "var x, y, z")
+	d := prog.Stmts[0].(*ast.VarDecl)
+	if len(d.Names) != 3 || d.Names[2] != "z" {
+		t.Errorf("names = %v", d.Names)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	cases := map[string]string{
+		"x := 1 + 2 * 3":          "1 + 2 * 3",
+		"x := (1 + 2) * 3":        "(1 + 2) * 3",
+		"x := 1 - 2 - 3":          "1 - 2 - 3", // left associative
+		"x := id % nrows * nrows": "id % nrows * nrows",
+		"x := a / b / c":          "a / b / c",
+	}
+	for src, want := range cases {
+		prog := parseOK(t, src)
+		got := prog.Stmts[0].(*ast.Assign).Rhs.String()
+		if got != want {
+			t.Errorf("Parse(%q) rhs = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestLeftAssociativity(t *testing.T) {
+	prog := parseOK(t, "x := 10 - 4 - 3")
+	b := prog.Stmts[0].(*ast.Assign).Rhs.(*ast.Binary)
+	if b.Op != ast.Sub {
+		t.Fatalf("top op = %v", b.Op)
+	}
+	if _, ok := b.L.(*ast.Binary); !ok {
+		t.Errorf("expected left-nested subtraction, got %v", b)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	prog := parseOK(t, `
+if id == 0 then
+  x := 1
+else
+  x := 2
+end`)
+	s := prog.Stmts[0].(*ast.If)
+	if len(s.Then) != 1 || len(s.Else) != 1 {
+		t.Fatalf("then=%d else=%d", len(s.Then), len(s.Else))
+	}
+	if s.Cond.String() != "id == 0" {
+		t.Errorf("cond = %q", s.Cond.String())
+	}
+}
+
+func TestElifDesugar(t *testing.T) {
+	prog := parseOK(t, `
+if id == 0 then
+  x := 1
+elif id == 1 then
+  x := 2
+else
+  x := 3
+end`)
+	outer := prog.Stmts[0].(*ast.If)
+	if len(outer.Else) != 1 {
+		t.Fatalf("outer else = %v", outer.Else)
+	}
+	inner, ok := outer.Else[0].(*ast.If)
+	if !ok {
+		t.Fatalf("inner = %T, want If", outer.Else[0])
+	}
+	if inner.Cond.String() != "id == 1" || len(inner.Else) != 1 {
+		t.Errorf("inner if wrong: cond=%q else=%v", inner.Cond.String(), inner.Else)
+	}
+}
+
+func TestWhile(t *testing.T) {
+	prog := parseOK(t, "while i <= np - 1 do i := i + 1 end")
+	w := prog.Stmts[0].(*ast.While)
+	if w.Cond.String() != "i <= np - 1" || len(w.Body) != 1 {
+		t.Errorf("while = %v %d", w.Cond, len(w.Body))
+	}
+}
+
+func TestFor(t *testing.T) {
+	prog := parseOK(t, "for i := 1 to np - 1 do send x -> i end")
+	f := prog.Stmts[0].(*ast.For)
+	if f.Var != "i" || f.Lo.String() != "1" || f.Hi.String() != "np - 1" {
+		t.Errorf("for header wrong: %v", f)
+	}
+	if _, ok := f.Body[0].(*ast.Send); !ok {
+		t.Errorf("body = %T", f.Body[0])
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	prog := parseOK(t, `
+send x -> id + 1
+recv y <- id - 1
+receive z <- 0
+sendrecv x -> p, y <- p`)
+	if s := prog.Stmts[0].(*ast.Send); s.Dest.String() != "id + 1" {
+		t.Errorf("send dest = %q", s.Dest.String())
+	}
+	if r := prog.Stmts[1].(*ast.Recv); r.Name != "y" || r.Src.String() != "id - 1" {
+		t.Errorf("recv = %v", r)
+	}
+	if r := prog.Stmts[2].(*ast.Recv); r.Name != "z" {
+		t.Errorf("receive alias failed: %v", r)
+	}
+	sr := prog.Stmts[3].(*ast.SendRecv)
+	if sr.Name != "y" || sr.Dest.String() != "p" || sr.Src.String() != "p" {
+		t.Errorf("sendrecv = %v", sr)
+	}
+}
+
+func TestTags(t *testing.T) {
+	prog := parseOK(t, "send x -> 1 : halo\nrecv y <- 0 : halo")
+	if s := prog.Stmts[0].(*ast.Send); s.Tag != "halo" {
+		t.Errorf("send tag = %q", s.Tag)
+	}
+	if r := prog.Stmts[1].(*ast.Recv); r.Tag != "halo" {
+		t.Errorf("recv tag = %q", r.Tag)
+	}
+}
+
+func TestAssumeAssertPrintSkip(t *testing.T) {
+	prog := parseOK(t, "assume np >= 2\nassert x == 5\nprint x\nskip")
+	if _, ok := prog.Stmts[0].(*ast.Assume); !ok {
+		t.Errorf("stmt0 = %T", prog.Stmts[0])
+	}
+	if _, ok := prog.Stmts[1].(*ast.Assert); !ok {
+		t.Errorf("stmt1 = %T", prog.Stmts[1])
+	}
+	if _, ok := prog.Stmts[2].(*ast.Print); !ok {
+		t.Errorf("stmt2 = %T", prog.Stmts[2])
+	}
+	if _, ok := prog.Stmts[3].(*ast.Skip); !ok {
+		t.Errorf("stmt3 = %T", prog.Stmts[3])
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	prog := parseOK(t, "if a < b && !(c == d) || e >= f then skip end")
+	cond := prog.Stmts[0].(*ast.If).Cond.(*ast.Binary)
+	if cond.Op != ast.LOr {
+		t.Errorf("top op = %v, want ||", cond.Op)
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	prog := parseOK(t, "x := -y + 1")
+	rhs := prog.Stmts[0].(*ast.Assign).Rhs.(*ast.Binary)
+	if rhs.Op != ast.Add {
+		t.Fatalf("op = %v", rhs.Op)
+	}
+	if _, ok := rhs.L.(*ast.Unary); !ok {
+		t.Errorf("left = %T, want Unary", rhs.L)
+	}
+}
+
+func TestNestedBlocks(t *testing.T) {
+	prog := parseOK(t, `
+if id == 0 then
+  for i := 1 to np - 1 do
+    if i % 2 == 0 then
+      send x -> i
+    end
+  end
+end`)
+	outer := prog.Stmts[0].(*ast.If)
+	f := outer.Then[0].(*ast.For)
+	inner := f.Body[0].(*ast.If)
+	if _, ok := inner.Then[0].(*ast.Send); !ok {
+		t.Errorf("deep nesting lost: %T", inner.Then[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"if x then",              // missing end
+		"x :=",                   // missing expression
+		"send x",                 // missing arrow
+		"recv 5 <- 0",            // recv target must be ident
+		"for i := 1 do skip end", // missing "to"
+		"x := ((1)",              // unbalanced paren
+		") x := 1",               // stray token
+	}
+	for _, src := range bad {
+		if _, err := Parse("t.mpl", src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestErrorRecoveryFindsMultiple(t *testing.T) {
+	_, err := Parse("t.mpl", "x := @\ny := $\n")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	// Both bad characters should be reported.
+	if !strings.Contains(err.Error(), "1:") || !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error does not mention both lines: %v", err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("bad.mpl", "if then")
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	src := `assume np >= 3
+if id == 0 then
+  x := 5
+  send x -> 1
+else
+  recv y <- 0
+  print y
+end`
+	prog := parseOK(t, src)
+	formatted := ast.Format(prog.Stmts)
+	prog2 := parseOK(t, formatted)
+	if got := ast.Format(prog2.Stmts); got != formatted {
+		t.Errorf("format not stable:\n%s\nvs\n%s", formatted, got)
+	}
+}
+
+func TestSemicolonsAllowed(t *testing.T) {
+	prog := parseOK(t, "x := 1; y := 2;")
+	if len(prog.Stmts) != 2 {
+		t.Errorf("got %d stmts, want 2", len(prog.Stmts))
+	}
+}

@@ -1,0 +1,485 @@
+// Package procset implements the symbolic process-set representation of the
+// paper's Section VII-B: contiguous ranges [lb..ub] whose bounds are *sets of
+// equivalent expressions* (e.g. {1, i} when the constraint state knows i=1).
+// Range emptiness, membership, splitting and widening are all decided
+// relative to a constraint graph carrying the currently known facts.
+package procset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cg"
+	"repro/internal/sym"
+	"repro/internal/tri"
+)
+
+// Bound is one end of a range: a non-empty set of expressions that are all
+// known to be equal to the bound's value. Atoms are deduplicated by
+// canonical key and kept sorted for deterministic output.
+type Bound struct {
+	atoms []sym.Expr
+}
+
+// NewBound builds a bound from one or more equivalent expressions.
+func NewBound(atoms ...sym.Expr) Bound {
+	b := Bound{}
+	for _, a := range atoms {
+		b = b.Insert(a)
+	}
+	return b
+}
+
+// maxAtoms caps the number of equivalent expressions kept per bound.
+// Dropping extra atoms loses precision only (they are all equal), and the
+// cap keeps bound comparisons from degrading quadratically when enrichment
+// keeps finding witnesses.
+const maxAtoms = 8
+
+// Insert returns a bound extended with another equivalent expression.
+func (b Bound) Insert(e sym.Expr) Bound {
+	k := e.Key()
+	for _, a := range b.atoms {
+		if a.Key() == k {
+			return b
+		}
+	}
+	if len(b.atoms) >= maxAtoms {
+		return b
+	}
+	atoms := append(append([]sym.Expr(nil), b.atoms...), e)
+	sort.Slice(atoms, func(i, j int) bool { return atoms[i].Key() < atoms[j].Key() })
+	return Bound{atoms: atoms}
+}
+
+// Atoms returns the equivalent expressions (do not mutate).
+func (b Bound) Atoms() []sym.Expr { return b.atoms }
+
+// IsValid reports whether the bound has at least one atom.
+func (b Bound) IsValid() bool { return len(b.atoms) > 0 }
+
+// Primary returns a representative atom: prefer a constant, then the
+// lexicographically smallest expression.
+func (b Bound) Primary() sym.Expr {
+	for _, a := range b.atoms {
+		if _, ok := a.IsConst(); ok {
+			return a
+		}
+	}
+	if len(b.atoms) == 0 {
+		return sym.Zero
+	}
+	return b.atoms[0]
+}
+
+// Offset returns the bound shifted by constant c (applied to every atom).
+func (b Bound) Offset(c int64) Bound {
+	out := Bound{}
+	for _, a := range b.atoms {
+		out = out.Insert(sym.AddConst(a, c))
+	}
+	return out
+}
+
+// Subst applies a variable substitution to every atom, dropping atoms that
+// stop being affine var+c forms.
+func (b Bound) Subst(name string, repl sym.Expr) Bound {
+	out := Bound{}
+	for _, a := range b.atoms {
+		na := sym.Subst(a, name, repl)
+		if _, _, ok := na.AsVarPlusConst(); ok {
+			out = out.Insert(na)
+		}
+	}
+	return out
+}
+
+// SubstAll applies a simultaneous substitution to every atom, dropping
+// atoms that stop being affine var+c forms.
+func (b Bound) SubstAll(env map[string]sym.Expr) Bound {
+	out := Bound{}
+	for _, a := range b.atoms {
+		na := sym.SubstAll(a, env)
+		if _, _, ok := na.AsVarPlusConst(); ok {
+			out = out.Insert(na)
+		}
+	}
+	return out
+}
+
+// Uses reports whether any atom references the variable.
+func (b Bound) Uses(name string) bool {
+	for _, a := range b.atoms {
+		if a.Uses(name) {
+			return true
+		}
+	}
+	return false
+}
+
+// DropUses removes atoms referencing name. The result may be invalid.
+func (b Bound) DropUses(name string) Bound {
+	out := Bound{}
+	for _, a := range b.atoms {
+		if !a.Uses(name) {
+			out = out.Insert(a)
+		}
+	}
+	return out
+}
+
+// Intersect keeps atoms present in both bounds (by key) — the paper's
+// widening of bounds. The result may be invalid (no common atom).
+func (b Bound) Intersect(o Bound) Bound {
+	keys := map[string]bool{}
+	for _, a := range o.atoms {
+		keys[a.Key()] = true
+	}
+	out := Bound{}
+	for _, a := range b.atoms {
+		if keys[a.Key()] {
+			out = out.Insert(a)
+		}
+	}
+	return out
+}
+
+func (b Bound) String() string {
+	if len(b.atoms) == 0 {
+		return "?"
+	}
+	return b.Primary().String()
+}
+
+// StringAll renders every atom, e.g. "{1,i}".
+func (b Bound) StringAll() string {
+	if len(b.atoms) <= 1 {
+		return b.String()
+	}
+	parts := make([]string, len(b.atoms))
+	for i, a := range b.atoms {
+		parts[i] = a.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// ---------------------------------------------------------------------------
+// Comparisons relative to a constraint context
+
+// Ctx wraps the facts needed to compare symbolic bounds: a difference
+// constraint graph over the same variable namespace as the bound atoms.
+type Ctx struct {
+	G *cg.Graph
+}
+
+// cmpAtoms decides a ? b for two var+c atoms using the context.
+// Returns (a <= b + slack) entailment.
+func (ctx Ctx) leqAtoms(a, b sym.Expr, slack int64) tri.Bool {
+	if d, ok := sym.Cmp(a, b); ok { // a - b constant
+		return tri.FromBool(d <= slack)
+	}
+	va, ca, oka := a.AsVarPlusConst()
+	vb, cb, okb := b.AsVarPlusConst()
+	if !oka || !okb || ctx.G == nil {
+		return tri.Unknown
+	}
+	na, nb := va, vb
+	if na == "" {
+		na = cg.ZeroVar
+	}
+	if nb == "" {
+		nb = cg.ZeroVar
+	}
+	// a <= b + slack  <=>  na - nb <= cb - ca + slack
+	if ctx.G.Entails(na, nb, cb-ca+slack) {
+		return tri.True
+	}
+	// Refute: b + slack < a  <=>  nb - na <= ca - cb - slack - 1
+	if ctx.G.Entails(nb, na, ca-cb-slack-1) {
+		return tri.False
+	}
+	return tri.Unknown
+}
+
+// LeqBound decides lhs <= rhs + slack, trying all atom pairs.
+func (ctx Ctx) LeqBound(lhs, rhs Bound, slack int64) tri.Bool {
+	res := tri.Unknown
+	for _, a := range lhs.atoms {
+		for _, b := range rhs.atoms {
+			switch ctx.leqAtoms(a, b, slack) {
+			case tri.True:
+				return tri.True
+			case tri.False:
+				res = tri.False
+			}
+		}
+	}
+	return res
+}
+
+// EqBound decides lhs == rhs + slack.
+func (ctx Ctx) EqBound(lhs, rhs Bound, slack int64) tri.Bool {
+	le := ctx.LeqBound(lhs, rhs, slack)
+	ge := ctx.LeqBound(rhs, lhs, -slack)
+	return le.And(ge)
+}
+
+// Enrich adds to b every var+c expression the context proves equal to it.
+func (ctx Ctx) Enrich(b Bound) Bound {
+	if ctx.G == nil || !b.IsValid() {
+		return b
+	}
+	out := b
+	for _, a := range b.atoms {
+		v, c, ok := a.AsVarPlusConst()
+		if !ok {
+			continue
+		}
+		name := v
+		if name == "" {
+			name = cg.ZeroVar
+		}
+		if !ctx.G.HasVar(name) {
+			continue
+		}
+		for _, w := range ctx.G.EqualWitnesses(name) {
+			// name = w.Var + w.C, so a = name + c = w.Var + w.C + c.
+			if w.Var == cg.ZeroVar {
+				out = out.Insert(sym.Const(w.C + c))
+			} else {
+				out = out.Insert(sym.VarPlus(w.Var, w.C+c))
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Sets
+
+// Set is a contiguous symbolic range [LB..UB] of process IDs. A set with
+// LB > UB (per the context) is empty. The zero Set is invalid.
+type Set struct {
+	LB, UB Bound
+}
+
+// Range builds [lb..ub].
+func Range(lb, ub sym.Expr) Set { return Set{NewBound(lb), NewBound(ub)} }
+
+// Singleton builds [e..e].
+func Singleton(e sym.Expr) Set { return Range(e, e) }
+
+// IsValid reports whether both bounds carry at least one atom.
+func (s Set) IsValid() bool { return s.LB.IsValid() && s.UB.IsValid() }
+
+// Empty decides whether the set is empty (LB > UB) in the context.
+func (s Set) Empty(ctx Ctx) tri.Bool {
+	// Empty iff NOT (LB <= UB).
+	return ctx.LeqBound(s.LB, s.UB, 0).Not()
+}
+
+// Singleton decides whether the set has exactly one element (LB == UB).
+func (s Set) IsSingleton(ctx Ctx) tri.Bool { return ctx.EqBound(s.LB, s.UB, 0) }
+
+// Contains decides whether expression e lies within [LB..UB].
+func (s Set) Contains(ctx Ctx, e sym.Expr) tri.Bool {
+	b := NewBound(e)
+	lo := ctx.LeqBound(s.LB, b, 0)
+	hi := ctx.LeqBound(b, s.UB, 0)
+	return lo.And(hi)
+}
+
+// ContainsSet decides whether o ⊆ s.
+func (s Set) ContainsSet(ctx Ctx, o Set) tri.Bool {
+	if o.Empty(ctx) == tri.True {
+		return tri.True
+	}
+	lo := ctx.LeqBound(s.LB, o.LB, 0)
+	hi := ctx.LeqBound(o.UB, s.UB, 0)
+	return lo.And(hi)
+}
+
+// SameRange decides whether s and o denote the same range.
+func (s Set) SameRange(ctx Ctx, o Set) tri.Bool {
+	return ctx.EqBound(s.LB, o.LB, 0).And(ctx.EqBound(s.UB, o.UB, 0))
+}
+
+// Offset translates the whole range by constant c.
+func (s Set) Offset(c int64) Set { return Set{s.LB.Offset(c), s.UB.Offset(c)} }
+
+// OffsetExpr translates the range by a symbolic amount, keeping only atoms
+// that remain in var+c form. The result may be invalid if no atom survives.
+func (s Set) OffsetExpr(ofs sym.Expr) Set {
+	return Set{s.LB.OffsetExpr(ofs), s.UB.OffsetExpr(ofs)}
+}
+
+// OffsetExpr shifts the bound by a symbolic amount, keeping affine atoms.
+func (b Bound) OffsetExpr(ofs sym.Expr) Bound {
+	out := Bound{}
+	for _, a := range b.atoms {
+		na := sym.Add(a, ofs)
+		if _, _, ok := na.AsVarPlusConst(); ok {
+			out = out.Insert(na)
+		}
+	}
+	return out
+}
+
+// RemovePoint splits s around a member x, returning the (possibly empty)
+// left part [LB..x-1], the singleton [x..x], and right part [x+1..UB].
+// The caller is responsible for having checked Contains(x).
+func (s Set) RemovePoint(x sym.Expr) (left, mid, right Set) {
+	xb := NewBound(x)
+	left = Set{s.LB, xb.Offset(-1)}
+	mid = Set{xb, xb}
+	right = Set{xb.Offset(1), s.UB}
+	return left, mid, right
+}
+
+// SplitBelow splits s at pivot x into [LB..x-1] and [x..UB] (elements < x
+// and elements >= x).
+func (s Set) SplitBelow(x sym.Expr) (lt, ge Set) {
+	xb := NewBound(x)
+	return Set{s.LB, xb.Offset(-1)}, Set{xb, s.UB}
+}
+
+// UnionAdjacent merges s and o when they are adjacent or overlapping
+// contiguous ranges (s before o). ok=false when adjacency cannot be proved.
+func (s Set) UnionAdjacent(ctx Ctx, o Set) (Set, bool) {
+	if s.Empty(ctx) == tri.True {
+		return o, true
+	}
+	if o.Empty(ctx) == tri.True {
+		return s, true
+	}
+	// s.UB + 1 >= o.LB (no gap) and s.LB <= o.LB (ordering).
+	noGap := ctx.LeqBound(o.LB, s.UB, 1)
+	ordered := ctx.LeqBound(s.LB, o.LB, 0)
+	if noGap != tri.True || ordered != tri.True {
+		return Set{}, false
+	}
+	// New upper bound = max(s.UB, o.UB); prove one side dominates.
+	if ctx.LeqBound(s.UB, o.UB, 0) == tri.True {
+		return Set{s.LB, o.UB}, true
+	}
+	if ctx.LeqBound(o.UB, s.UB, 0) == tri.True {
+		return Set{s.LB, s.UB}, true
+	}
+	return Set{}, false
+}
+
+// Intersect computes the intersection of two contiguous ranges:
+// [max(lb1,lb2)..min(ub1,ub2)], requiring the bound order to be provable in
+// the context.
+func Intersect(ctx Ctx, a, b Set) (Set, bool) {
+	lb, ok := pickGreater(ctx, a.LB, b.LB)
+	if !ok {
+		return Set{}, false
+	}
+	ub, ok := pickLesser(ctx, a.UB, b.UB)
+	if !ok {
+		return Set{}, false
+	}
+	return Set{LB: lb, UB: ub}, true
+}
+
+func pickGreater(ctx Ctx, a, b Bound) (Bound, bool) {
+	if ctx.LeqBound(a, b, 0) == tri.True {
+		return b, true
+	}
+	if ctx.LeqBound(b, a, 0) == tri.True {
+		return a, true
+	}
+	return Bound{}, false
+}
+
+func pickLesser(ctx Ctx, a, b Bound) (Bound, bool) {
+	if ctx.LeqBound(a, b, 0) == tri.True {
+		return a, true
+	}
+	if ctx.LeqBound(b, a, 0) == tri.True {
+		return b, true
+	}
+	return Bound{}, false
+}
+
+// Subtract computes whole \ part for a contiguous part of a contiguous
+// whole, returning the leftover pieces (at most two). The caller must have
+// established part ⊆ whole and part non-empty for the result to be exact.
+func Subtract(ctx Ctx, whole, part Set) ([]Set, bool) {
+	if whole.SameRange(ctx, part) == tri.True {
+		return nil, true
+	}
+	if whole.ContainsSet(ctx, part) != tri.True {
+		return nil, false
+	}
+	var rests []Set
+	if ctx.EqBound(whole.LB, part.LB, 0) != tri.True {
+		rests = append(rests, Set{LB: whole.LB, UB: part.LB.Offset(-1)})
+	}
+	if ctx.EqBound(part.UB, whole.UB, 0) != tri.True {
+		rests = append(rests, Set{LB: part.UB.Offset(1), UB: whole.UB})
+	}
+	return rests, true
+}
+
+// Widen intersects the bound atom sets pairwise (Section VII-D). Both sides
+// should be Enriched first. ok=false when either intersection is empty.
+func (s Set) Widen(o Set) (Set, bool) {
+	lb := s.LB.Intersect(o.LB)
+	ub := s.UB.Intersect(o.UB)
+	if !lb.IsValid() || !ub.IsValid() {
+		return Set{}, false
+	}
+	return Set{lb, ub}, true
+}
+
+// Subst rewrites variable name to repl in both bounds. The result may be
+// invalid if every atom mentioned the variable in a non-affine way.
+func (s Set) Subst(name string, repl sym.Expr) Set {
+	return Set{s.LB.Subst(name, repl), s.UB.Subst(name, repl)}
+}
+
+// SubstAll applies a simultaneous substitution to both bounds.
+func (s Set) SubstAll(env map[string]sym.Expr) Set {
+	return Set{s.LB.SubstAll(env), s.UB.SubstAll(env)}
+}
+
+// Uses reports whether either bound references the variable.
+func (s Set) Uses(name string) bool { return s.LB.Uses(name) || s.UB.Uses(name) }
+
+// Enrich expands both bounds with context-equal atoms.
+func (s Set) Enrich(ctx Ctx) Set {
+	return Set{ctx.Enrich(s.LB), ctx.Enrich(s.UB)}
+}
+
+// ConcreteSlice enumerates the set's members under a concrete environment
+// (for testing against the simulator).
+func (s Set) ConcreteSlice(env map[string]int64) []int64 {
+	lo := s.LB.Primary().Eval(env)
+	hi := s.UB.Primary().Eval(env)
+	if hi < lo {
+		return nil
+	}
+	out := make([]int64, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+func (s Set) String() string {
+	if !s.IsValid() {
+		return "[invalid]"
+	}
+	if len(s.LB.atoms) == 1 && len(s.UB.atoms) == 1 && s.LB.atoms[0].Key() == s.UB.atoms[0].Key() {
+		return fmt.Sprintf("[%s]", s.LB)
+	}
+	return fmt.Sprintf("[%s..%s]", s.LB, s.UB)
+}
+
+// StringAll renders both bounds with all atoms.
+func (s Set) StringAll() string {
+	return fmt.Sprintf("[%s..%s]", s.LB.StringAll(), s.UB.StringAll())
+}

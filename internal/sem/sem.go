@@ -1,0 +1,199 @@
+// Package sem implements semantic checking for MPL programs: typing of
+// expressions (int vs bool), write-protection of the builtins id and np,
+// and collection of program metadata (variables, message tags, whether the
+// program reads id — i.e. whether processes can diverge at all).
+package sem
+
+import (
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/source"
+)
+
+// Builtin variable names of the execution model (Section III).
+const (
+	IDVar = "id" // this process's rank, in [0 .. np-1]
+	NPVar = "np" // total number of processes
+)
+
+// Type is the type of an MPL expression.
+type Type int
+
+// MPL has just two expression types.
+const (
+	Int Type = iota
+	Bool
+	Invalid
+)
+
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "int"
+	case Bool:
+		return "bool"
+	}
+	return "invalid"
+}
+
+// Info holds the results of checking a program.
+type Info struct {
+	// Vars is the sorted list of all integer variables assigned, declared or
+	// received into anywhere in the program (excluding builtins).
+	Vars []string
+	// Tags is the sorted list of message tags appearing on communication
+	// statements. The empty tag is not listed.
+	Tags []string
+	// UsesID reports whether any expression references the builtin id.
+	UsesID bool
+	// CommCount is the number of communication statements (send, recv,
+	// sendrecv each count once).
+	CommCount int
+}
+
+// Check validates the program and returns its Info. All problems found are
+// reported together via the returned error.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &checker{
+		vars: map[string]bool{},
+		tags: map[string]bool{},
+	}
+	c.checkStmts(prog.Stmts)
+	info := &Info{UsesID: c.usesID, CommCount: c.commCount}
+	for v := range c.vars {
+		info.Vars = append(info.Vars, v)
+	}
+	sort.Strings(info.Vars)
+	for t := range c.tags {
+		info.Tags = append(info.Tags, t)
+	}
+	sort.Strings(info.Tags)
+	return info, c.diags.Err()
+}
+
+type checker struct {
+	diags     source.DiagList
+	vars      map[string]bool
+	tags      map[string]bool
+	usesID    bool
+	commCount int
+}
+
+func (c *checker) defineVar(name string, sp source.Span) {
+	if name == IDVar || name == NPVar {
+		c.diags.Errorf(sp, "cannot assign to builtin %q", name)
+		return
+	}
+	c.vars[name] = true
+}
+
+func (c *checker) checkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		c.checkStmt(s)
+	}
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.VarDecl:
+		for _, n := range x.Names {
+			c.defineVar(n, x.Sp)
+		}
+	case *ast.Assign:
+		c.defineVar(x.Name, x.Sp)
+		c.wantType(x.Rhs, Int)
+	case *ast.If:
+		c.wantType(x.Cond, Bool)
+		c.checkStmts(x.Then)
+		c.checkStmts(x.Else)
+	case *ast.While:
+		c.wantType(x.Cond, Bool)
+		c.checkStmts(x.Body)
+	case *ast.For:
+		c.defineVar(x.Var, x.Sp)
+		c.wantType(x.Lo, Int)
+		c.wantType(x.Hi, Int)
+		c.checkStmts(x.Body)
+	case *ast.Send:
+		c.commCount++
+		c.wantType(x.Value, Int)
+		c.wantType(x.Dest, Int)
+		c.noteTag(x.Tag)
+	case *ast.Recv:
+		c.commCount++
+		c.defineVar(x.Name, x.Sp)
+		c.wantType(x.Src, Int)
+		c.noteTag(x.Tag)
+	case *ast.SendRecv:
+		c.commCount++
+		c.defineVar(x.Name, x.Sp)
+		c.wantType(x.Value, Int)
+		c.wantType(x.Dest, Int)
+		c.wantType(x.Src, Int)
+		c.noteTag(x.Tag)
+	case *ast.Print:
+		c.wantType(x.Arg, Int)
+	case *ast.Assume:
+		c.wantType(x.Cond, Bool)
+	case *ast.Assert:
+		c.wantType(x.Cond, Bool)
+	case *ast.Skip:
+		// nothing to check
+	}
+}
+
+func (c *checker) noteTag(tag string) {
+	if tag != "" {
+		c.tags[tag] = true
+	}
+}
+
+// wantType type-checks e and reports an error unless it has type want.
+func (c *checker) wantType(e ast.Expr, want Type) {
+	got := c.typeOf(e)
+	if got != Invalid && got != want {
+		c.diags.Errorf(e.Span(), "expression %s has type %s, want %s", e, got, want)
+	}
+}
+
+func (c *checker) typeOf(e ast.Expr) Type {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return Int
+	case *ast.BoolLit:
+		return Bool
+	case *ast.Ident:
+		if x.Name == IDVar {
+			c.usesID = true
+		}
+		// All variables are integers; referencing an unassigned variable is
+		// allowed (it reads 0), matching the paper's untyped pseudocode.
+		return Int
+	case *ast.Unary:
+		switch x.Op {
+		case ast.Neg:
+			c.wantType(x.X, Int)
+			return Int
+		case ast.LNot:
+			c.wantType(x.X, Bool)
+			return Bool
+		}
+	case *ast.Binary:
+		switch {
+		case x.Op.IsArith():
+			c.wantType(x.L, Int)
+			c.wantType(x.R, Int)
+			return Int
+		case x.Op.IsComparison():
+			c.wantType(x.L, Int)
+			c.wantType(x.R, Int)
+			return Bool
+		case x.Op.IsLogical():
+			c.wantType(x.L, Bool)
+			c.wantType(x.R, Bool)
+			return Bool
+		}
+	}
+	return Invalid
+}

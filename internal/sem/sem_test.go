@@ -1,0 +1,110 @@
+package sem
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	prog, err := parser.Parse("t.mpl", src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return Check(prog)
+}
+
+func TestVarsCollected(t *testing.T) {
+	info, err := check(t, "var a\nb := 1\nrecv c <- 0\nfor d := 1 to 3 do skip end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "d"}
+	if !reflect.DeepEqual(info.Vars, want) {
+		t.Errorf("Vars = %v, want %v", info.Vars, want)
+	}
+}
+
+func TestBuiltinsNotAssignable(t *testing.T) {
+	for _, src := range []string{"id := 1", "np := 4", "recv id <- 0", "var np", "for id := 1 to 3 do skip end"} {
+		if _, err := check(t, src); err == nil {
+			t.Errorf("Check(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	bad := []string{
+		"x := 1 < 2",         // bool assigned to int var
+		"if 5 then skip end", // int condition
+		"print 1 == 2",       // bool print
+		"x := (1 < 2) + 3",   // bool in arithmetic
+		"if !(x + 1) then skip end",
+		"while x do skip end",
+		"assume x + 1",
+		"send 1 < 2 -> 0",
+	}
+	for _, src := range bad {
+		if _, err := check(t, src); err == nil {
+			t.Errorf("Check(%q) succeeded, want type error", src)
+		}
+	}
+}
+
+func TestWellTyped(t *testing.T) {
+	good := []string{
+		"x := 1 + 2 * np",
+		"if id == 0 && np > 1 then send x -> 1 else recv x <- 0 end",
+		"assume np >= 2 && np % 2 == 0",
+		"assert x == 5 || x > 10",
+		"if true then skip end",
+	}
+	for _, src := range good {
+		if _, err := check(t, src); err != nil {
+			t.Errorf("Check(%q) error: %v", src, err)
+		}
+	}
+}
+
+func TestUsesID(t *testing.T) {
+	info, err := check(t, "x := 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.UsesID {
+		t.Error("UsesID = true for id-free program")
+	}
+	info, err = check(t, "if id == 0 then skip end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.UsesID {
+		t.Error("UsesID = false for id-using program")
+	}
+}
+
+func TestTagsAndCommCount(t *testing.T) {
+	info, err := check(t, `
+send x -> 1 : halo
+recv y <- 0 : halo
+send x -> 2 : boundary
+sendrecv x -> 1, y <- 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(info.Tags, []string{"boundary", "halo"}) {
+		t.Errorf("Tags = %v", info.Tags)
+	}
+	if info.CommCount != 4 {
+		t.Errorf("CommCount = %d, want 4", info.CommCount)
+	}
+}
+
+func TestReadingUndeclaredIsAllowed(t *testing.T) {
+	// MPL mirrors the paper's untyped pseudocode: variables default to 0.
+	if _, err := check(t, "x := undeclared + 1"); err != nil {
+		t.Errorf("reading undeclared variable should be allowed: %v", err)
+	}
+}

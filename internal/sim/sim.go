@@ -1,0 +1,449 @@
+// Package sim is a concrete, deterministic interpreter for MPL programs
+// with a fixed process count: the runtime counterpart of the execution
+// model in Section III (non-blocking sends, deterministic receives, FIFO
+// delivery per channel). It records every send-receive match that actually
+// happens, so analysis results can be validated against ground truth, and
+// serves as the substrate of the model-checking baseline
+// (internal/modelcheck).
+//
+// Because the model is interleaving-oblivious (the paper's appendix), a
+// deterministic round-robin schedule observes the same matches as any other
+// schedule, so a single run per np suffices.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/cfg"
+	"repro/internal/sem"
+)
+
+// Event records one delivered message: the CFG nodes of the send and the
+// receive and the concrete ranks involved.
+type Event struct {
+	SendNode int
+	RecvNode int
+	Sender   int
+	Receiver int
+}
+
+// PrintRec records one executed print statement.
+type PrintRec struct {
+	Proc  int
+	Node  int
+	Value int64
+}
+
+// AssertFailure records a failed assert (or assume) at runtime.
+type AssertFailure struct {
+	Proc int
+	Node int
+	Cond string
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	NP         int
+	Events     []Event
+	Prints     []PrintRec
+	Failures   []AssertFailure
+	Deadlocked bool
+	// Blocked lists the ranks stuck at a receive when deadlocked.
+	Blocked []int
+	// Leaked lists messages sent but never received (message leaks): one
+	// entry per undelivered message, identified by sender and send node.
+	Leaked []Event
+	Steps  int
+}
+
+// Options tunes the simulation.
+type Options struct {
+	// Env provides values for free symbols referenced by the program (e.g.
+	// nrows). np and id are always set by the simulator.
+	Env map[string]int64
+	// Rendezvous makes sends block until their message is received (the
+	// analysis-side simplification of Section III). Default is the paper's
+	// execution model: non-blocking sends with FIFO channels.
+	Rendezvous bool
+	// MaxSteps bounds total executed statements (default 1 << 20).
+	MaxSteps int
+}
+
+type message struct {
+	val      int64
+	sendNode int
+	consumed bool
+}
+
+type procState int
+
+const (
+	running procState = iota
+	blockedRecv
+	blockedSend
+	done
+)
+
+// proc is one simulated process.
+type proc struct {
+	id      int
+	pc      *cfg.Node
+	env     map[string]int64
+	state   procState
+	wantSrc int       // blockedRecv: expected sender
+	wantVar string    // blockedRecv: target variable
+	recvTag int       // blockedRecv: node id
+	sendMsg *message  // blockedSend (rendezvous only): awaiting consumption
+	blockAt *cfg.Node // node to resume past once unblocked
+}
+
+// channel identifies a directed process pair.
+type channel struct{ from, to int }
+
+type machine struct {
+	g     *cfg.Graph
+	np    int
+	procs []*proc
+	chans map[channel][]*message
+	res   *Result
+	opts  Options
+}
+
+// Run executes the program on np processes and returns the recorded
+// behavior. It returns an error only for malformed programs (e.g. division
+// by zero or invalid ranks); deadlocks and assertion failures are reported
+// in the Result.
+func Run(g *cfg.Graph, np int, opts Options) (*Result, error) {
+	if np < 1 {
+		return nil, fmt.Errorf("sim: np must be >= 1, got %d", np)
+	}
+	m := &machine{
+		g:     g,
+		np:    np,
+		chans: map[channel][]*message{},
+		res:   &Result{NP: np},
+		opts:  opts,
+	}
+	for i := 0; i < np; i++ {
+		env := map[string]int64{sem.NPVar: int64(np), sem.IDVar: int64(i)}
+		for k, v := range opts.Env {
+			env[k] = v
+		}
+		m.procs = append(m.procs, &proc{id: i, pc: g.Entry, env: env})
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1 << 20
+	}
+
+	for {
+		progress := false
+		allDone := true
+		for _, p := range m.procs {
+			switch p.state {
+			case done:
+				continue
+			case running:
+				allDone = false
+				if m.res.Steps >= maxSteps {
+					return nil, fmt.Errorf("sim: step budget (%d) exhausted", maxSteps)
+				}
+				if err := m.stepProc(p); err != nil {
+					return nil, err
+				}
+				m.res.Steps++
+				progress = true
+			case blockedRecv:
+				allDone = false
+				if m.tryReceive(p) {
+					progress = true
+				}
+			case blockedSend:
+				allDone = false
+				if p.sendMsg.consumed {
+					p.sendMsg = nil
+					m.resume(p)
+					progress = true
+				}
+			}
+		}
+		if allDone {
+			m.collectLeaks()
+			return m.res, nil
+		}
+		if !progress {
+			m.res.Deadlocked = true
+			for _, p := range m.procs {
+				if p.state == blockedRecv || p.state == blockedSend {
+					m.res.Blocked = append(m.res.Blocked, p.id)
+				}
+			}
+			m.collectLeaks()
+			return m.res, nil
+		}
+	}
+}
+
+// collectLeaks records messages that were sent but never received.
+func (m *machine) collectLeaks() {
+	for ch, q := range m.chans {
+		for _, msg := range q {
+			if !msg.consumed {
+				m.res.Leaked = append(m.res.Leaked, Event{
+					SendNode: msg.sendNode,
+					Sender:   ch.from,
+					Receiver: ch.to,
+					RecvNode: -1,
+				})
+			}
+		}
+	}
+}
+
+// resume advances a process past the node it blocked at.
+func (m *machine) resume(p *proc) {
+	p.state = running
+	next := p.blockAt.SuccSeq()
+	p.blockAt = nil
+	p.pc = next
+	if next == nil || next.Kind == cfg.Exit {
+		p.state = done
+	}
+}
+
+// tryReceive attempts to satisfy a blocked receive from the FIFO channel.
+func (m *machine) tryReceive(p *proc) bool {
+	ch := channel{from: p.wantSrc, to: p.id}
+	q := m.chans[ch]
+	for _, msg := range q {
+		if msg.consumed {
+			continue
+		}
+		msg.consumed = true
+		p.env[p.wantVar] = msg.val
+		m.res.Events = append(m.res.Events, Event{
+			SendNode: msg.sendNode,
+			RecvNode: p.recvTag,
+			Sender:   p.wantSrc,
+			Receiver: p.id,
+		})
+		m.resume(p)
+		return true
+	}
+	return false
+}
+
+// send enqueues a message; in rendezvous mode the caller blocks on it.
+func (m *machine) send(p *proc, destE, valE ast.Expr, node *cfg.Node) (*message, error) {
+	dest, err := evalInt(destE, p.env)
+	if err != nil {
+		return nil, fmt.Errorf("sim: proc %d at n%d: %w", p.id, node.ID, err)
+	}
+	if dest < 0 || dest >= int64(m.np) {
+		return nil, fmt.Errorf("sim: proc %d sends to invalid rank %d at n%d", p.id, dest, node.ID)
+	}
+	val, err := evalInt(valE, p.env)
+	if err != nil {
+		return nil, fmt.Errorf("sim: proc %d at n%d: %w", p.id, node.ID, err)
+	}
+	msg := &message{val: val, sendNode: node.ID}
+	ch := channel{from: p.id, to: int(dest)}
+	m.chans[ch] = append(m.chans[ch], msg)
+	return msg, nil
+}
+
+// stepProc executes one CFG node of a running process.
+func (m *machine) stepProc(p *proc) error {
+	n := p.pc
+	advanceTo := func(next *cfg.Node) {
+		p.pc = next
+		if next == nil || next.Kind == cfg.Exit {
+			p.state = done
+		}
+	}
+	switch n.Kind {
+	case cfg.Entry, cfg.Skip:
+		advanceTo(n.SuccSeq())
+	case cfg.Exit:
+		p.state = done
+	case cfg.Assign:
+		v, err := evalInt(n.AssignRhs, p.env)
+		if err != nil {
+			return fmt.Errorf("sim: proc %d at n%d: %w", p.id, n.ID, err)
+		}
+		p.env[n.AssignName] = v
+		advanceTo(n.SuccSeq())
+	case cfg.Print:
+		v, err := evalInt(n.Arg, p.env)
+		if err != nil {
+			return fmt.Errorf("sim: proc %d at n%d: %w", p.id, n.ID, err)
+		}
+		m.res.Prints = append(m.res.Prints, PrintRec{Proc: p.id, Node: n.ID, Value: v})
+		advanceTo(n.SuccSeq())
+	case cfg.Assume, cfg.Assert:
+		ok, err := evalBool(n.Cond, p.env)
+		if err != nil {
+			return fmt.Errorf("sim: proc %d at n%d: %w", p.id, n.ID, err)
+		}
+		if !ok {
+			m.res.Failures = append(m.res.Failures, AssertFailure{Proc: p.id, Node: n.ID, Cond: n.Cond.String()})
+		}
+		advanceTo(n.SuccSeq())
+	case cfg.Branch:
+		ok, err := evalBool(n.Cond, p.env)
+		if err != nil {
+			return fmt.Errorf("sim: proc %d at n%d: %w", p.id, n.ID, err)
+		}
+		tN, fN := n.SuccBranch()
+		if ok {
+			advanceTo(tN)
+		} else {
+			advanceTo(fN)
+		}
+	case cfg.Send:
+		msg, err := m.send(p, n.Dest, n.Value, n)
+		if err != nil {
+			return err
+		}
+		if m.opts.Rendezvous {
+			p.state = blockedSend
+			p.sendMsg = msg
+			p.blockAt = n
+		} else {
+			advanceTo(n.SuccSeq())
+		}
+	case cfg.Recv:
+		src, err := evalInt(n.Src, p.env)
+		if err != nil {
+			return fmt.Errorf("sim: proc %d at n%d: %w", p.id, n.ID, err)
+		}
+		if src < 0 || src >= int64(m.np) {
+			return fmt.Errorf("sim: proc %d receives from invalid rank %d at n%d", p.id, src, n.ID)
+		}
+		p.state = blockedRecv
+		p.wantSrc = int(src)
+		p.wantVar = n.RecvName
+		p.recvTag = n.ID
+		p.blockAt = n
+		m.tryReceive(p)
+	case cfg.SendRecv:
+		if _, err := m.send(p, n.Dest, n.Value, n); err != nil {
+			return err
+		}
+		src, err := evalInt(n.Src, p.env)
+		if err != nil {
+			return fmt.Errorf("sim: proc %d at n%d: %w", p.id, n.ID, err)
+		}
+		if src < 0 || src >= int64(m.np) {
+			return fmt.Errorf("sim: proc %d receives from invalid rank %d at n%d", p.id, src, n.ID)
+		}
+		p.state = blockedRecv
+		p.wantSrc = int(src)
+		p.wantVar = n.RecvName
+		p.recvTag = n.ID
+		p.blockAt = n
+		m.tryReceive(p)
+	default:
+		return fmt.Errorf("sim: unhandled node kind %v", n.Kind)
+	}
+	return nil
+}
+
+// evalInt evaluates an integer expression.
+func evalInt(e ast.Expr, env map[string]int64) (int64, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Value, nil
+	case *ast.Ident:
+		return env[x.Name], nil
+	case *ast.Unary:
+		if x.Op != ast.Neg {
+			return 0, fmt.Errorf("boolean operator in integer context")
+		}
+		v, err := evalInt(x.X, env)
+		return -v, err
+	case *ast.Binary:
+		l, err := evalInt(x.L, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := evalInt(x.R, env)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case ast.Add:
+			return l + r, nil
+		case ast.Sub:
+			return l - r, nil
+		case ast.Mul:
+			return l * r, nil
+		case ast.Div:
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			return l / r, nil
+		case ast.Mod:
+			if r == 0 {
+				return 0, fmt.Errorf("modulus by zero")
+			}
+			return l % r, nil
+		}
+		return 0, fmt.Errorf("boolean operator %v in integer context", x.Op)
+	}
+	return 0, fmt.Errorf("unsupported expression %T", e)
+}
+
+// evalBool evaluates a boolean expression.
+func evalBool(e ast.Expr, env map[string]int64) (bool, error) {
+	switch x := e.(type) {
+	case *ast.BoolLit:
+		return x.Value, nil
+	case *ast.Unary:
+		if x.Op != ast.LNot {
+			return false, fmt.Errorf("integer operator in boolean context")
+		}
+		v, err := evalBool(x.X, env)
+		return !v, err
+	case *ast.Binary:
+		switch {
+		case x.Op == ast.LAnd:
+			l, err := evalBool(x.L, env)
+			if err != nil || !l {
+				return false, err
+			}
+			return evalBool(x.R, env)
+		case x.Op == ast.LOr:
+			l, err := evalBool(x.L, env)
+			if err != nil || l {
+				return l, err
+			}
+			return evalBool(x.R, env)
+		case x.Op.IsComparison():
+			l, err := evalInt(x.L, env)
+			if err != nil {
+				return false, err
+			}
+			r, err := evalInt(x.R, env)
+			if err != nil {
+				return false, err
+			}
+			switch x.Op {
+			case ast.Eq:
+				return l == r, nil
+			case ast.Neq:
+				return l != r, nil
+			case ast.Lt:
+				return l < r, nil
+			case ast.Le:
+				return l <= r, nil
+			case ast.Gt:
+				return l > r, nil
+			case ast.Ge:
+				return l >= r, nil
+			}
+		}
+	}
+	return false, fmt.Errorf("unsupported boolean expression %T", e)
+}

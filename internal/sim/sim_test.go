@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/parser"
+)
+
+func run(t *testing.T, src string, np int, opts Options) *Result {
+	t.Helper()
+	prog, err := parser.Parse("t.mpl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Run(cfg.Build(prog), np, opts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestSequential(t *testing.T) {
+	res := run(t, "x := 2\ny := x * 3 + 1\nprint y", 3, Options{})
+	if res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if len(res.Prints) != 3 {
+		t.Fatalf("prints = %v", res.Prints)
+	}
+	for _, p := range res.Prints {
+		if p.Value != 7 {
+			t.Errorf("proc %d printed %d, want 7", p.Proc, p.Value)
+		}
+	}
+}
+
+func TestExchange(t *testing.T) {
+	res := run(t, `
+if id == 0 then
+  x := 5
+  send x -> 1
+  recv y <- 1
+  print y
+elif id == 1 then
+  recv y <- 0
+  send y -> 0
+  print y
+end`, 4, Options{})
+	if res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if len(res.Events) != 2 {
+		t.Fatalf("events = %v", res.Events)
+	}
+	if len(res.Prints) != 2 {
+		t.Fatalf("prints = %v", res.Prints)
+	}
+	for _, p := range res.Prints {
+		if p.Value != 5 {
+			t.Errorf("proc %d printed %d, want 5", p.Proc, p.Value)
+		}
+	}
+}
+
+func TestExchangeWithRoot(t *testing.T) {
+	res := run(t, `
+if id == 0 then
+  for i := 1 to np - 1 do
+    send x -> i
+    recv y <- i
+  end
+else
+  recv y <- 0
+  send y -> 0
+end`, 6, Options{})
+	if res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	// 2*(np-1) messages.
+	if len(res.Events) != 10 {
+		t.Fatalf("events = %d, want 10", len(res.Events))
+	}
+	// Every worker both received from and sent to the root.
+	recvFrom0 := map[int]bool{}
+	sentTo0 := map[int]bool{}
+	for _, e := range res.Events {
+		if e.Sender == 0 {
+			recvFrom0[e.Receiver] = true
+		}
+		if e.Receiver == 0 {
+			sentTo0[e.Sender] = true
+		}
+	}
+	for w := 1; w < 6; w++ {
+		if !recvFrom0[w] || !sentTo0[w] {
+			t.Errorf("worker %d missing exchange: recv=%v sent=%v", w, recvFrom0[w], sentTo0[w])
+		}
+	}
+}
+
+func TestShiftPipeline(t *testing.T) {
+	for _, mode := range []bool{false, true} {
+		res := run(t, `
+if id == 0 then
+  send x -> id + 1
+elif id <= np - 2 then
+  recv y <- id - 1
+  send x -> id + 1
+else
+  recv y <- id - 1
+end`, 5, Options{Rendezvous: mode})
+		if res.Deadlocked {
+			t.Fatalf("deadlocked (rendezvous=%v)", mode)
+		}
+		if len(res.Events) != 4 {
+			t.Fatalf("events = %d, want 4 (rendezvous=%v)", len(res.Events), mode)
+		}
+		for _, e := range res.Events {
+			if e.Receiver != e.Sender+1 {
+				t.Errorf("shift event %v", e)
+			}
+		}
+	}
+}
+
+func TestTransposeBufferedOnly(t *testing.T) {
+	src := `
+assume np == nrows * nrows
+send x -> (id % nrows) * nrows + id / nrows
+recv y <- (id % nrows) * nrows + id / nrows`
+	env := map[string]int64{"nrows": 3}
+	// Buffered (the paper's model): completes.
+	res := run(t, src, 9, Options{Env: env})
+	if res.Deadlocked {
+		t.Fatal("buffered transpose deadlocked")
+	}
+	if len(res.Events) != 9 {
+		t.Fatalf("events = %d, want 9", len(res.Events))
+	}
+	for _, e := range res.Events {
+		wantRecv := (e.Sender%3)*3 + e.Sender/3
+		if e.Receiver != wantRecv {
+			t.Errorf("event %v: receiver want %d", e, wantRecv)
+		}
+	}
+	// Rendezvous: everyone blocks on send (except self-sends) — deadlock.
+	res = run(t, src, 9, Options{Env: env, Rendezvous: true})
+	if !res.Deadlocked {
+		t.Fatal("rendezvous transpose should deadlock")
+	}
+}
+
+func TestSendRecvStatement(t *testing.T) {
+	res := run(t, `
+assume np == nrows * nrows
+sendrecv id -> (id % nrows) * nrows + id / nrows, y <- (id % nrows) * nrows + id / nrows
+print y`, 4, Options{Env: map[string]int64{"nrows": 2}})
+	if res.Deadlocked {
+		t.Fatal("sendrecv transpose deadlocked")
+	}
+	for _, p := range res.Prints {
+		want := (p.Proc%2)*2 + p.Proc/2
+		if p.Value != int64(want) {
+			t.Errorf("proc %d got %d, want transpose %d", p.Proc, p.Value, want)
+		}
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	res := run(t, `
+if id == 0 then
+  recv y <- 1
+end`, 2, Options{})
+	if !res.Deadlocked {
+		t.Fatal("deadlock not detected")
+	}
+	if len(res.Blocked) != 1 || res.Blocked[0] != 0 {
+		t.Errorf("blocked = %v", res.Blocked)
+	}
+}
+
+func TestMessageLeak(t *testing.T) {
+	res := run(t, `
+if id == 0 then
+  send x -> 1
+end`, 2, Options{})
+	if res.Deadlocked {
+		t.Fatal("leak should not deadlock with buffered sends")
+	}
+	if len(res.Leaked) != 1 || res.Leaked[0].Sender != 0 || res.Leaked[0].Receiver != 1 {
+		t.Errorf("leaked = %v", res.Leaked)
+	}
+}
+
+func TestAssertFailure(t *testing.T) {
+	res := run(t, "assert np == 3", 2, Options{})
+	if len(res.Failures) != 2 {
+		t.Errorf("failures = %v, want one per process", res.Failures)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	res := run(t, `
+if id == 0 then
+  a := 10
+  send a -> 1
+  b := 20
+  send b -> 1
+elif id == 1 then
+  recv x <- 0
+  recv y <- 0
+  print x
+  print y
+end`, 2, Options{})
+	if res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if len(res.Prints) != 2 || res.Prints[0].Value != 10 || res.Prints[1].Value != 20 {
+		t.Errorf("FIFO violated: %v", res.Prints)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	prog, _ := parser.Parse("t.mpl", "x := 1 / 0")
+	if _, err := Run(cfg.Build(prog), 1, Options{}); err == nil {
+		t.Error("division by zero not reported")
+	}
+	prog, _ = parser.Parse("t.mpl", "send x -> np + 5")
+	if _, err := Run(cfg.Build(prog), 2, Options{}); err == nil {
+		t.Error("invalid rank not reported")
+	}
+	prog, _ = parser.Parse("t.mpl", "while true do skip end")
+	if _, err := Run(cfg.Build(prog), 1, Options{MaxSteps: 100}); err == nil {
+		t.Error("step budget not enforced")
+	}
+	if _, err := Run(cfg.Build(prog), 0, Options{}); err == nil {
+		t.Error("np=0 not rejected")
+	}
+}
+
+func TestInterleavingObliviousness(t *testing.T) {
+	// The same program must produce identical match sets under buffered
+	// and rendezvous scheduling (when neither deadlocks) — the paper's
+	// interleaving-obliviousness property.
+	src := `
+if id == 0 then
+  for i := 1 to np - 1 do
+    send x -> i
+    recv y <- i
+  end
+else
+  recv y <- 0
+  send y -> 0
+end`
+	a := run(t, src, 5, Options{})
+	b := run(t, src, 5, Options{Rendezvous: true})
+	if a.Deadlocked || b.Deadlocked {
+		t.Fatal("deadlock")
+	}
+	key := func(evs []Event) map[Event]bool {
+		m := map[Event]bool{}
+		for _, e := range evs {
+			m[e] = true
+		}
+		return m
+	}
+	ka, kb := key(a.Events), key(b.Events)
+	if len(ka) != len(kb) {
+		t.Fatalf("event sets differ: %d vs %d", len(ka), len(kb))
+	}
+	for e := range ka {
+		if !kb[e] {
+			t.Errorf("event %v missing under rendezvous", e)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+// Package sym implements exact symbolic integer arithmetic: multivariate
+// polynomials with int64 coefficients over named symbols (np, nrows, loop
+// variables, widening parameters). Process-set bounds, message expressions
+// and HSM parameters are all sym.Expr values, so equality of symbolic
+// quantities reduces to syntactic equality of normal forms, optionally after
+// substituting known invariants such as np = nrows*ncols.
+package sym
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// term is a single monomial: coefficient times a product of variables.
+// vars is sorted and may contain repeats (x*x has vars ["x","x"]).
+type term struct {
+	coef int64
+	vars []string
+}
+
+func (t term) key() string { return strings.Join(t.vars, "*") }
+
+// Expr is a polynomial in normal form: terms sorted by monomial key, no zero
+// coefficients. The zero value is the polynomial 0. Exprs are immutable;
+// all operations return new values.
+type Expr struct {
+	terms []term
+}
+
+// Zero is the polynomial 0.
+var Zero = Expr{}
+
+// One is the polynomial 1.
+var One = Const(1)
+
+// Const returns the constant polynomial c.
+func Const(c int64) Expr {
+	if c == 0 {
+		return Expr{}
+	}
+	return Expr{terms: []term{{coef: c}}}
+}
+
+// Var returns the polynomial consisting of the single variable name.
+func Var(name string) Expr {
+	return Expr{terms: []term{{coef: 1, vars: []string{name}}}}
+}
+
+// VarPlus returns name + c, the paper's "var + c" message-expression form.
+func VarPlus(name string, c int64) Expr { return Add(Var(name), Const(c)) }
+
+// normalize sorts terms and merges equal monomials, dropping zeros.
+func normalize(ts []term) Expr {
+	byKey := map[string]*term{}
+	var keys []string
+	for _, t := range ts {
+		k := t.key()
+		if ex, ok := byKey[k]; ok {
+			ex.coef += t.coef
+		} else {
+			cp := term{coef: t.coef, vars: append([]string(nil), t.vars...)}
+			byKey[k] = &cp
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var out []term
+	for _, k := range keys {
+		if byKey[k].coef != 0 {
+			out = append(out, *byKey[k])
+		}
+	}
+	return Expr{terms: out}
+}
+
+// Add returns a + b.
+func Add(a, b Expr) Expr {
+	ts := make([]term, 0, len(a.terms)+len(b.terms))
+	ts = append(ts, a.terms...)
+	ts = append(ts, b.terms...)
+	return normalize(ts)
+}
+
+// Sub returns a - b.
+func Sub(a, b Expr) Expr { return Add(a, Neg(b)) }
+
+// Neg returns -a.
+func Neg(a Expr) Expr {
+	ts := make([]term, len(a.terms))
+	for i, t := range a.terms {
+		ts[i] = term{coef: -t.coef, vars: t.vars}
+	}
+	return Expr{terms: ts}
+}
+
+// Mul returns a * b.
+func Mul(a, b Expr) Expr {
+	var ts []term
+	for _, ta := range a.terms {
+		for _, tb := range b.terms {
+			vars := make([]string, 0, len(ta.vars)+len(tb.vars))
+			vars = append(vars, ta.vars...)
+			vars = append(vars, tb.vars...)
+			sort.Strings(vars)
+			ts = append(ts, term{coef: ta.coef * tb.coef, vars: vars})
+		}
+	}
+	return normalize(ts)
+}
+
+// Scale returns c * a.
+func Scale(a Expr, c int64) Expr { return Mul(a, Const(c)) }
+
+// AddConst returns a + c.
+func AddConst(a Expr, c int64) Expr { return Add(a, Const(c)) }
+
+// IsZero reports whether e is the polynomial 0.
+func (e Expr) IsZero() bool { return len(e.terms) == 0 }
+
+// IsConst reports whether e is a constant, returning its value.
+func (e Expr) IsConst() (int64, bool) {
+	switch len(e.terms) {
+	case 0:
+		return 0, true
+	case 1:
+		if len(e.terms[0].vars) == 0 {
+			return e.terms[0].coef, true
+		}
+	}
+	return 0, false
+}
+
+// Equal reports whether a and b are syntactically equal normal forms.
+func Equal(a, b Expr) bool {
+	if len(a.terms) != len(b.terms) {
+		return false
+	}
+	for i := range a.terms {
+		if a.terms[i].coef != b.terms[i].coef || a.terms[i].key() != b.terms[i].key() {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string usable as a map key.
+func (e Expr) Key() string { return e.String() }
+
+// Vars returns the sorted set of distinct variables appearing in e.
+func (e Expr) Vars() []string {
+	set := map[string]bool{}
+	for _, t := range e.terms {
+		for _, v := range t.vars {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Uses reports whether variable name appears in e.
+func (e Expr) Uses(name string) bool {
+	for _, t := range e.terms {
+		for _, v := range t.vars {
+			if v == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Degree returns the total degree of the polynomial (0 for constants).
+func (e Expr) Degree() int {
+	d := 0
+	for _, t := range e.terms {
+		if len(t.vars) > d {
+			d = len(t.vars)
+		}
+	}
+	return d
+}
+
+// IsAffine reports whether every monomial has degree at most 1.
+func (e Expr) IsAffine() bool { return e.Degree() <= 1 }
+
+// AsVarPlusConst decomposes e as v + c for a single variable v with unit
+// coefficient. The variable is "" when e is the bare constant c. Returns
+// ok=false for any other shape (this is exactly the representation the
+// Section VII client supports for message expressions and bounds).
+func (e Expr) AsVarPlusConst() (v string, c int64, ok bool) {
+	switch len(e.terms) {
+	case 0:
+		return "", 0, true
+	case 1:
+		t := e.terms[0]
+		if len(t.vars) == 0 {
+			return "", t.coef, true
+		}
+		if len(t.vars) == 1 && t.coef == 1 {
+			return t.vars[0], 0, true
+		}
+	case 2:
+		var con, lin *term
+		for i := range e.terms {
+			switch len(e.terms[i].vars) {
+			case 0:
+				con = &e.terms[i]
+			case 1:
+				lin = &e.terms[i]
+			}
+		}
+		if con != nil && lin != nil && lin.coef == 1 {
+			return lin.vars[0], con.coef, true
+		}
+	}
+	return "", 0, false
+}
+
+// Coeff returns the coefficient of the degree-1 monomial in name.
+func (e Expr) Coeff(name string) int64 {
+	for _, t := range e.terms {
+		if len(t.vars) == 1 && t.vars[0] == name {
+			return t.coef
+		}
+	}
+	return 0
+}
+
+// ConstTerm returns the constant (degree-0) part of e.
+func (e Expr) ConstTerm() int64 {
+	for _, t := range e.terms {
+		if len(t.vars) == 0 {
+			return t.coef
+		}
+	}
+	return 0
+}
+
+// Subst returns e with every occurrence of variable name replaced by repl.
+func Subst(e Expr, name string, repl Expr) Expr {
+	out := Zero
+	for _, t := range e.terms {
+		mono := Const(t.coef)
+		for _, v := range t.vars {
+			if v == name {
+				mono = Mul(mono, repl)
+			} else {
+				mono = Mul(mono, Var(v))
+			}
+		}
+		out = Add(out, mono)
+	}
+	return out
+}
+
+// SubstAll applies all substitutions in env simultaneously (each variable is
+// replaced once; replacements are not re-substituted).
+func SubstAll(e Expr, env map[string]Expr) Expr {
+	out := Zero
+	for _, t := range e.terms {
+		mono := Const(t.coef)
+		for _, v := range t.vars {
+			if r, ok := env[v]; ok {
+				mono = Mul(mono, r)
+			} else {
+				mono = Mul(mono, Var(v))
+			}
+		}
+		out = Add(out, mono)
+	}
+	return out
+}
+
+// Div attempts the exact division a / b where b is a single term (for
+// example 2*nrows or a constant). It succeeds when every monomial of a is
+// divisible by b: coefficients divide exactly and b's variables (with
+// multiplicity) appear in each monomial.
+func Div(a, b Expr) (Expr, bool) {
+	if len(b.terms) != 1 || b.terms[0].coef == 0 {
+		return Zero, false
+	}
+	bt := b.terms[0]
+	var out []term
+	for _, t := range a.terms {
+		if t.coef%bt.coef != 0 {
+			return Zero, false
+		}
+		vars := append([]string(nil), t.vars...)
+		for _, bv := range bt.vars {
+			idx := -1
+			for i, v := range vars {
+				if v == bv {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return Zero, false
+			}
+			vars = append(vars[:idx], vars[idx+1:]...)
+		}
+		out = append(out, term{coef: t.coef / bt.coef, vars: vars})
+	}
+	return normalize(out), true
+}
+
+// Term is the exported view of a monomial: Coef * product(Vars).
+// Vars is sorted and may repeat for higher powers.
+type Term struct {
+	Coef int64
+	Vars []string
+}
+
+// Terms returns the monomials of e in canonical order. The returned slices
+// must not be mutated.
+func (e Expr) Terms() []Term {
+	out := make([]Term, len(e.terms))
+	for i, t := range e.terms {
+		out[i] = Term{Coef: t.coef, Vars: t.vars}
+	}
+	return out
+}
+
+// Eval evaluates e under a concrete assignment. Missing variables default
+// to 0.
+func (e Expr) Eval(env map[string]int64) int64 {
+	var total int64
+	for _, t := range e.terms {
+		v := t.coef
+		for _, name := range t.vars {
+			v *= env[name]
+		}
+		total += v
+	}
+	return total
+}
+
+// String renders the polynomial deterministically, e.g. "2*nrows + x - 3".
+func (e Expr) String() string {
+	if len(e.terms) == 0 {
+		return "0"
+	}
+	// Render variables (higher degree first) before the constant term for
+	// readability; terms slice is sorted by key which places constants
+	// (empty key) first, so iterate in reverse-stable order.
+	ordered := make([]term, len(e.terms))
+	copy(ordered, e.terms)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		di, dj := len(ordered[i].vars), len(ordered[j].vars)
+		if (di == 0) != (dj == 0) {
+			return dj == 0 // constants last
+		}
+		return ordered[i].key() < ordered[j].key()
+	})
+	var b strings.Builder
+	for i, t := range ordered {
+		c := t.coef
+		if i == 0 {
+			if c < 0 {
+				b.WriteString("-")
+				c = -c
+			}
+		} else {
+			if c < 0 {
+				b.WriteString(" - ")
+				c = -c
+			} else {
+				b.WriteString(" + ")
+			}
+		}
+		if len(t.vars) == 0 {
+			fmt.Fprintf(&b, "%d", c)
+			continue
+		}
+		if c != 1 {
+			fmt.Fprintf(&b, "%d*", c)
+		}
+		b.WriteString(strings.Join(t.vars, "*"))
+	}
+	return b.String()
+}
+
+// Cmp compares two constant differences: it returns the constant value of
+// a-b if that difference is constant.
+func Cmp(a, b Expr) (int64, bool) {
+	return Sub(a, b).IsConst()
+}

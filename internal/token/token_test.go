@@ -1,0 +1,41 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	cases := map[string]Kind{
+		"if":       KwIf,
+		"recv":     KwRecv,
+		"receive":  KwRecv,
+		"sendrecv": KwSendrecv,
+		"assume":   KwAssume,
+		"true":     KwTrue,
+		"foo":      Ident,
+		"Send":     Ident, // keywords are case-sensitive
+	}
+	for lit, want := range cases {
+		if got := Lookup(lit); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", lit, got, want)
+		}
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	if !IsKeyword(KwIf) || !IsKeyword(KwFalse) {
+		t.Error("keyword not recognized")
+	}
+	for _, k := range []Kind{Ident, Int, Plus, EOF, Illegal} {
+		if IsKeyword(k) {
+			t.Errorf("%v wrongly a keyword", k)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Arrow.String() != "->" || LArrow.String() != "<-" || Assign.String() != ":=" {
+		t.Error("operator strings wrong")
+	}
+	if Kind(999).String() == "" {
+		t.Error("out-of-range kind has empty string")
+	}
+}

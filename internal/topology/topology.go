@@ -1,0 +1,190 @@
+// Package topology turns the analysis's send-receive matches into a
+// communication-topology report: a graph over symbolic process ranges with
+// recognition of the collective patterns the paper motivates (Section I's
+// mdcask example, where an exchange-with-root can be condensed into
+// broadcast + gather collectives).
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/procset"
+	"repro/internal/tri"
+)
+
+// Pattern classifies a recognized communication structure.
+type Pattern int
+
+// Recognized patterns.
+const (
+	Unknown Pattern = iota
+	PointToPoint
+	Broadcast // one -> many (fan-out)
+	Gather    // many -> one (fan-in)
+	ExchangeWithRoot
+	Shift // many -> many at a uniform rank offset
+	Permutation
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case PointToPoint:
+		return "point-to-point"
+	case Broadcast:
+		return "broadcast"
+	case Gather:
+		return "gather"
+	case ExchangeWithRoot:
+		return "exchange-with-root"
+	case Shift:
+		return "shift"
+	case Permutation:
+		return "permutation"
+	}
+	return "unknown"
+}
+
+// Edge is one topology edge: a matched send/recv node pair with the
+// symbolic process ranges, classified in isolation.
+type Edge struct {
+	SendNode, RecvNode int
+	SendLabel          string
+	RecvLabel          string
+	Sender             string
+	Receiver           string
+	Kind               Pattern
+}
+
+// Report is the full topology of a program.
+type Report struct {
+	Edges []Edge
+	// Overall is the program-level classification.
+	Overall Pattern
+	// Clean reflects whether the analysis completed without ⊤.
+	Clean bool
+	// TopReasons carries analysis give-up reasons when not clean.
+	TopReasons []string
+}
+
+// Build classifies a completed analysis result.
+func Build(g *cfg.Graph, res *core.Result) *Report {
+	r := &Report{Clean: res.Clean(), TopReasons: res.TopReasons()}
+	var haveBroadcast, haveGather, haveShift, havePerm, haveP2P bool
+	for _, m := range res.Matches {
+		e := Edge{
+			SendNode:  m.SendNode,
+			RecvNode:  m.RecvNode,
+			SendLabel: g.Node(m.SendNode).Label(),
+			RecvLabel: g.Node(m.RecvNode).Label(),
+			Sender:    m.Sender.String(),
+			Receiver:  m.Receiver.String(),
+			Kind:      classify(m),
+		}
+		switch e.Kind {
+		case Broadcast:
+			haveBroadcast = true
+		case Gather:
+			haveGather = true
+		case Shift:
+			haveShift = true
+		case Permutation:
+			havePerm = true
+		case PointToPoint:
+			haveP2P = true
+		}
+		r.Edges = append(r.Edges, e)
+	}
+	switch {
+	case haveBroadcast && haveGather:
+		r.Overall = ExchangeWithRoot
+	case haveBroadcast:
+		r.Overall = Broadcast
+	case haveGather:
+		r.Overall = Gather
+	case havePerm:
+		r.Overall = Permutation
+	case haveShift:
+		r.Overall = Shift
+	case haveP2P:
+		r.Overall = PointToPoint
+	default:
+		r.Overall = Unknown
+	}
+	return r
+}
+
+// classify categorizes one match record by the shapes of its ranges.
+// Comparisons are purely syntactic (an empty constraint context), which is
+// enough for the final enriched ranges.
+func classify(m *core.Match) Pattern {
+	ctx := procset.Ctx{}
+	sSingle := m.Sender.IsSingleton(ctx) == tri.True || looksSingleton(m.Sender.String())
+	rSingle := m.Receiver.IsSingleton(ctx) == tri.True || looksSingleton(m.Receiver.String())
+	switch {
+	case sSingle && rSingle:
+		return PointToPoint
+	case sSingle && !rSingle:
+		return Broadcast
+	case !sSingle && rSingle:
+		return Gather
+	case m.Sender.String() == m.Receiver.String():
+		return Permutation
+	default:
+		return Shift
+	}
+}
+
+// looksSingleton detects singleton renderings like "[0]" (no "..").
+func looksSingleton(s string) bool {
+	return strings.HasPrefix(s, "[") && !strings.Contains(s, "..")
+}
+
+// String renders a human-readable report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "topology: %s", r.Overall)
+	if !r.Clean {
+		fmt.Fprintf(&b, " (incomplete: %s)", strings.Join(r.TopReasons, "; "))
+	}
+	b.WriteString("\n")
+	edges := append([]Edge(nil), r.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].SendNode != edges[j].SendNode {
+			return edges[i].SendNode < edges[j].SendNode
+		}
+		return edges[i].RecvNode < edges[j].RecvNode
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %-18s %s %s -> %s %s  [n%d -> n%d]\n",
+			e.Kind, e.Sender, e.SendLabel, e.Receiver, e.RecvLabel, e.SendNode, e.RecvNode)
+	}
+	return b.String()
+}
+
+// Dot renders the topology as a Graphviz digraph over process ranges.
+func (r *Report) Dot(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  node [shape=ellipse, fontname=\"monospace\"];\n")
+	ids := map[string]int{}
+	nodeID := func(rng string) int {
+		if id, ok := ids[rng]; ok {
+			return id
+		}
+		id := len(ids)
+		ids[rng] = id
+		fmt.Fprintf(&b, "  p%d [label=%q];\n", id, rng)
+		return id
+	}
+	for _, e := range r.Edges {
+		s := nodeID(e.Sender)
+		t := nodeID(e.Receiver)
+		fmt.Fprintf(&b, "  p%d -> p%d [label=%q];\n", s, t, fmt.Sprintf("%s (n%d->n%d)", e.Kind, e.SendNode, e.RecvNode))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

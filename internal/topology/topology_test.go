@@ -1,0 +1,104 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cfg"
+	"repro/internal/clients/cartesian"
+	"repro/internal/core"
+)
+
+func runTopology(t *testing.T, wName string) *Report {
+	t.Helper()
+	var g *cfg.Graph
+	for _, w := range bench.All() {
+		if w.Name == wName {
+			_, g = w.Parse()
+		}
+	}
+	if g == nil {
+		t.Fatalf("workload %q not found", wName)
+	}
+	m := cartesian.New(core.ScanInvariants(g))
+	res, err := core.Analyze(g, core.Options{Matcher: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(g, res)
+}
+
+func TestExchangeWithRootPattern(t *testing.T) {
+	rep := runTopology(t, "fig5_exchange_root")
+	if !rep.Clean {
+		t.Fatalf("not clean: %v", rep.TopReasons)
+	}
+	if rep.Overall != ExchangeWithRoot {
+		t.Errorf("overall = %v, want exchange-with-root\n%s", rep.Overall, rep)
+	}
+	kinds := map[Pattern]int{}
+	for _, e := range rep.Edges {
+		kinds[e.Kind]++
+	}
+	if kinds[Broadcast] != 1 || kinds[Gather] != 1 {
+		t.Errorf("edge kinds = %v, want one broadcast + one gather", kinds)
+	}
+}
+
+func TestBroadcastPattern(t *testing.T) {
+	rep := runTopology(t, "fanout")
+	if rep.Overall != Broadcast {
+		t.Errorf("overall = %v, want broadcast\n%s", rep.Overall, rep)
+	}
+}
+
+func TestGatherPattern(t *testing.T) {
+	rep := runTopology(t, "gather")
+	if rep.Overall != Gather {
+		t.Errorf("overall = %v, want gather\n%s", rep.Overall, rep)
+	}
+}
+
+func TestShiftPattern(t *testing.T) {
+	rep := runTopology(t, "fig7_shift")
+	if rep.Overall != Shift {
+		t.Errorf("overall = %v, want shift\n%s", rep.Overall, rep)
+	}
+}
+
+func TestPermutationPattern(t *testing.T) {
+	rep := runTopology(t, "nascg_square")
+	if rep.Overall != Permutation {
+		t.Errorf("overall = %v, want permutation\n%s", rep.Overall, rep)
+	}
+}
+
+func TestPointToPointPattern(t *testing.T) {
+	rep := runTopology(t, "fig2_exchange")
+	if rep.Overall != PointToPoint {
+		t.Errorf("overall = %v, want point-to-point\n%s", rep.Overall, rep)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := runTopology(t, "fig5_exchange_root")
+	s := rep.String()
+	if !strings.Contains(s, "exchange-with-root") {
+		t.Errorf("report missing pattern:\n%s", s)
+	}
+	dot := rep.Dot("fig5")
+	for _, want := range []string{"digraph", "[0]", "np - 1"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	for p := Unknown; p <= Permutation; p++ {
+		if p.String() == "" {
+			t.Errorf("empty string for pattern %d", int(p))
+		}
+	}
+}

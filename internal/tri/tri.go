@@ -1,0 +1,64 @@
+// Package tri provides a three-valued logic type used by analyses that must
+// distinguish "provably true", "provably false" and "unknown".
+package tri
+
+// Bool is a three-valued boolean.
+type Bool int
+
+// The three truth values.
+const (
+	Unknown Bool = iota
+	True
+	False
+)
+
+func (b Bool) String() string {
+	switch b {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	}
+	return "unknown"
+}
+
+// FromBool lifts a two-valued boolean.
+func FromBool(v bool) Bool {
+	if v {
+		return True
+	}
+	return False
+}
+
+// Not negates, mapping Unknown to Unknown.
+func (b Bool) Not() Bool {
+	switch b {
+	case True:
+		return False
+	case False:
+		return True
+	}
+	return Unknown
+}
+
+// And is three-valued conjunction (False dominates).
+func (b Bool) And(o Bool) Bool {
+	if b == False || o == False {
+		return False
+	}
+	if b == True && o == True {
+		return True
+	}
+	return Unknown
+}
+
+// Or is three-valued disjunction (True dominates).
+func (b Bool) Or(o Bool) Bool {
+	if b == True || o == True {
+		return True
+	}
+	if b == False && o == False {
+		return False
+	}
+	return Unknown
+}

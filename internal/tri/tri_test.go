@@ -1,0 +1,67 @@
+package tri
+
+import "testing"
+
+func TestTruthTables(t *testing.T) {
+	vals := []Bool{True, False, Unknown}
+	// Not.
+	if True.Not() != False || False.Not() != True || Unknown.Not() != Unknown {
+		t.Error("Not table wrong")
+	}
+	// And: False dominates; True identity; else Unknown.
+	for _, a := range vals {
+		for _, b := range vals {
+			got := a.And(b)
+			var want Bool
+			switch {
+			case a == False || b == False:
+				want = False
+			case a == True && b == True:
+				want = True
+			default:
+				want = Unknown
+			}
+			if got != want {
+				t.Errorf("%v AND %v = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+	// Or: True dominates; False identity; else Unknown.
+	for _, a := range vals {
+		for _, b := range vals {
+			got := a.Or(b)
+			var want Bool
+			switch {
+			case a == True || b == True:
+				want = True
+			case a == False && b == False:
+				want = False
+			default:
+				want = Unknown
+			}
+			if got != want {
+				t.Errorf("%v OR %v = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFromBoolAndString(t *testing.T) {
+	if FromBool(true) != True || FromBool(false) != False {
+		t.Error("FromBool wrong")
+	}
+	if True.String() != "true" || False.String() != "false" || Unknown.String() != "unknown" {
+		t.Error("String wrong")
+	}
+}
+
+func TestDeMorgan(t *testing.T) {
+	vals := []Bool{True, False, Unknown}
+	for _, a := range vals {
+		for _, b := range vals {
+			if a.And(b).Not() != a.Not().Or(b.Not()) {
+				t.Errorf("De Morgan fails for %v, %v", a, b)
+			}
+		}
+	}
+}

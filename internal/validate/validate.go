@@ -1,0 +1,174 @@
+// Package validate cross-checks static analysis results against the
+// concrete simulator: for a given process count, the communication topology
+// predicted by the pCFG analysis must concretize to exactly the messages
+// the program actually exchanges. This is the soundness harness used by the
+// integration tests and the benchmark suite.
+package validate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/procset"
+	"repro/internal/sim"
+	"repro/internal/tri"
+)
+
+// PairSet is the concrete communication topology at a fixed np: for each
+// (send node, recv node) edge, the participating sender and receiver ranks.
+type PairSet struct {
+	Senders   map[[2]int]map[int64]bool
+	Receivers map[[2]int]map[int64]bool
+}
+
+func newPairSet() *PairSet {
+	return &PairSet{
+		Senders:   map[[2]int]map[int64]bool{},
+		Receivers: map[[2]int]map[int64]bool{},
+	}
+}
+
+func (ps *PairSet) add(edge [2]int, sender, receiver int64) {
+	if ps.Senders[edge] == nil {
+		ps.Senders[edge] = map[int64]bool{}
+		ps.Receivers[edge] = map[int64]bool{}
+	}
+	ps.Senders[edge][sender] = true
+	ps.Receivers[edge][receiver] = true
+}
+
+// FromSim builds the concrete topology from simulator events.
+func FromSim(events []sim.Event) *PairSet {
+	ps := newPairSet()
+	for _, e := range events {
+		ps.add([2]int{e.SendNode, e.RecvNode}, int64(e.Sender), int64(e.Receiver))
+	}
+	return ps
+}
+
+// FromState concretizes a final analysis state's match records under env.
+// Empty-at-this-np records are skipped.
+func FromState(st *core.State, env map[string]int64) *PairSet {
+	ps := newPairSet()
+	for _, m := range st.Matches {
+		edge := [2]int{m.SendNode, m.RecvNode}
+		senders := m.Sender.ConcreteSlice(env)
+		receivers := m.Receiver.ConcreteSlice(env)
+		if len(senders) == 0 || len(receivers) == 0 {
+			continue // record not active at this np
+		}
+		if ps.Senders[edge] == nil {
+			ps.Senders[edge] = map[int64]bool{}
+			ps.Receivers[edge] = map[int64]bool{}
+		}
+		for _, s := range senders {
+			ps.Senders[edge][s] = true
+		}
+		for _, r := range receivers {
+			ps.Receivers[edge][r] = true
+		}
+	}
+	return ps
+}
+
+// Equal compares two concrete topologies, returning a description of the
+// first difference.
+func Equal(a, b *PairSet) (bool, string) {
+	for edge, senders := range a.Senders {
+		if diff := diffSets(senders, b.Senders[edge]); diff != "" {
+			return false, fmt.Sprintf("edge n%d->n%d senders: %s", edge[0], edge[1], diff)
+		}
+		if diff := diffSets(a.Receivers[edge], b.Receivers[edge]); diff != "" {
+			return false, fmt.Sprintf("edge n%d->n%d receivers: %s", edge[0], edge[1], diff)
+		}
+	}
+	for edge := range b.Senders {
+		if _, ok := a.Senders[edge]; !ok {
+			return false, fmt.Sprintf("edge n%d->n%d missing from first topology", edge[0], edge[1])
+		}
+	}
+	return true, ""
+}
+
+func diffSets(a, b map[int64]bool) string {
+	var onlyA, onlyB []int64
+	for v := range a {
+		if !b[v] {
+			onlyA = append(onlyA, v)
+		}
+	}
+	for v := range b {
+		if !a[v] {
+			onlyB = append(onlyB, v)
+		}
+	}
+	if len(onlyA) == 0 && len(onlyB) == 0 {
+		return ""
+	}
+	sort.Slice(onlyA, func(i, j int) bool { return onlyA[i] < onlyA[j] })
+	sort.Slice(onlyB, func(i, j int) bool { return onlyB[i] < onlyB[j] })
+	return fmt.Sprintf("only-first=%v only-second=%v", onlyA, onlyB)
+}
+
+// Check runs the simulator at np (with env for free symbols) and verifies
+// that some final analysis configuration consistent with that np
+// concretizes to exactly the simulated topology.
+func Check(g *cfg.Graph, res *core.Result, np int, env map[string]int64) error {
+	fullEnv := map[string]int64{"np": int64(np)}
+	for k, v := range env {
+		fullEnv[k] = v
+	}
+	simRes, err := sim.Run(g, np, sim.Options{Env: env})
+	if err != nil {
+		return fmt.Errorf("validate: simulation failed: %w", err)
+	}
+	if simRes.Deadlocked {
+		return fmt.Errorf("validate: program deadlocks at np=%d", np)
+	}
+	want := FromSim(simRes.Events)
+
+	var errs []string
+	for _, fin := range res.Finals {
+		if !consistentWithNP(fin, np, fullEnv) {
+			continue
+		}
+		got := FromState(fin, fullEnv)
+		if ok, diff := Equal(got, want); ok {
+			return nil
+		} else {
+			errs = append(errs, diff)
+		}
+	}
+	if len(errs) == 0 {
+		return fmt.Errorf("validate: no final configuration consistent with np=%d", np)
+	}
+	return fmt.Errorf("validate: np=%d: no final matches ground truth: %s", np, strings.Join(errs, "; "))
+}
+
+// consistentWithNP reports whether the final state's constraints admit the
+// given np (and env bindings for other global symbols).
+func consistentWithNP(st *core.State, np int, env map[string]int64) bool {
+	g := st.G.Clone()
+	if !g.SetConst("np", int64(np)) {
+		return false
+	}
+	for k, v := range env {
+		if k == "np" {
+			continue
+		}
+		if g.HasVar(k) && !g.SetConst(k, v) {
+			return false
+		}
+	}
+	// Ranges must also be non-contradictory: every set's lb <= ub+1.
+	ctx := procset.Ctx{G: g}
+	for _, p := range st.Sets {
+		if p.Range.Empty(ctx) == tri.True && len(st.Sets) == 1 {
+			return false
+		}
+	}
+	return g.Consistent()
+}

@@ -1,0 +1,151 @@
+package validate
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/clients/cartesian"
+	"repro/internal/clients/symbolic"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/sim"
+)
+
+// checkProgram analyzes src with the cartesian client (which subsumes the
+// symbolic one) and validates against the simulator at each np.
+func checkProgram(t *testing.T, src string, nps []int, env map[string]int64) {
+	t.Helper()
+	prog, err := parser.Parse("t.mpl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g := cfg.Build(prog)
+	m := cartesian.New(core.ScanInvariants(g))
+	res, err := core.Analyze(g, core.Options{Matcher: m})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if !res.Clean() {
+		t.Fatalf("analysis not clean: %v", res.TopReasons())
+	}
+	for _, np := range nps {
+		if err := Check(g, res, np, env); err != nil {
+			t.Errorf("np=%d: %v", np, err)
+		}
+	}
+}
+
+func TestValidateFig2(t *testing.T) {
+	checkProgram(t, `
+assume np >= 3
+if id == 0 then
+  x := 5
+  send x -> 1
+  recv y <- 1
+elif id == 1 then
+  recv y <- 0
+  send y -> 0
+end`, []int{3, 4, 7}, nil)
+}
+
+func TestValidateFig5(t *testing.T) {
+	checkProgram(t, `
+assume np >= 4
+if id == 0 then
+  for i := 1 to np - 1 do
+    send x -> i
+    recv y <- i
+  end
+else
+  recv y <- 0
+  send y -> 0
+end`, []int{4, 5, 8, 13}, nil)
+}
+
+func TestValidateFig7(t *testing.T) {
+	checkProgram(t, `
+assume np >= 4
+if id == 0 then
+  send x -> id + 1
+elif id <= np - 2 then
+  recv y <- id - 1
+  send x -> id + 1
+else
+  recv y <- id - 1
+end`, []int{4, 5, 9, 16}, nil)
+}
+
+func TestValidateTranspose(t *testing.T) {
+	checkProgram(t, `
+assume nrows >= 1
+assume np == nrows * nrows
+send x -> (id % nrows) * nrows + id / nrows
+recv y <- (id % nrows) * nrows + id / nrows`,
+		[]int{9}, map[string]int64{"nrows": 3})
+}
+
+func TestValidateRectTranspose(t *testing.T) {
+	checkProgram(t, `
+assume nrows >= 1
+assume ncols == 2 * nrows
+assume np == 2 * nrows * nrows
+send x -> id % 2 + 2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows))
+recv y <- id % 2 + 2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows))`,
+		[]int{18}, map[string]int64{"nrows": 3})
+}
+
+func TestValidateFanout(t *testing.T) {
+	checkProgram(t, `
+assume np >= 3
+if id == 0 then
+  for i := 1 to np - 1 do
+    send x -> i
+  end
+else
+  recv y <- 0
+end`, []int{3, 4, 9}, nil)
+}
+
+func TestCheckRejectsWrongTopology(t *testing.T) {
+	// Analyze one program but validate against a different one: the
+	// comparison must fail.
+	progA, _ := parser.Parse("a.mpl", `
+assume np >= 3
+if id == 0 then
+  send x -> 1
+elif id == 1 then
+  recv y <- 0
+end`)
+	gA := cfg.Build(progA)
+	resA, err := core.Analyze(gA, core.Options{Matcher: &symbolic.Matcher{}})
+	if err != nil || !resA.Clean() {
+		t.Fatalf("analyze: %v %v", err, resA.TopReasons())
+	}
+	progB, _ := parser.Parse("b.mpl", `
+assume np >= 3
+if id == 0 then
+  send x -> 2
+elif id == 2 then
+  recv y <- 0
+end`)
+	gB := cfg.Build(progB)
+	if err := Check(gB, resA, 4, nil); err == nil {
+		t.Error("validation against mismatched program succeeded")
+	}
+}
+
+func TestPairSetEqual(t *testing.T) {
+	a := FromSim([]sim.Event{{SendNode: 1, RecvNode: 2, Sender: 0, Receiver: 1}})
+	b := FromSim([]sim.Event{{SendNode: 1, RecvNode: 2, Sender: 0, Receiver: 1}})
+	if ok, _ := Equal(a, b); !ok {
+		t.Error("identical topologies unequal")
+	}
+	c := FromSim([]sim.Event{{SendNode: 1, RecvNode: 2, Sender: 0, Receiver: 2}})
+	if ok, _ := Equal(a, c); ok {
+		t.Error("different topologies equal")
+	}
+	d := FromSim(nil)
+	if ok, _ := Equal(a, d); ok {
+		t.Error("empty vs nonempty equal")
+	}
+}

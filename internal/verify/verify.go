@@ -1,0 +1,154 @@
+// Package verify implements the error-detection client analyses the paper
+// motivates (Section I): message leaks (sends that can never be received),
+// potential deadlocks (receives with no matching send), and type mismatches
+// between matched senders and receivers (via MPL's message tags).
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+)
+
+// Finding is one verification result.
+type Finding struct {
+	Kind    Kind
+	Node    int // primary CFG node
+	Other   int // secondary node (matches); -1 otherwise
+	Message string
+}
+
+// Kind classifies findings.
+type Kind int
+
+// Finding kinds.
+const (
+	// MessageLeak: a send operation that blocks forever (no matching
+	// receive exists on any path the analysis completed).
+	MessageLeak Kind = iota
+	// PotentialDeadlock: a receive blocked with no matching send.
+	PotentialDeadlock
+	// TypeMismatch: a matched send/recv pair disagrees on the message tag.
+	TypeMismatch
+	// AnalysisIncomplete: the framework reached ⊤ for another reason; the
+	// program may still be correct.
+	AnalysisIncomplete
+)
+
+func (k Kind) String() string {
+	switch k {
+	case MessageLeak:
+		return "message-leak"
+	case PotentialDeadlock:
+		return "potential-deadlock"
+	case TypeMismatch:
+		return "type-mismatch"
+	case AnalysisIncomplete:
+		return "analysis-incomplete"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Report holds all findings for a program.
+type Report struct {
+	Findings []Finding
+}
+
+// OK reports whether no problems were found.
+func (r *Report) OK() bool { return len(r.Findings) == 0 }
+
+func (r *Report) String() string {
+	if r.OK() {
+		return "verify: ok"
+	}
+	var b strings.Builder
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "%s: %s\n", f.Kind, f.Message)
+	}
+	return b.String()
+}
+
+// Check inspects a completed analysis for communication errors.
+func Check(g *cfg.Graph, res *core.Result) *Report {
+	rep := &Report{}
+
+	// Type mismatches on established matches.
+	for _, m := range res.Matches {
+		sn, rn := g.Node(m.SendNode), g.Node(m.RecvNode)
+		if sn == nil || rn == nil {
+			continue
+		}
+		if sn.Tag != "" && rn.Tag != "" && sn.Tag != rn.Tag {
+			rep.Findings = append(rep.Findings, Finding{
+				Kind:  TypeMismatch,
+				Node:  m.SendNode,
+				Other: m.RecvNode,
+				Message: fmt.Sprintf("send at n%d has type %q but matches recv at n%d with type %q",
+					m.SendNode, sn.Tag, m.RecvNode, rn.Tag),
+			})
+		}
+	}
+
+	// Leftover pending sends in final configurations are exact
+	// message-leak witnesses (non-blocking mode): the message is in flight
+	// forever.
+	for _, fin := range res.Finals {
+		for _, p := range fin.Pending {
+			rep.Findings = append(rep.Findings, Finding{
+				Kind:  MessageLeak,
+				Node:  p.Node,
+				Other: -1,
+				Message: fmt.Sprintf("message(s) from processes %s sent at n%d [%s] are never received",
+					p.Senders, p.Node, g.Node(p.Node).Label()),
+			})
+		}
+	}
+
+	// ⊤ configurations: inspect which operations were blocked.
+	for _, t := range res.Tops {
+		classified := false
+		for _, ps := range t.Sets {
+			if !ps.Blocked {
+				continue
+			}
+			switch ps.Node.Kind {
+			case cfg.Send, cfg.SendRecv:
+				rep.Findings = append(rep.Findings, Finding{
+					Kind:  MessageLeak,
+					Node:  ps.Node.ID,
+					Other: -1,
+					Message: fmt.Sprintf("send at n%d [%s] by processes %s is never received",
+						ps.Node.ID, ps.Node.Label(), ps.Range),
+				})
+				classified = true
+			case cfg.Recv:
+				rep.Findings = append(rep.Findings, Finding{
+					Kind:  PotentialDeadlock,
+					Node:  ps.Node.ID,
+					Other: -1,
+					Message: fmt.Sprintf("recv at n%d [%s] by processes %s has no matching send",
+						ps.Node.ID, ps.Node.Label(), ps.Range),
+				})
+				classified = true
+			}
+		}
+		if !classified {
+			rep.Findings = append(rep.Findings, Finding{
+				Kind:    AnalysisIncomplete,
+				Node:    -1,
+				Other:   -1,
+				Message: t.TopWhy,
+			})
+		}
+	}
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		if rep.Findings[i].Kind != rep.Findings[j].Kind {
+			return rep.Findings[i].Kind < rep.Findings[j].Kind
+		}
+		return rep.Findings[i].Node < rep.Findings[j].Node
+	})
+	return rep
+}

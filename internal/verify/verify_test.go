@@ -1,0 +1,144 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/clients/symbolic"
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+func checkSrc(t *testing.T, src string) (*Report, *core.Result) {
+	t.Helper()
+	prog, err := parser.Parse("t.mpl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g := cfg.Build(prog)
+	res, err := core.Analyze(g, core.Options{Matcher: &symbolic.Matcher{}})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return Check(g, res), res
+}
+
+func TestCleanProgram(t *testing.T) {
+	rep, _ := checkSrc(t, `
+assume np >= 3
+if id == 0 then
+  send x -> 1
+elif id == 1 then
+  recv y <- 0
+end`)
+	if !rep.OK() {
+		t.Errorf("findings on clean program:\n%s", rep)
+	}
+	if rep.String() != "verify: ok" {
+		t.Errorf("String = %q", rep.String())
+	}
+}
+
+func TestOrphanRecvIsDeadlock(t *testing.T) {
+	rep, _ := checkSrc(t, `
+assume np >= 2
+if id == 0 then
+  recv y <- 1
+end`)
+	if rep.OK() {
+		t.Fatal("no findings for orphan recv")
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Kind == PotentialDeadlock {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no deadlock finding:\n%s", rep)
+	}
+}
+
+func TestOrphanSendIsLeak(t *testing.T) {
+	rep, _ := checkSrc(t, `
+assume np >= 2
+if id == 0 then
+  send x -> 1
+end`)
+	if rep.OK() {
+		t.Fatal("no findings for orphan send")
+	}
+	foundLeak := false
+	for _, f := range rep.Findings {
+		if f.Kind == MessageLeak {
+			foundLeak = true
+			if !strings.Contains(f.Message, "never received") {
+				t.Errorf("message = %q", f.Message)
+			}
+		}
+	}
+	if !foundLeak {
+		t.Errorf("no leak finding:\n%s", rep)
+	}
+}
+
+func TestTypeMismatchOnMatchedPair(t *testing.T) {
+	rep, _ := checkSrc(t, `
+assume np >= 2
+if id == 0 then
+  send x -> 1 : halo
+elif id == 1 then
+  recv y <- 0 : data
+end`)
+	found := false
+	for _, f := range rep.Findings {
+		if f.Kind == TypeMismatch {
+			found = true
+			if f.Other < 0 {
+				t.Error("type mismatch missing partner node")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("type mismatch not found:\n%s", rep)
+	}
+}
+
+func TestMatchingTagsAreFine(t *testing.T) {
+	rep, _ := checkSrc(t, `
+assume np >= 2
+if id == 0 then
+  send x -> 1 : halo
+elif id == 1 then
+  recv y <- 0 : halo
+end`)
+	for _, f := range rep.Findings {
+		if f.Kind == TypeMismatch {
+			t.Errorf("spurious type mismatch:\n%s", rep)
+		}
+	}
+}
+
+func TestUntaggedPairsNotFlagged(t *testing.T) {
+	rep, _ := checkSrc(t, `
+assume np >= 2
+if id == 0 then
+  send x -> 1 : halo
+elif id == 1 then
+  recv y <- 0
+end`)
+	for _, f := range rep.Findings {
+		if f.Kind == TypeMismatch {
+			t.Errorf("one-sided tag flagged:\n%s", rep)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := MessageLeak; k <= AnalysisIncomplete; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("missing string for kind %d", int(k))
+		}
+	}
+}

@@ -1,0 +1,12 @@
+# Two-process exchange with constant propagation (paper Fig 2).
+assume np >= 3
+if id == 0 then
+  x := 5
+  send x -> 1
+  recv y <- 1
+  print y
+elif id == 1 then
+  recv y <- 0
+  send y -> 0
+  print y
+end

@@ -1,0 +1,11 @@
+# Fan-out broadcast (paper Section IX's profiling workload).
+assume np >= 3
+if id == 0 then
+  x := 42
+  for i := 1 to np - 1 do
+    send x -> i
+  end
+else
+  recv y <- 0
+  print y
+end

@@ -1,0 +1,10 @@
+# Buggy broadcast: the root sends one extra message nobody receives.
+assume np >= 3
+if id == 0 then
+  for i := 1 to np - 1 do
+    send x -> i
+  end
+  send x -> 1
+else
+  recv y <- 0
+end

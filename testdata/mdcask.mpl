@@ -1,0 +1,12 @@
+# Exchange-with-root from the mdcask molecular dynamics code (paper Fig 1/5):
+# the root sends a message to and receives a message from every other process.
+assume np >= 4
+if id == 0 then
+  for i := 1 to np - 1 do
+    send x -> i
+    recv y <- i
+  end
+else
+  recv y <- 0
+  send y -> 0
+end

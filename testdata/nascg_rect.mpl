@@ -1,0 +1,6 @@
+# NAS-CG transpose exchange on a rectangular (ncols = 2*nrows) grid.
+assume nrows >= 1
+assume ncols == 2 * nrows
+assume np == 2 * nrows * nrows
+send x -> id % 2 + 2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows))
+recv y <- id % 2 + 2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows))

@@ -1,0 +1,5 @@
+# NAS-CG transpose exchange on a square process grid (paper Fig 6).
+assume nrows >= 1
+assume np == nrows * nrows
+send x -> (id % nrows) * nrows + id / nrows
+recv y <- (id % nrows) * nrows + id / nrows

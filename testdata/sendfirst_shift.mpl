@@ -1,0 +1,9 @@
+# Send-first shift: analyze with `psdf -nonblocking` for the aggregated
+# single-step match (Section X extension).
+assume np >= 3
+if id <= np - 2 then
+  send x -> id + 1
+end
+if id >= 1 then
+  recv y <- id - 1
+end

@@ -1,0 +1,10 @@
+# 1-D nearest-neighbor shift (paper Figs 7/8): three process roles.
+assume np >= 4
+if id == 0 then
+  send x -> id + 1
+elif id <= np - 2 then
+  recv y <- id - 1
+  send x -> id + 1
+else
+  recv y <- id - 1
+end
