@@ -66,6 +66,43 @@ func BenchmarkFig7Shift(b *testing.B) { benchAnalysis(b, bench.Fig7Shift()) }
 // E11 / Section VIII-C: the full bidirectional d=1 stencil (3 roles).
 func BenchmarkStencil1D(b *testing.B) { benchAnalysis(b, bench.Stencil1D()) }
 
+// Parallel analysis driver: the full workload suite through core.AnalyzeAll,
+// sequentially and on the bounded worker pool (one worker per CPU).
+func BenchmarkAnalyzeAllWorkloads(b *testing.B) {
+	ws := bench.All()
+	mkJobs := func() []core.Job {
+		jobs := make([]core.Job, len(ws))
+		for i, w := range ws {
+			_, g := w.Parse()
+			jobs[i] = core.Job{
+				Name: w.Name,
+				G:    g,
+				Opts: core.Options{Matcher: cartesian.New(core.ScanInvariants(g))},
+			}
+		}
+		return jobs
+	}
+	for _, cfg := range []struct {
+		name        string
+		parallelism int
+	}{{"serial", 1}, {"parallel", 0}} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				jobs := mkJobs()
+				b.StartTimer()
+				for _, jr := range core.AnalyzeAll(jobs, cfg.parallelism) {
+					if jr.Err != nil {
+						b.Fatalf("%s: %v", jr.Name, jr.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // E5 / Table I: the HSM operation suite (mod, div, adjacency, interleave,
 // swap, and the symbolic square-grid derivation).
 func BenchmarkTableIHSMOps(b *testing.B) {
@@ -112,9 +149,9 @@ func BenchmarkSectionIXProfile(b *testing.B) {
 			b.Fatalf("%v %v", err, res.TopReasons())
 		}
 	}
-	b.ReportMetric(float64(stats.IncrClosures)/float64(b.N), "incr-closures/op")
+	b.ReportMetric(float64(stats.IncrClosures())/float64(b.N), "incr-closures/op")
 	b.ReportMetric(stats.AvgIncrVars(), "avg-closure-vars")
-	b.ReportMetric(float64(stats.Joins)/float64(b.N), "joins/op")
+	b.ReportMetric(float64(stats.Joins())/float64(b.N), "joins/op")
 }
 
 // E7 / Section IX storage ablation: identical closure workload on the

@@ -6,9 +6,13 @@
 //
 // Usage:
 //
-//	psdf-bench [-exp id]        run one experiment (fig2, fig5, fig6, fig7,
+//	psdf-bench [-exp id] [-parallel n]
+//	                            run one experiment (fig2, fig5, fig6, fig7,
 //	                            table1, profile, storage, scaling,
-//	                            precision, verify, stencil) or all (default)
+//	                            precision, verify, stencil, aggregation,
+//	                            parallel) or all (default). With all,
+//	                            -parallel bounds how many experiments run
+//	                            concurrently (0 = one per CPU, 1 = serial).
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
+	parallel := flag.Int("parallel", 0, "worker bound for -exp all (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	byID := map[string]func() (*experiments.Table, error){
@@ -36,10 +41,11 @@ func main() {
 		"verify":      experiments.VerifyExp,
 		"stencil":     experiments.Stencil,
 		"aggregation": experiments.Aggregation,
+		"parallel":    experiments.ParallelDriver,
 	}
 
 	if *exp == "all" {
-		tables, err := experiments.All()
+		tables, err := experiments.AllParallel(*parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "psdf-bench:", err)
 			os.Exit(1)

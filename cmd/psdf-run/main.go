@@ -1,11 +1,14 @@
 // Command psdf-run executes an MPL program on the concrete message-passing
 // simulator for a fixed process count, reporting the delivered messages,
 // print output, leaks and deadlocks — the ground truth the static analysis
-// is validated against.
+// is validated against. With -analyze it instead runs the static analysis
+// itself, accepting several programs at once and analyzing them on a
+// bounded worker pool (core.AnalyzeAll), one workload per core by default.
 //
 // Usage:
 //
 //	psdf-run -np N [-env k=v,k=v] [-rendezvous] program.mpl
+//	psdf-run -analyze [-parallel n] [-nonblocking] program.mpl [more.mpl ...]
 package main
 
 import (
@@ -14,8 +17,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cfg"
+	"repro/internal/clients/cartesian"
+	"repro/internal/core"
 	"repro/internal/parser"
 	"repro/internal/sem"
 	"repro/internal/sim"
@@ -23,12 +29,27 @@ import (
 
 func main() {
 	var (
-		np         = flag.Int("np", 4, "number of processes")
-		envFlag    = flag.String("env", "", "comma-separated symbol bindings, e.g. nrows=3,ncols=6")
-		rendezvous = flag.Bool("rendezvous", false, "blocking (rendezvous) sends instead of buffered FIFO channels")
-		events     = flag.Bool("events", true, "print delivered messages")
+		np          = flag.Int("np", 4, "number of processes")
+		envFlag     = flag.String("env", "", "comma-separated symbol bindings, e.g. nrows=3,ncols=6")
+		rendezvous  = flag.Bool("rendezvous", false, "blocking (rendezvous) sends instead of buffered FIFO channels")
+		events      = flag.Bool("events", true, "print delivered messages")
+		analyze     = flag.Bool("analyze", false, "run the static analysis instead of the simulator (accepts multiple programs)")
+		parallel    = flag.Int("parallel", 0, "with -analyze: worker bound (0 = one per CPU, 1 = sequential)")
+		nonblocking = flag.Bool("nonblocking", false, "with -analyze: enable the Section X non-blocking send extension")
 	)
 	flag.Parse()
+	if *analyze {
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: psdf-run -analyze [flags] program.mpl [more.mpl ...]")
+			flag.PrintDefaults()
+			os.Exit(2)
+		}
+		if err := runAnalyses(flag.Args(), *parallel, *nonblocking); err != nil {
+			fmt.Fprintln(os.Stderr, "psdf-run:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: psdf-run [flags] program.mpl")
 		flag.PrintDefaults()
@@ -59,23 +80,74 @@ func parseEnv(s string) (map[string]int64, error) {
 	return env, nil
 }
 
-func run(path string, np int, envFlag string, rendezvous, events bool) error {
+// buildCFG parses and checks one program file.
+func buildCFG(path string) (*cfg.Graph, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	prog, err := parser.Parse(path, string(src))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if _, err := sem.Check(prog); err != nil {
-		return err
+		return nil, err
 	}
+	return cfg.Build(prog), nil
+}
+
+// runAnalyses statically analyzes every program through the bounded worker
+// pool and prints each topology. Every job gets its own matcher (matcher
+// instrumentation and memo tables are not race-safe to share).
+func runAnalyses(paths []string, parallelism int, nonblocking bool) error {
+	jobs := make([]core.Job, 0, len(paths))
+	for _, path := range paths {
+		g, err := buildCFG(path)
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, core.Job{
+			Name: path,
+			G:    g,
+			Opts: core.Options{
+				Matcher:          cartesian.New(core.ScanInvariants(g)),
+				NonBlockingSends: nonblocking,
+			},
+		})
+	}
+	results := core.AnalyzeAll(jobs, parallelism)
+	failed := false
+	for _, jr := range results {
+		if jr.Err != nil {
+			failed = true
+			fmt.Printf("%s: ERROR %v\n", jr.Name, jr.Err)
+			continue
+		}
+		res := jr.Res
+		fmt.Printf("%s: clean=%v configs=%d steps=%d matches=%d (%v)\n",
+			jr.Name, res.Clean(), res.Configs, res.Steps, len(res.Matches), jr.Elapsed.Round(time.Microsecond))
+		for _, m := range res.Matches {
+			fmt.Printf("  n%d%s -> n%d%s\n", m.SendNode, m.Sender, m.RecvNode, m.Receiver)
+		}
+		for _, t := range res.Tops {
+			fmt.Printf("  TOP: %s\n", t.TopWhy)
+		}
+	}
+	if failed {
+		return fmt.Errorf("one or more analyses failed")
+	}
+	return nil
+}
+
+func run(path string, np int, envFlag string, rendezvous, events bool) error {
 	env, err := parseEnv(envFlag)
 	if err != nil {
 		return err
 	}
-	g := cfg.Build(prog)
+	g, err := buildCFG(path)
+	if err != nil {
+		return err
+	}
 	res, err := sim.Run(g, np, sim.Options{Env: env, Rendezvous: rendezvous})
 	if err != nil {
 		return err

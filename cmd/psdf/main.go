@@ -124,7 +124,7 @@ func run(path, client, backend string, dot, cfgDot, trace, doVerify, stats, nonB
 	}
 	if stats {
 		fmt.Printf("stats: %d pCFG nodes, %d steps, %d widenings, %d incremental closures (avg %.1f vars), %d joins\n",
-			res.Configs, res.Steps, res.Widenings, cgStats.IncrClosures, cgStats.AvgIncrVars(), cgStats.Joins)
+			res.Configs, res.Steps, res.Widenings, cgStats.IncrClosures(), cgStats.AvgIncrVars(), cgStats.Joins())
 	}
 	if !res.Clean() {
 		return fmt.Errorf("analysis incomplete: %v", res.TopReasons())

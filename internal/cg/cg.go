@@ -23,6 +23,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -58,51 +59,108 @@ func (b Backend) String() string {
 
 // Stats accumulates closure instrumentation, shared across all graphs
 // created from the same Options so an entire analysis run can be profiled.
+// All counters are updated atomically, so one Stats may be shared across
+// graphs used by concurrent analyses (the AnalyzeAll worker pool); for
+// contention-free accounting, give each worker its own Stats and combine
+// them with Merge.
 type Stats struct {
-	FullClosures int           // number of O(n^3) closure passes
-	FullVarsSum  int64         // sum of variable counts over those passes
-	IncrClosures int           // number of O(n^2) incremental updates
-	IncrVarsSum  int64         // sum of variable counts over those updates
-	ClosureTime  time.Duration // total wall time inside closure code
+	fullClosures   atomic.Int64 // number of O(n^3) closure passes
+	fullVarsSum    atomic.Int64 // sum of variable counts over those passes
+	incrClosures   atomic.Int64 // number of O(n^2) incremental updates
+	incrVarsSum    atomic.Int64 // sum of variable counts over those updates
+	closureTimeNs  atomic.Int64 // total wall time inside closure code
 	// State-maintenance accounting beyond closure: joins, widenings and
 	// graph copies, the other costs of keeping the dataflow state at each
 	// pCFG node consistent (the paper's Section IX "92.5%" covers all of
 	// this).
-	Joins        int
-	JoinVarsSum  int64
-	MaintainTime time.Duration // join + widen + clone wall time
+	joins          atomic.Int64
+	joinVarsSum    atomic.Int64
+	maintainTimeNs atomic.Int64 // join + widen + materialization wall time
+	// Copy-on-write accounting: clones that stayed O(1) reference bumps and
+	// the shared matrices that were eventually materialized by a write.
+	clonesAvoided       atomic.Int64
+	cowMaterializations atomic.Int64
 }
+
+// FullClosures returns the number of O(n^3) closure passes.
+func (s *Stats) FullClosures() int64 { return s.fullClosures.Load() }
+
+// IncrClosures returns the number of O(n^2) incremental updates.
+func (s *Stats) IncrClosures() int64 { return s.incrClosures.Load() }
+
+// Joins returns the number of join/widen operations.
+func (s *Stats) Joins() int64 { return s.joins.Load() }
+
+// ClonesAvoided returns how many Clone calls stayed O(1) reference bumps
+// instead of deep matrix copies.
+func (s *Stats) ClonesAvoided() int64 { return s.clonesAvoided.Load() }
+
+// CoWMaterializations returns how many shared matrices were deep-copied on
+// first write.
+func (s *Stats) CoWMaterializations() int64 { return s.cowMaterializations.Load() }
+
+// ClosureTime returns total wall time inside closure code.
+func (s *Stats) ClosureTime() time.Duration { return time.Duration(s.closureTimeNs.Load()) }
+
+// MaintainTime returns join + widen + materialization wall time.
+func (s *Stats) MaintainTime() time.Duration { return time.Duration(s.maintainTimeNs.Load()) }
 
 // AvgJoinVars returns the mean variable count per join/widen.
 func (s *Stats) AvgJoinVars() float64 {
-	if s.Joins == 0 {
+	if s.joins.Load() == 0 {
 		return 0
 	}
-	return float64(s.JoinVarsSum) / float64(s.Joins)
+	return float64(s.joinVarsSum.Load()) / float64(s.joins.Load())
 }
 
 // MaintenanceTime returns all time spent keeping dataflow state consistent
-// (closure plus join/widen/clone).
-func (s *Stats) MaintenanceTime() time.Duration { return s.ClosureTime + s.MaintainTime }
+// (closure plus join/widen/materialization).
+func (s *Stats) MaintenanceTime() time.Duration { return s.ClosureTime() + s.MaintainTime() }
 
 // AvgFullVars returns the mean variable count per full closure.
 func (s *Stats) AvgFullVars() float64 {
-	if s.FullClosures == 0 {
+	if s.fullClosures.Load() == 0 {
 		return 0
 	}
-	return float64(s.FullVarsSum) / float64(s.FullClosures)
+	return float64(s.fullVarsSum.Load()) / float64(s.fullClosures.Load())
 }
 
 // AvgIncrVars returns the mean variable count per incremental update.
 func (s *Stats) AvgIncrVars() float64 {
-	if s.IncrClosures == 0 {
+	if s.incrClosures.Load() == 0 {
 		return 0
 	}
-	return float64(s.IncrVarsSum) / float64(s.IncrClosures)
+	return float64(s.incrVarsSum.Load()) / float64(s.incrClosures.Load())
+}
+
+// Merge folds the counters of o into s (the sharded-and-merged pattern for
+// per-worker stats).
+func (s *Stats) Merge(o *Stats) {
+	s.fullClosures.Add(o.fullClosures.Load())
+	s.fullVarsSum.Add(o.fullVarsSum.Load())
+	s.incrClosures.Add(o.incrClosures.Load())
+	s.incrVarsSum.Add(o.incrVarsSum.Load())
+	s.closureTimeNs.Add(o.closureTimeNs.Load())
+	s.joins.Add(o.joins.Load())
+	s.joinVarsSum.Add(o.joinVarsSum.Load())
+	s.maintainTimeNs.Add(o.maintainTimeNs.Load())
+	s.clonesAvoided.Add(o.clonesAvoided.Load())
+	s.cowMaterializations.Add(o.cowMaterializations.Load())
 }
 
 // Reset zeroes the counters.
-func (s *Stats) Reset() { *s = Stats{} }
+func (s *Stats) Reset() {
+	s.fullClosures.Store(0)
+	s.fullVarsSum.Store(0)
+	s.incrClosures.Store(0)
+	s.incrVarsSum.Store(0)
+	s.closureTimeNs.Store(0)
+	s.joins.Store(0)
+	s.joinVarsSum.Store(0)
+	s.maintainTimeNs.Store(0)
+	s.clonesAvoided.Store(0)
+	s.cowMaterializations.Store(0)
+}
 
 // Options configures graph construction.
 type Options struct {
@@ -112,6 +170,13 @@ type Options struct {
 
 // Graph is a transitively closed difference-constraint store. The zero
 // value is not usable; call New.
+//
+// Graphs are copy-on-write: Clone is an O(1) reference bump that shares the
+// variable table and the closed matrix with the original, and the first
+// mutating operation on either graph (AddLE, Forget, Drop, Shift, Rename,
+// FullClose) materializes a private copy. Shared storage is never written,
+// so any number of clones may be read concurrently; each individual graph
+// is still single-writer, as before.
 type Graph struct {
 	opts       Options
 	names      []string
@@ -119,13 +184,25 @@ type Graph struct {
 	dense      [][]int64       // ArrayBackend
 	sparse     map[int64]int64 // MapBackend; missing key = Inf
 	consistent bool
+	cow        *cowRef // sharing record for names/ids/dense/sparse
+}
+
+// cowRef counts the graphs sharing one storage generation. The count is
+// atomic so clones handed to different analysis goroutines (the AnalyzeAll
+// driver) materialize safely.
+type cowRef struct{ refs atomic.Int32 }
+
+func newCowRef() *cowRef {
+	c := &cowRef{}
+	c.refs.Store(1)
+	return c
 }
 
 func pairKey(i, j int) int64 { return int64(i)<<32 | int64(j) }
 
 // New returns an empty, consistent graph containing only ZeroVar.
 func New(opts Options) *Graph {
-	g := &Graph{opts: opts, ids: map[string]int{}, consistent: true}
+	g := &Graph{opts: opts, ids: map[string]int{}, consistent: true, cow: newCowRef()}
 	if opts.Backend == MapBackend {
 		g.sparse = map[int64]int64{}
 	}
@@ -136,11 +213,48 @@ func New(opts Options) *Graph {
 // NewDefault returns a graph with the array backend and no shared stats.
 func NewDefault() *Graph { return New(Options{}) }
 
+// materialize gives g private storage before a mutation. A graph whose
+// storage is unshared mutates in place; a shared one deep-copies the
+// variable table and matrix first (the deferred cost of an earlier O(1)
+// Clone).
+func (g *Graph) materialize() {
+	if g.cow.refs.Load() == 1 {
+		return
+	}
+	start := time.Now()
+	names := append(make([]string, 0, len(g.names)), g.names...)
+	ids := make(map[string]int, len(g.ids))
+	for k, v := range g.ids {
+		ids[k] = v
+	}
+	if g.opts.Backend == ArrayBackend {
+		dense := make([][]int64, len(g.dense))
+		for i, row := range g.dense {
+			dense[i] = append(make([]int64, 0, len(row)), row...)
+		}
+		g.dense = dense
+	} else {
+		sparse := make(map[int64]int64, len(g.sparse))
+		for k, v := range g.sparse {
+			sparse[k] = v
+		}
+		g.sparse = sparse
+	}
+	g.names, g.ids = names, ids
+	g.cow.refs.Add(-1)
+	g.cow = newCowRef()
+	if st := g.opts.Stats; st != nil {
+		st.cowMaterializations.Add(1)
+		st.maintainTimeNs.Add(int64(time.Since(start)))
+	}
+}
+
 // intern returns the id for name, adding the variable if needed.
 func (g *Graph) intern(name string) int {
 	if id, ok := g.ids[name]; ok {
 		return id
 	}
+	g.materialize()
 	id := len(g.names)
 	g.names = append(g.names, name)
 	g.ids[name] = id
@@ -241,6 +355,7 @@ func (g *Graph) AddLE(x, y string, c int64) bool {
 		g.consistent = false
 		return false
 	}
+	g.materialize()
 	g.set(i, j, c)
 	g.incrementalClose(i, j)
 	return g.consistent
@@ -281,9 +396,9 @@ func (g *Graph) incrementalClose(i, j int) {
 		}
 	}
 	if st := g.opts.Stats; st != nil {
-		st.IncrClosures++
-		st.IncrVarsSum += int64(n)
-		st.ClosureTime += time.Since(start)
+		st.incrClosures.Add(1)
+		st.incrVarsSum.Add(int64(n))
+		st.closureTimeNs.Add(int64(time.Since(start)))
 	}
 }
 
@@ -291,6 +406,7 @@ func (g *Graph) incrementalClose(i, j int) {
 // Needed after bulk edits (Join, Widen do not require it; Forget uses it).
 func (g *Graph) FullClose() {
 	start := time.Now()
+	g.materialize()
 	n := len(g.names)
 	for k := 0; k < n; k++ {
 		for a := 0; a < n; a++ {
@@ -315,9 +431,9 @@ func (g *Graph) FullClose() {
 		}
 	}
 	if st := g.opts.Stats; st != nil {
-		st.FullClosures++
-		st.FullVarsSum += int64(n)
-		st.ClosureTime += time.Since(start)
+		st.fullClosures.Add(1)
+		st.fullVarsSum.Add(int64(n))
+		st.closureTimeNs.Add(int64(time.Since(start)))
 	}
 }
 
@@ -415,6 +531,7 @@ func (g *Graph) Forget(x string) {
 	if !ok {
 		return
 	}
+	g.materialize()
 	n := len(g.names)
 	for a := 0; a < n; a++ {
 		if a != i {
@@ -432,7 +549,7 @@ func (g *Graph) Drop(x string) {
 	if !ok || x == ZeroVar {
 		return
 	}
-	g.Forget(x)
+	g.Forget(x) // materializes
 	last := len(g.names) - 1
 	if g.opts.Backend == ArrayBackend {
 		if i != last {
@@ -485,6 +602,7 @@ func (g *Graph) Shift(x string, k int64) {
 		g.intern(x)
 		return
 	}
+	g.materialize()
 	n := len(g.names)
 	for a := 0; a < n; a++ {
 		if a == i {
@@ -511,40 +629,30 @@ func (g *Graph) Rename(old, new string) {
 	if _, exists := g.ids[new]; exists {
 		panic(fmt.Sprintf("cg: Rename target %q already exists", new))
 	}
+	g.materialize()
 	delete(g.ids, old)
 	g.ids[new] = i
 	g.names[i] = new
 }
 
-// Clone returns a deep copy sharing Options (and therefore Stats).
+// Clone returns a logical copy sharing Options (and therefore Stats).
+// Cloning is O(1): the variable table and matrix storage are shared
+// copy-on-write between the original and the clone, and the first mutating
+// operation on either side materializes a private copy (see materialize).
 func (g *Graph) Clone() *Graph {
-	start := time.Now()
-	defer func() {
-		if st := g.opts.Stats; st != nil {
-			st.MaintainTime += time.Since(start)
-		}
-	}()
-	ng := &Graph{
+	g.cow.refs.Add(1)
+	if st := g.opts.Stats; st != nil {
+		st.clonesAvoided.Add(1)
+	}
+	return &Graph{
 		opts:       g.opts,
-		names:      append([]string(nil), g.names...),
-		ids:        make(map[string]int, len(g.ids)),
+		names:      g.names,
+		ids:        g.ids,
+		dense:      g.dense,
+		sparse:     g.sparse,
 		consistent: g.consistent,
+		cow:        g.cow,
 	}
-	for k, v := range g.ids {
-		ng.ids[k] = v
-	}
-	if g.opts.Backend == ArrayBackend {
-		ng.dense = make([][]int64, len(g.dense))
-		for i, row := range g.dense {
-			ng.dense[i] = append([]int64(nil), row...)
-		}
-	} else {
-		ng.sparse = make(map[int64]int64, len(g.sparse))
-		for k, v := range g.sparse {
-			ng.sparse[k] = v
-		}
-	}
-	return ng
 }
 
 // alignVars makes both graphs contain the union of their variables.
@@ -570,13 +678,14 @@ func Join(a, b *Graph) *Graph {
 	start := time.Now()
 	defer func() {
 		if st := a.opts.Stats; st != nil {
-			st.Joins++
-			st.JoinVarsSum += int64(len(a.names))
-			st.MaintainTime += time.Since(start)
+			st.joins.Add(1)
+			st.joinVarsSum.Add(int64(len(a.names)))
+			st.maintainTimeNs.Add(int64(time.Since(start)))
 		}
 	}()
 	ra, rb := a.Clone(), b.Clone()
 	alignVars(ra, rb)
+	ra.materialize()
 	n := len(ra.names)
 	for i := 0; i < n; i++ {
 		ji := rb.ids[ra.names[i]]
@@ -606,13 +715,14 @@ func Widen(a, b *Graph) *Graph {
 	start := time.Now()
 	defer func() {
 		if st := a.opts.Stats; st != nil {
-			st.Joins++
-			st.JoinVarsSum += int64(len(a.names))
-			st.MaintainTime += time.Since(start)
+			st.joins.Add(1)
+			st.joinVarsSum.Add(int64(len(a.names)))
+			st.maintainTimeNs.Add(int64(time.Since(start)))
 		}
 	}()
 	ra, rb := a.Clone(), b.Clone()
 	alignVars(ra, rb)
+	ra.materialize()
 	n := len(ra.names)
 	for i := 0; i < n; i++ {
 		ji := rb.ids[ra.names[i]]

@@ -241,17 +241,17 @@ func TestStats(t *testing.T) {
 	g.AddLE("a", "b", 1)
 	g.AddLE("b", "c", 1)
 	g.FullClose()
-	if st.IncrClosures != 2 {
-		t.Errorf("IncrClosures = %d, want 2", st.IncrClosures)
+	if st.IncrClosures() != 2 {
+		t.Errorf("IncrClosures = %d, want 2", st.IncrClosures())
 	}
-	if st.FullClosures != 1 {
-		t.Errorf("FullClosures = %d, want 1", st.FullClosures)
+	if st.FullClosures() != 1 {
+		t.Errorf("FullClosures = %d, want 1", st.FullClosures())
 	}
 	if st.AvgIncrVars() <= 0 || st.AvgFullVars() <= 0 {
 		t.Error("avg vars not recorded")
 	}
 	st.Reset()
-	if st.IncrClosures != 0 || st.ClosureTime != 0 {
+	if st.IncrClosures() != 0 || st.ClosureTime() != 0 {
 		t.Error("Reset incomplete")
 	}
 }

@@ -8,6 +8,10 @@
 package cartesian
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
 	"repro/internal/ast"
 	"repro/internal/clients/symbolic"
 	"repro/internal/core"
@@ -20,6 +24,16 @@ type Matcher struct {
 	simple symbolic.Matcher
 	ctx    *hsm.Ctx
 	prover *hsm.Prover
+
+	// memo caches whole-set HSM match decisions. The HSM proof outcome is a
+	// pure function of (identity HSMs, communication expressions, global
+	// invariants): the conversions and prover searches never consult the
+	// querying state's constraint graph. The identity HSMs are derived from
+	// the sets' current ranges by idHSM, so the memo key is built after
+	// idHSM succeeds and captures the ranges through the HSM keys; invFP
+	// pins the invariants (fixed at construction).
+	memo  core.MatchMemo
+	invFP string
 
 	// HSMMatches counts matches proved by HSM reasoning (instrumentation:
 	// matches the simple client could not handle).
@@ -34,13 +48,17 @@ type Matcher struct {
 // lower bounds discharge positivity side conditions.
 func New(inv *core.Invariants) *Matcher {
 	ctx := hsm.NewCtx()
+	var fp []string
 	for name, repl := range inv.Subst {
 		ctx.WithInvariant(name, repl)
+		fp = append(fp, name+"="+repl.Key())
 	}
 	for name, lb := range inv.LowerBounds {
 		ctx.WithLowerBound(name, lb)
+		fp = append(fp, fmt.Sprintf("%s>=%d", name, lb))
 	}
-	return &Matcher{ctx: ctx, prover: hsm.NewProver(ctx)}
+	sort.Strings(fp)
+	return &Matcher{ctx: ctx, prover: hsm.NewProver(ctx), invFP: strings.Join(fp, ",")}
 }
 
 // Name identifies the client analysis.
@@ -52,6 +70,36 @@ func (m *Matcher) Prover() *hsm.Prover { return m.prover }
 // SimpleMatches reports how many matches the embedded Section VII matcher
 // handled.
 func (m *Matcher) SimpleMatches() int { return m.simple.Matches }
+
+// Memo exposes the match-decision cache (instrumentation).
+func (m *Matcher) Memo() *core.MatchMemo { return &m.memo }
+
+// hsmDecision runs the memoized surjectivity + identity proof for a
+// whole-set match: send expression dest maps the set denoted by sIDH
+// exactly onto the set denoted by rIDH, and composing the receive
+// expression src with the send image is the identity on the senders.
+func (m *Matcher) hsmDecision(sIDH, rIDH *hsm.HSM, dest, src ast.Expr) bool {
+	key := core.MatchKey(m.invFP, sIDH.Key(), rIDH.Key(), dest.String(), src.String())
+	if res, ok := m.memo.Lookup(key); ok {
+		return res
+	}
+	res := func() bool {
+		hd, err := m.ctx.Convert(dest, sIDH)
+		if err != nil {
+			return false
+		}
+		if !m.prover.SetEqual(hd, rIDH) {
+			return false
+		}
+		comp, err := m.ctx.Convert(src, hd)
+		if err != nil {
+			return false
+		}
+		return m.prover.SeqEqual(comp, sIDH)
+	}()
+	m.memo.Store(key, res)
+	return res
+}
 
 // Match first tries the Section VII symbolic matcher; if the expressions
 // are beyond var+c, it attempts a whole-set HSM match: the send expression
@@ -70,21 +118,12 @@ func (m *Matcher) Match(st *core.State, sender *core.ProcSet, dest ast.Expr, rec
 	if !ok {
 		return nil, false
 	}
-	hd, err := m.ctx.Convert(dest, sIDH)
-	if err != nil {
-		return nil, false
-	}
-	// Surjectivity: the send expression's image is exactly the receiver set.
-	if !m.prover.SetEqual(hd, rIDH) {
-		return nil, false
-	}
-	// Identity: applying the receive expression to the send image yields
-	// each sender back.
-	comp, err := m.ctx.Convert(src, hd)
-	if err != nil {
-		return nil, false
-	}
-	if !m.prover.SeqEqual(comp, sIDH) {
+	// Surjectivity (the send expression's image is exactly the receiver
+	// set) and identity (applying the receive expression to the send image
+	// yields each sender back), served from the memo on repeat queries. The
+	// plan is rebuilt from the current ranges: the cached decision covers
+	// only the proof.
+	if !m.hsmDecision(sIDH, rIDH, dest, src) {
 		return nil, false
 	}
 	m.HSMMatches++
@@ -107,18 +146,7 @@ func (m *Matcher) SelfMatch(st *core.State, ps *core.ProcSet, dest, src ast.Expr
 	if !ok {
 		return false
 	}
-	hd, err := m.ctx.Convert(dest, idh)
-	if err != nil {
-		return false
-	}
-	if !m.prover.SetEqual(hd, idh) {
-		return false
-	}
-	comp, err := m.ctx.Convert(src, hd)
-	if err != nil {
-		return false
-	}
-	if !m.prover.SeqEqual(comp, idh) {
+	if !m.hsmDecision(idh, idh, dest, src) {
 		return false
 	}
 	m.HSMMatches++

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cfg"
+)
+
+// The paper's evaluation analyzes a suite of independent workloads; nothing
+// couples their fixpoint computations, so the suite is embarrassingly
+// parallel one-workload-per-core. AnalyzeAll is the shared bounded-pool
+// driver behind cmd/psdf-bench, cmd/psdf-run and internal/experiments.
+//
+// Per-job state must not be shared across jobs unless it is race-safe:
+// cg.Stats is (atomic counters, so one Stats may aggregate a whole suite),
+// but Matchers keep plain instrumentation counters and memo tables, so each
+// Job needs its own Matcher instance.
+
+// Job is one unit of work for AnalyzeAll: a CFG plus the analysis options
+// to run it with.
+type Job struct {
+	// Name labels the workload in results (not interpreted).
+	Name string
+	// G is the program's control-flow graph.
+	G *cfg.Graph
+	// Opts configures the analysis. Opts.Matcher must not be shared with
+	// another concurrently running Job.
+	Opts Options
+}
+
+// JobResult is the outcome of one Job, in the same position as its input.
+type JobResult struct {
+	Name    string
+	Res     *Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// AnalyzeAll runs every job through Analyze on a bounded worker pool and
+// returns the results in input order. parallelism <= 0 selects
+// runtime.NumCPU(); parallelism == 1 degenerates to a sequential loop with
+// identical results.
+func AnalyzeAll(jobs []Job, parallelism int) []JobResult {
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	if parallelism > len(jobs) {
+		parallelism = len(jobs)
+	}
+	results := make([]JobResult, len(jobs))
+	run := func(i int) {
+		j := jobs[i]
+		start := time.Now()
+		res, err := Analyze(j.G, j.Opts)
+		results[i] = JobResult{Name: j.Name, Res: res, Err: err, Elapsed: time.Since(start)}
+	}
+	if parallelism <= 1 {
+		for i := range jobs {
+			run(i)
+		}
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				run(i)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,172 @@
+// External test package: the drivers under test need the client matchers,
+// and clients import core, so an internal test would cycle.
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cg"
+	"repro/internal/clients/cartesian"
+	"repro/internal/core"
+)
+
+// suiteJobs builds one AnalyzeAll job per paper workload, each with its own
+// matcher and stats record.
+func suiteJobs(ws []*bench.Workload) ([]core.Job, []*cg.Stats, []*cartesian.Matcher) {
+	jobs := make([]core.Job, len(ws))
+	stats := make([]*cg.Stats, len(ws))
+	matchers := make([]*cartesian.Matcher, len(ws))
+	for i, w := range ws {
+		_, g := w.Parse()
+		stats[i] = &cg.Stats{}
+		matchers[i] = cartesian.New(core.ScanInvariants(g))
+		jobs[i] = core.Job{
+			Name: w.Name,
+			G:    g,
+			Opts: core.Options{
+				Matcher: matchers[i],
+				CGOpts:  cg.Options{Stats: stats[i]},
+			},
+		}
+	}
+	return jobs, stats, matchers
+}
+
+func topologyKey(res *core.Result) string {
+	out := ""
+	for _, m := range res.Matches {
+		out += fmt.Sprintf("n%d%s->n%d%s;", m.SendNode, m.Sender, m.RecvNode, m.Receiver)
+	}
+	return out
+}
+
+// TestAnalyzeAllMatchesSequential runs the full workload suite once
+// sequentially and once on the pool and asserts identical outcomes.
+func TestAnalyzeAllMatchesSequential(t *testing.T) {
+	ws := bench.All()
+	seqJobs, _, _ := suiteJobs(ws)
+	parJobs, _, _ := suiteJobs(ws)
+	seq := core.AnalyzeAll(seqJobs, 1)
+	par := core.AnalyzeAll(parJobs, 4)
+	if len(seq) != len(ws) || len(par) != len(ws) {
+		t.Fatalf("result count: seq %d, par %d, want %d", len(seq), len(par), len(ws))
+	}
+	for i := range ws {
+		if seq[i].Err != nil {
+			t.Fatalf("%s: sequential error: %v", seq[i].Name, seq[i].Err)
+		}
+		if par[i].Err != nil {
+			t.Fatalf("%s: parallel error: %v", par[i].Name, par[i].Err)
+		}
+		if par[i].Name != ws[i].Name {
+			t.Errorf("result %d out of order: %s", i, par[i].Name)
+		}
+		sk, pk := topologyKey(seq[i].Res), topologyKey(par[i].Res)
+		if sk != pk {
+			t.Errorf("%s: topology differs:\nseq: %s\npar: %s", ws[i].Name, sk, pk)
+		}
+		if seq[i].Res.Clean() != par[i].Res.Clean() {
+			t.Errorf("%s: clean differs", ws[i].Name)
+		}
+	}
+}
+
+// TestAnalyzeAllSharedStats shares one atomic stats record across all
+// concurrent jobs; under -race this exercises the satellite requirement
+// that cg.Stats is data-race-safe.
+func TestAnalyzeAllSharedStats(t *testing.T) {
+	ws := bench.All()
+	shared := &cg.Stats{}
+	jobs := make([]core.Job, len(ws))
+	for i, w := range ws {
+		_, g := w.Parse()
+		jobs[i] = core.Job{
+			Name: w.Name,
+			G:    g,
+			Opts: core.Options{
+				Matcher: cartesian.New(core.ScanInvariants(g)),
+				CGOpts:  cg.Options{Stats: shared},
+			},
+		}
+	}
+	for _, jr := range core.AnalyzeAll(jobs, 0) {
+		if jr.Err != nil {
+			t.Fatalf("%s: %v", jr.Name, jr.Err)
+		}
+	}
+	if shared.ClonesAvoided() == 0 || shared.IncrClosures() == 0 {
+		t.Fatalf("shared stats empty: clones=%d incr=%d", shared.ClonesAvoided(), shared.IncrClosures())
+	}
+}
+
+// TestClonesAvoidedOnEveryWorkload is the acceptance criterion: the CoW
+// Clone must avoid eager copies on every paper workload.
+func TestClonesAvoidedOnEveryWorkload(t *testing.T) {
+	ws := bench.All()
+	jobs, stats, _ := suiteJobs(ws)
+	for i, jr := range core.AnalyzeAll(jobs, 0) {
+		if jr.Err != nil {
+			t.Fatalf("%s: %v", jr.Name, jr.Err)
+		}
+		avoided, mat := stats[i].ClonesAvoided(), stats[i].CoWMaterializations()
+		if avoided <= 0 {
+			t.Errorf("%s: ClonesAvoided = %d, want > 0", ws[i].Name, avoided)
+		}
+		if mat > avoided {
+			t.Errorf("%s: more materializations (%d) than clones (%d)", ws[i].Name, mat, avoided)
+		}
+	}
+}
+
+// TestMatchCacheHits demonstrates a cache-hit rate > 0 for repeated
+// send-receive match queries: the transpose workload poses the same HSM
+// self-match query on every loop revisit.
+func TestMatchCacheHits(t *testing.T) {
+	w := bench.TransposeSquare()
+	_, g := w.Parse()
+	m := cartesian.New(core.ScanInvariants(g))
+	if _, err := core.Analyze(g, core.Options{Matcher: m}); err != nil {
+		t.Fatal(err)
+	}
+	// The single analysis already repeats queries across the join/widen
+	// revisits of the loop head; re-analyzing with the same matcher must
+	// hit for every query of the second run.
+	missesAfterFirst := m.Memo().Misses
+	if _, err := core.Analyze(g, core.Options{Matcher: m}); err != nil {
+		t.Fatal(err)
+	}
+	memo := m.Memo()
+	if memo.Hits == 0 {
+		t.Fatalf("no cache hits: hits=%d misses=%d", memo.Hits, memo.Misses)
+	}
+	if memo.Misses != missesAfterFirst {
+		t.Errorf("second identical analysis missed the cache: %d -> %d misses", missesAfterFirst, memo.Misses)
+	}
+	if memo.HitRate() <= 0 {
+		t.Errorf("HitRate = %v, want > 0", memo.HitRate())
+	}
+	if p := m.Prover(); p.CacheHits == 0 && memo.Hits == 0 {
+		t.Error("neither matcher memo nor prover cache hit")
+	}
+}
+
+// BenchmarkMatchCacheHit measures a memoized whole-set HSM match query
+// against the cold-prover baseline path.
+func BenchmarkMatchCacheHit(b *testing.B) {
+	w := bench.TransposeSquare()
+	_, g := w.Parse()
+	m := cartesian.New(core.ScanInvariants(g))
+	if _, err := core.Analyze(g, core.Options{Matcher: m}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(g, core.Options{Matcher: m}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(m.Memo().HitRate()*100, "cache-hit-%")
+}

@@ -101,6 +101,13 @@ type State struct {
 	// on every process (their input/default value), so they are treated as
 	// global symbols rather than per-set variables.
 	assigned map[string]bool
+	// sharedMatches/sharedPending mark the Matches/Pending slices (and their
+	// elements) as shared copy-on-write with another State produced by Clone.
+	// Mutators call ownMatches/ownPending before writing elements or
+	// appending; read-only uses and canonical in-place re-sorts (which keep
+	// the same element set) need no copy.
+	sharedMatches bool
+	sharedPending bool
 }
 
 // SetAssignedVars installs the set of program variables that are written
@@ -132,28 +139,60 @@ func NewState(entry *cfg.Node, opts cg.Options) *State {
 // Ctx returns the procset comparison context for this state.
 func (st *State) Ctx() procset.Ctx { return procset.Ctx{G: st.G} }
 
-// Clone deep-copies the configuration.
+// Clone copies the configuration. The constraint graph, the match list and
+// the pending-send list are shared copy-on-write: cg.Graph.Clone is an O(1)
+// reference bump, and Matches/Pending keep pointing at the original records
+// until either side mutates them (see ownMatches/ownPending). Only the small
+// Sets slice is copied eagerly — its elements are written by almost every
+// transfer function, so laziness would not pay.
 func (st *State) Clone() *State {
+	st.sharedMatches = true
+	st.sharedPending = true
 	ns := &State{
-		G:          st.G.Clone(),
-		Top:        st.Top,
-		TopWhy:     st.TopWhy,
-		nextID:     st.nextID,
-		nextFrozen: st.nextFrozen,
-		Pending:    clonePendings(st.Pending),
-		assigned:   st.assigned,
+		G:             st.G.Clone(),
+		Top:           st.Top,
+		TopWhy:        st.TopWhy,
+		nextID:        st.nextID,
+		nextFrozen:    st.nextFrozen,
+		Matches:       st.Matches,
+		Pending:       st.Pending,
+		assigned:      st.assigned,
+		sharedMatches: true,
+		sharedPending: true,
 	}
 	ns.Sets = make([]*ProcSet, len(st.Sets))
 	for i, p := range st.Sets {
 		cp := *p
 		ns.Sets[i] = &cp
 	}
-	ns.Matches = make([]*Match, len(st.Matches))
+	return ns
+}
+
+// ownMatches materializes a private copy of the match list (deep: elements
+// included) if it is still shared with a clone. Must be called before any
+// write to st.Matches or a *Match reached through it.
+func (st *State) ownMatches() {
+	if !st.sharedMatches {
+		return
+	}
+	out := make([]*Match, len(st.Matches))
 	for i, m := range st.Matches {
 		cm := *m
-		ns.Matches[i] = &cm
+		out[i] = &cm
 	}
-	return ns
+	st.Matches = out
+	st.sharedMatches = false
+}
+
+// ownPending materializes a private copy of the pending-send list (deep) if
+// it is still shared with a clone. Must be called before any write to
+// st.Pending or a *PendingSend reached through it.
+func (st *State) ownPending() {
+	if !st.sharedPending {
+		return
+	}
+	st.Pending = clonePendings(st.Pending)
+	st.sharedPending = false
 }
 
 // FreshID allocates a new process-set identifier.
@@ -473,6 +512,7 @@ func (st *State) renameSets(mapping map[int]int) {
 		}
 		p.Range = p.Range.SubstAll(env)
 	}
+	st.ownMatches()
 	for _, m := range st.Matches {
 		m.Sender = m.Sender.SubstAll(env)
 		m.Receiver = m.Receiver.SubstAll(env)
@@ -500,7 +540,13 @@ func (st *State) SubstEverywhere(name string, repl sym.Expr) {
 			p.Range = p.Range.Subst(name, repl)
 		}
 	}
-	for _, m := range st.Matches {
+	for i := 0; i < len(st.Matches); i++ {
+		m := st.Matches[i]
+		if !m.Sender.Uses(name) && !m.Receiver.Uses(name) {
+			continue
+		}
+		st.ownMatches()
+		m = st.Matches[i]
 		if m.Sender.Uses(name) {
 			m.Sender = m.Sender.Subst(name, repl)
 		}
@@ -508,7 +554,17 @@ func (st *State) SubstEverywhere(name string, repl sym.Expr) {
 			m.Receiver = m.Receiver.Subst(name, repl)
 		}
 	}
-	for _, p := range st.Pending {
+	for i := 0; i < len(st.Pending); i++ {
+		p := st.Pending[i]
+		uses := p.Senders.Uses(name) ||
+			(p.Shape == PendFan && p.Dests.Uses(name)) ||
+			p.Offset.Uses(name) ||
+			(p.ValOK && p.Val.Uses(name))
+		if !uses {
+			continue
+		}
+		st.ownPending()
+		p = st.Pending[i]
 		if p.Senders.Uses(name) {
 			p.Senders = p.Senders.Subst(name, repl)
 		}
@@ -528,6 +584,8 @@ func (st *State) SubstEverywhere(name string, repl sym.Expr) {
 // witnesses (done before widening so the atom intersection can succeed).
 func (st *State) EnrichEverywhere() {
 	ctx := st.Ctx()
+	st.ownMatches()
+	st.ownPending()
 	for _, p := range st.Sets {
 		p.Range = p.Range.Enrich(ctx)
 	}
@@ -547,6 +605,7 @@ func (st *State) EnrichEverywhere() {
 // for the same CFG node pair when the ranges union cleanly (in either
 // direction — forward pipelines accumulate upward, backward ones downward).
 func (st *State) AddMatch(sendNode, recvNode int, sender, receiver procset.Set) {
+	st.ownMatches()
 	ctx := st.Ctx()
 	sender = sender.Enrich(ctx)
 	receiver = receiver.Enrich(ctx)

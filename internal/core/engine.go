@@ -537,8 +537,11 @@ func (e *engine) combineRetry(entry *tableEntry, nw *State, retries int) *State 
 		out.Sets[i].Blocked = old.Sets[i].Blocked
 		out.Sets[i].Approx = approx[i]
 	}
+	// Fresh slices with fresh elements: no longer shared with old.
 	out.Pending = widenedPend
+	out.sharedPending = false
 	out.Matches = nil
+	out.sharedMatches = false
 	for _, m := range mergedMatches {
 		out.Matches = append(out.Matches, m)
 	}

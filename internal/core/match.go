@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strings"
+
 	"repro/internal/ast"
 	"repro/internal/procset"
 )
@@ -41,3 +43,58 @@ type Matcher interface {
 	// send-then-recv exchanges such as the NAS-CG transpose).
 	SelfMatch(st *State, ps *ProcSet, dest, src ast.Expr) bool
 }
+
+// MatchMemo caches send-receive matching decisions. Repeated loop
+// iterations and symmetric process-set splits pose the same matching query
+// over and over; a client whose decision procedure is a pure function of a
+// canonicalized query rendering (e.g. the cartesian client's HSM proofs,
+// which depend only on the identity HSMs, the communication expressions and
+// the program's global invariants) can answer from the memo instead of
+// re-running the search. Only the boolean decision is cached — plans embed
+// the querying state's concrete ranges and are rebuilt by the caller.
+//
+// The zero value is ready to use. Not safe for concurrent use; under
+// core.AnalyzeAll each worker analyzes an independent workload with its own
+// matcher (and therefore its own memo).
+type MatchMemo struct {
+	// Hits counts queries answered from the memo; Misses counts queries
+	// that ran the underlying decision procedure.
+	Hits   int
+	Misses int
+	entries map[string]bool
+}
+
+// Lookup returns the cached decision for key and whether one exists,
+// maintaining the hit/miss counters.
+func (m *MatchMemo) Lookup(key string) (res, ok bool) {
+	res, ok = m.entries[key]
+	if ok {
+		m.Hits++
+	} else {
+		m.Misses++
+	}
+	return res, ok
+}
+
+// Store records a decision for key.
+func (m *MatchMemo) Store(key string, res bool) {
+	if m.entries == nil {
+		m.entries = map[string]bool{}
+	}
+	m.entries[key] = res
+}
+
+// Len reports the number of cached decisions.
+func (m *MatchMemo) Len() int { return len(m.entries) }
+
+// HitRate reports the fraction of queries served from the memo.
+func (m *MatchMemo) HitRate() float64 {
+	if m.Hits+m.Misses == 0 {
+		return 0
+	}
+	return float64(m.Hits) / float64(m.Hits+m.Misses)
+}
+
+// MatchKey joins canonical query components into a memo key using a
+// separator that cannot occur in expression renderings.
+func MatchKey(parts ...string) string { return strings.Join(parts, "\x1f") }

@@ -110,6 +110,8 @@ func (st *State) CanonicalizeParams() map[string]string {
 		}
 	}
 	if len(env) > 0 {
+		st.ownMatches()
+		st.ownPending()
 		for _, p := range st.Sets {
 			p.Range = p.Range.SubstAll(env)
 		}

@@ -157,6 +157,7 @@ func (st *State) IssueSend(ps *ProcSet, n *cfg.Node) bool {
 	ctx := st.Ctx()
 	switch idCoef {
 	case 1:
+		st.ownPending()
 		p := &PendingSend{
 			Node:    n.ID,
 			Shape:   PendShift,
@@ -189,6 +190,7 @@ func (st *State) IssueSend(ps *ProcSet, n *cfg.Node) bool {
 		if ps.Range.IsSingleton(ctx) != tri.True {
 			return false
 		}
+		st.ownPending()
 		dest := procset.Singleton(frozenOfs).Enrich(ctx)
 		p := &PendingSend{
 			Node:    n.ID,
@@ -320,7 +322,10 @@ func (st *State) MatchPending(receiver *ProcSet, src sym.Expr, idx int) (*Pendin
 	return nil, false
 }
 
-// ReplacePending swaps pending record idx for its leftover pieces.
+// ReplacePending swaps pending record idx for its leftover pieces. The
+// result is a fresh slice but keeps the surviving element pointers, so a
+// sharedPending flag (if set) must stay set — ownPending still deep-copies
+// the elements on the next element write.
 func (st *State) ReplacePending(idx int, rests []*PendingSend) {
 	out := make([]*PendingSend, 0, len(st.Pending)-1+len(rests))
 	out = append(out, st.Pending[:idx]...)
@@ -344,21 +349,36 @@ func (st *State) sortPending() {
 	})
 }
 
-// dropEmptyPendings removes pending records with provably empty ranges.
+// dropEmptyPendings removes pending records with provably empty ranges. The
+// filter allocates a fresh slice instead of compacting in place: the backing
+// array may be shared copy-on-write with a clone (see State.Clone), and an
+// in-place shift would corrupt the sharer's view. Element pointers survive,
+// so the shared flag is left alone.
 func (st *State) dropEmptyPendings() {
 	ctx := st.Ctx()
-	out := st.Pending[:0]
-	for _, p := range st.Pending {
-		if !p.Senders.IsValid() {
-			continue
-		}
-		if p.Senders.Empty(ctx) == tri.True {
-			continue
+	keep := func(p *PendingSend) bool {
+		if !p.Senders.IsValid() || p.Senders.Empty(ctx) == tri.True {
+			return false
 		}
 		if p.Shape == PendFan && (!p.Dests.IsValid() || p.Dests.Empty(ctx) == tri.True) {
-			continue
+			return false
 		}
-		out = append(out, p)
+		return true
+	}
+	n := 0
+	for _, p := range st.Pending {
+		if keep(p) {
+			n++
+		}
+	}
+	if n == len(st.Pending) {
+		return
+	}
+	out := make([]*PendingSend, 0, n)
+	for _, p := range st.Pending {
+		if keep(p) {
+			out = append(out, p)
+		}
 	}
 	st.Pending = out
 }

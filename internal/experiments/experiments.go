@@ -7,7 +7,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
@@ -60,30 +62,55 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// analysisRun is one instrumented analysis execution.
+// analysisRun is one instrumented analysis execution. stats is a pointer:
+// cg.Stats holds atomic counters and must not be copied.
 type analysisRun struct {
 	res     *core.Result
 	g       *cfg.Graph
 	matcher *cartesian.Matcher
-	stats   cg.Stats
+	stats   *cg.Stats
 	elapsed time.Duration
 }
 
 // runAnalysis analyzes a workload with the cartesian client on the given
 // constraint-graph backend, collecting closure instrumentation.
 func runAnalysis(w *bench.Workload, backend cg.Backend) (*analysisRun, error) {
-	_, g := w.Parse()
-	var stats cg.Stats
-	m := cartesian.New(core.ScanInvariants(g))
-	start := time.Now()
-	res, err := core.Analyze(g, core.Options{
-		Matcher: m,
-		CGOpts:  cg.Options{Backend: backend, Stats: &stats},
-	})
+	runs, err := runAnalyses([]*bench.Workload{w}, backend, 1)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", w.Name, err)
+		return nil, err
 	}
-	return &analysisRun{res: res, g: g, matcher: m, stats: stats, elapsed: time.Since(start)}, nil
+	return runs[0], nil
+}
+
+// runAnalyses analyzes a set of workloads through the core.AnalyzeAll
+// bounded worker pool, one matcher and stats record per workload, returning
+// instrumented runs in input order. parallelism <= 0 selects one worker per
+// CPU; 1 runs sequentially.
+func runAnalyses(ws []*bench.Workload, backend cg.Backend, parallelism int) ([]*analysisRun, error) {
+	runs := make([]*analysisRun, len(ws))
+	jobs := make([]core.Job, len(ws))
+	for i, w := range ws {
+		_, g := w.Parse()
+		stats := &cg.Stats{}
+		m := cartesian.New(core.ScanInvariants(g))
+		runs[i] = &analysisRun{g: g, matcher: m, stats: stats}
+		jobs[i] = core.Job{
+			Name: w.Name,
+			G:    g,
+			Opts: core.Options{
+				Matcher: m,
+				CGOpts:  cg.Options{Backend: backend, Stats: stats},
+			},
+		}
+	}
+	for i, jr := range core.AnalyzeAll(jobs, parallelism) {
+		if jr.Err != nil {
+			return nil, fmt.Errorf("%s: %w", jr.Name, jr.Err)
+		}
+		runs[i].res = jr.Res
+		runs[i].elapsed = jr.Elapsed
+	}
+	return runs, nil
 }
 
 // Fig2 regenerates the Figure 2 walkthrough: constant propagation across a
@@ -150,11 +177,13 @@ func Fig5() (*Table, error) {
 // Fig6 regenerates the NAS-CG transpose analysis for both grid shapes.
 func Fig6() (*Table, error) {
 	rows := []Row{}
-	for _, w := range []*bench.Workload{bench.TransposeSquare(), bench.TransposeRect()} {
-		run, err := runAnalysis(w, cg.ArrayBackend)
-		if err != nil {
-			return nil, err
-		}
+	ws := []*bench.Workload{bench.TransposeSquare(), bench.TransposeRect()}
+	runs, err := runAnalyses(ws, cg.ArrayBackend, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		run := runs[i]
 		kind := "square (ncols = nrows)"
 		scale := 3
 		if w.Name == "nascg_rect" {
@@ -289,9 +318,11 @@ func ProfileSectionIX() (*Table, error) {
 			{"analysis completes", "yes", yesNo(run.res.Clean())},
 			{"total analysis time", "381 s (2.8 GHz Opteron, C++ prototype)", run.elapsed.String()},
 			{"time maintaining dataflow state", "351 s = 92.5 %", fmt.Sprintf("%v = %.1f %%", st.MaintenanceTime().Round(time.Microsecond), share)},
-			{"O(n^2) incremental closures", "78 calls, avg 66.3 vars", fmt.Sprintf("%d calls, avg %.1f vars", st.IncrClosures, st.AvgIncrVars())},
-			{"joins/widenings (O(n^2) each)", "(within the 92.5 %)", fmt.Sprintf("%d calls, avg %.1f vars", st.Joins, st.AvgJoinVars())},
-			{"O(n^3) full closures", "217 calls, avg 52.3 vars", fmt.Sprintf("%d calls, avg %.1f vars (joins of closed DBMs stay closed)", st.FullClosures, st.AvgFullVars())},
+			{"O(n^2) incremental closures", "78 calls, avg 66.3 vars", fmt.Sprintf("%d calls, avg %.1f vars", st.IncrClosures(), st.AvgIncrVars())},
+			{"joins/widenings (O(n^2) each)", "(within the 92.5 %)", fmt.Sprintf("%d calls, avg %.1f vars", st.Joins(), st.AvgJoinVars())},
+			{"O(n^3) full closures", "217 calls, avg 52.3 vars", fmt.Sprintf("%d calls, avg %.1f vars (joins of closed DBMs stay closed)", st.FullClosures(), st.AvgFullVars())},
+			{"copy-on-write clones", "(not in paper: this repo's optimization)", fmt.Sprintf("%d O(1) clones, %d materialized on write", st.ClonesAvoided(), st.CoWMaterializations())},
+			{"match-cache hit rate", "(not in paper: this repo's optimization)", fmt.Sprintf("%.0f %% of %d HSM match queries", 100*run.matcher.Memo().HitRate(), run.matcher.Memo().Hits+run.matcher.Memo().Misses)},
 		},
 		Notes: "the paper's 92.5% closure share motivated its improvement list (arrays instead of containers, fewer variables, cheaper closure); this implementation applies those fixes — array DBMs, incremental O(n^2) closure, joins that preserve closure without an O(n^3) pass — which is why the maintenance share collapses from 92.5% to a few percent while call counts stay in the same range as the paper's",
 	}, nil
@@ -373,11 +404,13 @@ func Scaling() (*Table, error) {
 // workload.
 func Precision() (*Table, error) {
 	rows := []Row{}
-	for _, w := range bench.All() {
-		run, err := runAnalysis(w, cg.ArrayBackend)
-		if err != nil {
-			return nil, err
-		}
+	ws := bench.All()
+	runs, err := runAnalyses(ws, cg.ArrayBackend, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		run := runs[i]
 		pcfgEdges := map[[2]int]bool{}
 		for _, m := range run.res.Matches {
 			pcfgEdges[[2]int{m.SendNode, m.RecvNode}] = true
@@ -395,11 +428,13 @@ func Precision() (*Table, error) {
 // VerifyExp regenerates the error-detection experiment.
 func VerifyExp() (*Table, error) {
 	rows := []Row{}
-	for _, w := range []*bench.Workload{bench.LeakyBroadcast(), bench.TypeMismatch()} {
-		run, err := runAnalysis(w, cg.ArrayBackend)
-		if err != nil {
-			return nil, err
-		}
+	ws := []*bench.Workload{bench.LeakyBroadcast(), bench.TypeMismatch()}
+	runs, err := runAnalyses(ws, cg.ArrayBackend, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		run := runs[i]
 		rep := verify.Check(run.g, run.res)
 		kinds := map[string]int{}
 		for _, f := range rep.Findings {
@@ -499,18 +534,113 @@ func intPow(b, e int) int {
 	return out
 }
 
+// ParallelDriver regenerates the evaluation suite through core.AnalyzeAll
+// twice — sequentially and one-workload-per-core — and reports the wall
+// clock, the copy-on-write effectiveness across the whole suite, and that
+// the parallel run reproduces the sequential topologies exactly.
+func ParallelDriver() (*Table, error) {
+	ws := bench.All()
+	startSeq := time.Now()
+	seq, err := runAnalyses(ws, cg.ArrayBackend, 1)
+	if err != nil {
+		return nil, err
+	}
+	elSeq := time.Since(startSeq)
+	workers := runtime.NumCPU()
+	startPar := time.Now()
+	par, err := runAnalyses(ws, cg.ArrayBackend, workers)
+	if err != nil {
+		return nil, err
+	}
+	elPar := time.Since(startPar)
+	identical := true
+	cowOK := true
+	var clones, mats int64
+	for i := range ws {
+		if matchSummary(seq[i].res) != matchSummary(par[i].res) {
+			identical = false
+		}
+		if par[i].stats.ClonesAvoided() == 0 {
+			cowOK = false
+		}
+		clones += par[i].stats.ClonesAvoided()
+		mats += par[i].stats.CoWMaterializations()
+	}
+	speedup := 0.0
+	if elPar > 0 {
+		speedup = float64(elSeq) / float64(elPar)
+	}
+	return &Table{
+		ID:    "parallel",
+		Title: "Parallel analysis driver: the evaluation suite one-workload-per-core",
+		Rows: []Row{
+			{"workloads analyzed", "(full suite)", fmt.Sprintf("%d", len(ws))},
+			{"sequential wall clock", "(baseline)", elSeq.Round(time.Microsecond).String()},
+			{fmt.Sprintf("parallel wall clock (%d workers)", workers), "(lower)", fmt.Sprintf("%v (%.2fx speedup)", elPar.Round(time.Microsecond), speedup)},
+			{"parallel == sequential topologies", "yes (analyses are independent)", yesNo(identical)},
+			{"CoW clones avoided > 0 on every workload", "yes", yesNo(cowOK)},
+			{"suite totals", "(not in paper)", fmt.Sprintf("%d O(1) clones, %d materialized on write", clones, mats)},
+		},
+		Notes: "workload fixpoints share nothing; cg.Stats is atomic so even a shared stats record would aggregate safely",
+	}, nil
+}
+
+// builders lists every experiment in DESIGN.md order.
+func builders() []func() (*Table, error) {
+	return []func() (*Table, error){
+		Fig2, Fig5, Fig6, Fig7, TableI, ProfileSectionIX, Storage, Scaling, Precision, VerifyExp, Stencil, Aggregation, ParallelDriver,
+	}
+}
+
 // All runs every experiment in DESIGN.md order.
 func All() ([]*Table, error) {
-	builders := []func() (*Table, error){
-		Fig2, Fig5, Fig6, Fig7, TableI, ProfileSectionIX, Storage, Scaling, Precision, VerifyExp, Stencil, Aggregation,
-	}
 	var out []*Table
-	for _, b := range builders {
+	for _, b := range builders() {
 		t, err := b()
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, t)
+	}
+	return out, nil
+}
+
+// AllParallel regenerates every experiment with up to parallelism builders
+// in flight (the builders are independent), returning tables in the usual
+// order. parallelism <= 0 selects one worker per CPU.
+func AllParallel(parallelism int) ([]*Table, error) {
+	bs := builders()
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	if parallelism > len(bs) {
+		parallelism = len(bs)
+	}
+	if parallelism <= 1 {
+		return All()
+	}
+	out := make([]*Table, len(bs))
+	errs := make([]error, len(bs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = bs[i]()
+			}
+		}()
+	}
+	for i := range bs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

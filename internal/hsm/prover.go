@@ -1,7 +1,9 @@
 package hsm
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/sym"
 )
@@ -30,6 +32,17 @@ type Prover struct {
 	StatesExplored int
 	Proofs         int
 	Failures       int
+	// CacheHits counts queries answered from the memo table instead of
+	// re-running normalization or the BFS. Proofs/Failures still count
+	// cached decisions, so existing stats keep their meaning.
+	CacheHits int
+	// cache memoizes decided queries. A decision is a pure function of the
+	// two terms, the relation, the search bounds and the context facts, so
+	// the key fingerprints all of them (the context is mutable via
+	// WithInvariant/WithLowerBound, hence the fingerprint rather than an
+	// install-time snapshot). Both proofs and refutations are cached: the
+	// search is deterministic, so a failure at the same bounds repeats.
+	cache map[string]bool
 }
 
 // NewProver returns a prover over the context.
@@ -37,20 +50,89 @@ func NewProver(ctx *Ctx) *Prover {
 	return &Prover{Ctx: ctx, MaxStates: 4096, MaxDepth: 8}
 }
 
+// ctxFingerprint renders the context facts that influence decisions, in a
+// deterministic order, so cached results survive only as long as the facts
+// they were decided under.
+func (p *Prover) ctxFingerprint() string {
+	c := p.Ctx
+	if c == nil {
+		return ""
+	}
+	parts := make([]string, 0, len(c.Subst)+len(c.LowerBounds))
+	for v, e := range c.Subst {
+		parts = append(parts, v+"="+e.Key())
+	}
+	for v, lb := range c.LowerBounds {
+		parts = append(parts, fmt.Sprintf("%s>=%d", v, lb))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// cacheKey builds the memo key for relation rel over terms with keys ka, kb.
+func (p *Prover) cacheKey(rel, ka, kb string) string {
+	return fmt.Sprintf("%s\x1f%d\x1f%d\x1f%s\x1f%s\x1f%s",
+		rel, p.maxDepth(), p.maxStates(), p.ctxFingerprint(), ka, kb)
+}
+
+// lookup consults the memo table, maintaining the decision counters so the
+// hit is indistinguishable from a re-run (minus the work).
+func (p *Prover) lookup(key string) (bool, bool) {
+	res, ok := p.cache[key]
+	if ok {
+		p.CacheHits++
+		if res {
+			p.Proofs++
+		} else {
+			p.Failures++
+		}
+	}
+	return res, ok
+}
+
+func (p *Prover) store(key string, res bool) {
+	if p.cache == nil {
+		p.cache = map[string]bool{}
+	}
+	p.cache[key] = res
+}
+
 // SeqEqual reports whether a and b provably denote the same sequence.
 func (p *Prover) SeqEqual(a, b *HSM) bool {
+	key := p.cacheKey("seq", a.Key(), b.Key())
+	if res, ok := p.lookup(key); ok {
+		return res
+	}
 	na := p.Ctx.Normalize(a)
 	nb := p.Ctx.Normalize(b)
 	if Equal(na, nb) {
 		p.Proofs++
+		p.store(key, true)
 		return true
 	}
 	p.Failures++
+	p.store(key, false)
 	return false
 }
 
 // SetEqual reports whether a and b provably denote the same set of values.
+// The relation is symmetric, so the key orders the operands canonically and
+// one decision serves both argument orders.
 func (p *Prover) SetEqual(a, b *HSM) bool {
+	ka, kb := a.Key(), b.Key()
+	if kb < ka {
+		ka, kb = kb, ka
+	}
+	key := p.cacheKey("set", ka, kb)
+	if res, ok := p.lookup(key); ok {
+		return res
+	}
+	res := p.setEqualSearch(a, b)
+	p.store(key, res)
+	return res
+}
+
+func (p *Prover) setEqualSearch(a, b *HSM) bool {
 	na := p.Ctx.Normalize(a)
 	nb := p.Ctx.Normalize(b)
 	if Equal(na, nb) {

@@ -9,6 +9,7 @@ package sym
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -74,12 +75,79 @@ func normalize(ts []term) Expr {
 	return Expr{terms: out}
 }
 
-// Add returns a + b.
+// compareMonomials orders two sorted variable lists exactly as their
+// '*'-joined key strings would compare, without materializing the strings.
+// This must agree with normalize's sort.Strings order so that merged and
+// map-normalized expressions share one normal form.
+func compareMonomials(a, b []string) int {
+	ia, ja := 0, 0
+	ib, jb := 0, 0
+	for {
+		ca, oka := monomialByte(a, &ia, &ja)
+		cb, okb := monomialByte(b, &ib, &jb)
+		switch {
+		case !oka && !okb:
+			return 0
+		case !oka:
+			return -1
+		case !okb:
+			return 1
+		case ca != cb:
+			if ca < cb {
+				return -1
+			}
+			return 1
+		}
+	}
+}
+
+// monomialByte yields successive bytes of strings.Join(x, "*").
+func monomialByte(x []string, i, j *int) (byte, bool) {
+	for *i < len(x) {
+		if s := x[*i]; *j < len(s) {
+			c := s[*j]
+			*j++
+			return c, true
+		}
+		*i++
+		*j = 0
+		if *i < len(x) {
+			return '*', true
+		}
+	}
+	return 0, false
+}
+
+// Add returns a + b as a linear merge of the two normal forms (the hottest
+// operation in bound enrichment; the merge avoids normalize's map and sort).
 func Add(a, b Expr) Expr {
-	ts := make([]term, 0, len(a.terms)+len(b.terms))
-	ts = append(ts, a.terms...)
-	ts = append(ts, b.terms...)
-	return normalize(ts)
+	if len(a.terms) == 0 {
+		return b
+	}
+	if len(b.terms) == 0 {
+		return a
+	}
+	out := make([]term, 0, len(a.terms)+len(b.terms))
+	i, j := 0, 0
+	for i < len(a.terms) && j < len(b.terms) {
+		switch cmp := compareMonomials(a.terms[i].vars, b.terms[j].vars); {
+		case cmp < 0:
+			out = append(out, a.terms[i])
+			i++
+		case cmp > 0:
+			out = append(out, b.terms[j])
+			j++
+		default:
+			if c := a.terms[i].coef + b.terms[j].coef; c != 0 {
+				out = append(out, term{coef: c, vars: a.terms[i].vars})
+			}
+			i++
+			j++
+		}
+	}
+	out = append(out, a.terms[i:]...)
+	out = append(out, b.terms[j:]...)
+	return Expr{terms: out}
 }
 
 // Sub returns a - b.
@@ -96,6 +164,17 @@ func Neg(a Expr) Expr {
 
 // Mul returns a * b.
 func Mul(a, b Expr) Expr {
+	if len(a.terms) == 0 || len(b.terms) == 0 {
+		return Expr{}
+	}
+	// Constant factors scale coefficients in place and preserve the normal
+	// form, skipping the general product + normalize.
+	if c, ok := b.IsConst(); ok {
+		return scaleTerms(a, c)
+	}
+	if c, ok := a.IsConst(); ok {
+		return scaleTerms(b, c)
+	}
 	var ts []term
 	for _, ta := range a.terms {
 		for _, tb := range b.terms {
@@ -109,11 +188,47 @@ func Mul(a, b Expr) Expr {
 	return normalize(ts)
 }
 
-// Scale returns c * a.
-func Scale(a Expr, c int64) Expr { return Mul(a, Const(c)) }
+// scaleTerms multiplies every coefficient by the nonzero-checked constant c.
+func scaleTerms(a Expr, c int64) Expr {
+	if c == 0 {
+		return Expr{}
+	}
+	if c == 1 {
+		return a
+	}
+	ts := make([]term, len(a.terms))
+	for i, t := range a.terms {
+		ts[i] = term{coef: c * t.coef, vars: t.vars}
+	}
+	return Expr{terms: ts}
+}
 
-// AddConst returns a + c.
-func AddConst(a Expr, c int64) Expr { return Add(a, Const(c)) }
+// Scale returns c * a.
+func Scale(a Expr, c int64) Expr { return scaleTerms(a, c) }
+
+// AddConst returns a + c without building the intermediate constant
+// polynomial: the constant monomial (empty key) always sorts first.
+func AddConst(a Expr, c int64) Expr {
+	if c == 0 {
+		return a
+	}
+	if len(a.terms) == 0 {
+		return Const(c)
+	}
+	if len(a.terms[0].vars) == 0 {
+		nc := a.terms[0].coef + c
+		if nc == 0 {
+			return Expr{terms: a.terms[1:]}
+		}
+		ts := append([]term(nil), a.terms...)
+		ts[0].coef = nc
+		return Expr{terms: ts}
+	}
+	ts := make([]term, 0, len(a.terms)+1)
+	ts = append(ts, term{coef: c})
+	ts = append(ts, a.terms...)
+	return Expr{terms: ts}
+}
 
 // IsZero reports whether e is the polynomial 0.
 func (e Expr) IsZero() bool { return len(e.terms) == 0 }
@@ -144,8 +259,35 @@ func Equal(a, b Expr) bool {
 	return true
 }
 
-// Key returns a canonical string usable as a map key.
-func (e Expr) Key() string { return e.String() }
+// Key returns a canonical string usable as a map key. Unlike String it
+// serializes the normal form directly — no re-ordering, one builder pass —
+// because Key sits on the hot dedup/memoization paths (bound atom sets, HSM
+// prover cache, match memo).
+func (e Expr) Key() string {
+	if len(e.terms) == 0 {
+		return "0"
+	}
+	n := 0
+	for _, t := range e.terms {
+		n += 4 + len(t.vars)
+		for _, v := range t.vars {
+			n += len(v)
+		}
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for i, t := range e.terms {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(strconv.FormatInt(t.coef, 10))
+		for _, v := range t.vars {
+			b.WriteByte('*')
+			b.WriteString(v)
+		}
+	}
+	return b.String()
+}
 
 // Vars returns the sorted set of distinct variables appearing in e.
 func (e Expr) Vars() []string {
@@ -244,6 +386,9 @@ func (e Expr) ConstTerm() int64 {
 
 // Subst returns e with every occurrence of variable name replaced by repl.
 func Subst(e Expr, name string, repl Expr) Expr {
+	if !e.Uses(name) {
+		return e
+	}
 	out := Zero
 	for _, t := range e.terms {
 		mono := Const(t.coef)
@@ -262,6 +407,21 @@ func Subst(e Expr, name string, repl Expr) Expr {
 // SubstAll applies all substitutions in env simultaneously (each variable is
 // replaced once; replacements are not re-substituted).
 func SubstAll(e Expr, env map[string]Expr) Expr {
+	hit := false
+	for _, t := range e.terms {
+		for _, v := range t.vars {
+			if _, ok := env[v]; ok {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			break
+		}
+	}
+	if !hit {
+		return e
+	}
 	out := Zero
 	for _, t := range e.terms {
 		mono := Const(t.coef)
@@ -346,18 +506,16 @@ func (e Expr) String() string {
 	if len(e.terms) == 0 {
 		return "0"
 	}
-	// Render variables (higher degree first) before the constant term for
-	// readability; terms slice is sorted by key which places constants
-	// (empty key) first, so iterate in reverse-stable order.
-	ordered := make([]term, len(e.terms))
-	copy(ordered, e.terms)
-	sort.SliceStable(ordered, func(i, j int) bool {
-		di, dj := len(ordered[i].vars), len(ordered[j].vars)
-		if (di == 0) != (dj == 0) {
-			return dj == 0 // constants last
-		}
-		return ordered[i].key() < ordered[j].key()
-	})
+	// Render variables before the constant term for readability. The normal
+	// form is sorted by monomial key, which places the (single) constant
+	// term first, so rotating it to the back reproduces the display order
+	// without copying and re-sorting.
+	ordered := e.terms
+	if len(ordered[0].vars) == 0 && len(ordered) > 1 {
+		rot := make([]term, 0, len(ordered))
+		rot = append(rot, ordered[1:]...)
+		ordered = append(rot, ordered[0])
+	}
 	var b strings.Builder
 	for i, t := range ordered {
 		c := t.coef
