@@ -10,23 +10,45 @@
 //	                            run one experiment (fig2, fig5, fig6, fig7,
 //	                            table1, profile, storage, scaling,
 //	                            precision, verify, stencil, aggregation,
-//	                            parallel) or all (default). With all,
-//	                            -parallel bounds how many experiments run
-//	                            concurrently (0 = one per CPU, 1 = serial).
+//	                            parallel, engine) or all (default). With
+//	                            all, -parallel bounds how many experiments
+//	                            run concurrently (0 = one per CPU,
+//	                            1 = serial).
+//	psdf-bench -engine-workers 1,2,4,8 [-engine-out BENCH_engine.json]
+//	                            benchmark the parallel worklist engine at
+//	                            each worker count (testing.Benchmark) and
+//	                            write the machine-readable results.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"testing"
 
+	"repro/internal/bench"
+	"repro/internal/clients/cartesian"
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	parallel := flag.Int("parallel", 0, "worker bound for -exp all (0 = one per CPU, 1 = sequential)")
+	engineWorkers := flag.String("engine-workers", "", "comma-separated worker counts (e.g. 1,2,4,8): benchmark the parallel worklist engine and write machine-readable results")
+	engineOut := flag.String("engine-out", "BENCH_engine.json", "output path for -engine-workers results")
 	flag.Parse()
+
+	if *engineWorkers != "" {
+		if err := runEngineBench(*engineWorkers, *engineOut); err != nil {
+			fmt.Fprintln(os.Stderr, "psdf-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	byID := map[string]func() (*experiments.Table, error){
 		"fig2":        experiments.Fig2,
@@ -42,6 +64,7 @@ func main() {
 		"stencil":     experiments.Stencil,
 		"aggregation": experiments.Aggregation,
 		"parallel":    experiments.ParallelDriver,
+		"engine":      experiments.Engine,
 	}
 
 	if *exp == "all" {
@@ -66,4 +89,76 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(t)
+}
+
+// engineBenchRecord is one machine-readable benchmark measurement of the
+// parallel worklist engine.
+type engineBenchRecord struct {
+	Workload    string `json:"workload"`
+	Workers     int    `json:"workers"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// runEngineBench benchmarks the intra-analysis engine at each requested
+// worker count on the wide-frontier workloads and writes the results as
+// JSON (one record per workload x worker count).
+func runEngineBench(spec, outPath string) error {
+	var counts []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -engine-workers entry %q", f)
+		}
+		counts = append(counts, n)
+	}
+	ws := []*bench.Workload{bench.Fig7Shift(), bench.Stencil1D(), bench.TransposeSquare(), bench.TransposeRect()}
+	var recs []engineBenchRecord
+	for _, w := range ws {
+		for _, workers := range counts {
+			w, workers := w, workers
+			var failure error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, g := w.Parse()
+					m := cartesian.New(core.ScanInvariants(g))
+					res, err := core.Analyze(g, core.Options{Matcher: m, Workers: workers})
+					if err != nil {
+						failure = err
+						b.FailNow()
+					}
+					if !res.Clean() {
+						failure = fmt.Errorf("analysis not clean: %v", res.TopReasons())
+						b.FailNow()
+					}
+				}
+			})
+			if failure != nil {
+				return fmt.Errorf("%s workers=%d: %w", w.Name, workers, failure)
+			}
+			rec := engineBenchRecord{
+				Workload:    w.Name,
+				Workers:     workers,
+				Iterations:  r.N,
+				NsPerOp:     r.NsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+			recs = append(recs, rec)
+			fmt.Printf("%-18s workers=%d  %12d ns/op  %8d B/op  %6d allocs/op\n",
+				rec.Workload, rec.Workers, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+		}
+	}
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d records)\n", outPath, len(recs))
+	return nil
 }

@@ -8,7 +8,11 @@
 // Usage:
 //
 //	psdf-run -np N [-env k=v,k=v] [-rendezvous] program.mpl
-//	psdf-run -analyze [-parallel n] [-nonblocking] program.mpl [more.mpl ...]
+//	psdf-run -analyze [-parallel n] [-workers n] [-schedule s] [-nonblocking] program.mpl [more.mpl ...]
+//
+// -parallel bounds how many programs are analyzed at once; -workers sets
+// the number of goroutines driving the worklist inside each analysis
+// (the parallel intra-analysis engine), and -schedule its visit order.
 package main
 
 import (
@@ -36,6 +40,8 @@ func main() {
 		analyze     = flag.Bool("analyze", false, "run the static analysis instead of the simulator (accepts multiple programs)")
 		parallel    = flag.Int("parallel", 0, "with -analyze: worker bound (0 = one per CPU, 1 = sequential)")
 		nonblocking = flag.Bool("nonblocking", false, "with -analyze: enable the Section X non-blocking send extension")
+		workers     = flag.Int("workers", 1, "with -analyze: worker goroutines inside each analysis (parallel worklist engine)")
+		schedule    = flag.String("schedule", "", "with -analyze: worklist order (fifo, lifo or shape; default fifo)")
 	)
 	flag.Parse()
 	if *analyze {
@@ -44,7 +50,7 @@ func main() {
 			flag.PrintDefaults()
 			os.Exit(2)
 		}
-		if err := runAnalyses(flag.Args(), *parallel, *nonblocking); err != nil {
+		if err := runAnalyses(flag.Args(), *parallel, *nonblocking, *workers, *schedule); err != nil {
 			fmt.Fprintln(os.Stderr, "psdf-run:", err)
 			os.Exit(1)
 		}
@@ -99,7 +105,7 @@ func buildCFG(path string) (*cfg.Graph, error) {
 // runAnalyses statically analyzes every program through the bounded worker
 // pool and prints each topology. Every job gets its own matcher (matcher
 // instrumentation and memo tables are not race-safe to share).
-func runAnalyses(paths []string, parallelism int, nonblocking bool) error {
+func runAnalyses(paths []string, parallelism int, nonblocking bool, workers int, schedule string) error {
 	jobs := make([]core.Job, 0, len(paths))
 	for _, path := range paths {
 		g, err := buildCFG(path)
@@ -112,6 +118,8 @@ func runAnalyses(paths []string, parallelism int, nonblocking bool) error {
 			Opts: core.Options{
 				Matcher:          cartesian.New(core.ScanInvariants(g)),
 				NonBlockingSends: nonblocking,
+				Workers:          workers,
+				Schedule:         schedule,
 			},
 		})
 	}

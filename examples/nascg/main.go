@@ -38,7 +38,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("cartesian client (Section VIII): clean=%v, HSM proofs=%d\n", res.Clean(), m.HSMMatches)
+		fmt.Printf("cartesian client (Section VIII): clean=%v, HSM proofs=%d\n", res.Clean(), m.HSMMatchCount())
 		for _, match := range res.Matches {
 			fmt.Printf("  exchange: %s -> %s\n", match.Sender, match.Receiver)
 		}

@@ -64,11 +64,11 @@ func (b Backend) String() string {
 // contention-free accounting, give each worker its own Stats and combine
 // them with Merge.
 type Stats struct {
-	fullClosures   atomic.Int64 // number of O(n^3) closure passes
-	fullVarsSum    atomic.Int64 // sum of variable counts over those passes
-	incrClosures   atomic.Int64 // number of O(n^2) incremental updates
-	incrVarsSum    atomic.Int64 // sum of variable counts over those updates
-	closureTimeNs  atomic.Int64 // total wall time inside closure code
+	fullClosures  atomic.Int64 // number of O(n^3) closure passes
+	fullVarsSum   atomic.Int64 // sum of variable counts over those passes
+	incrClosures  atomic.Int64 // number of O(n^2) incremental updates
+	incrVarsSum   atomic.Int64 // sum of variable counts over those updates
+	closureTimeNs atomic.Int64 // total wall time inside closure code
 	// State-maintenance accounting beyond closure: joins, widenings and
 	// graph copies, the other costs of keeping the dataflow state at each
 	// pCFG node consistent (the paper's Section IX "92.5%" covers all of
@@ -80,6 +80,14 @@ type Stats struct {
 	// the shared matrices that were eventually materialized by a write.
 	clonesAvoided       atomic.Int64
 	cowMaterializations atomic.Int64
+	// Parallel-engine accounting: canonical-key serializations served from
+	// the per-state cache vs rebuilt, worklist pushes coalesced into an
+	// already-queued configuration (re-visits the scheduler saved), and
+	// configuration-table shard lock acquisitions that had to wait.
+	keyCacheHits    atomic.Int64
+	keyCacheMisses  atomic.Int64
+	schedCoalesced  atomic.Int64
+	shardContention atomic.Int64
 }
 
 // FullClosures returns the number of O(n^3) closure passes.
@@ -98,6 +106,59 @@ func (s *Stats) ClonesAvoided() int64 { return s.clonesAvoided.Load() }
 // CoWMaterializations returns how many shared matrices were deep-copied on
 // first write.
 func (s *Stats) CoWMaterializations() int64 { return s.cowMaterializations.Load() }
+
+// KeyCacheHits returns how many FullKey/ShapeKey requests were served from
+// the per-state key cache.
+func (s *Stats) KeyCacheHits() int64 { return s.keyCacheHits.Load() }
+
+// KeyCacheMisses returns how many FullKey/ShapeKey requests rebuilt the key.
+func (s *Stats) KeyCacheMisses() int64 { return s.keyCacheMisses.Load() }
+
+// KeyCacheHitRate returns the fraction of key requests served from cache.
+func (s *Stats) KeyCacheHitRate() float64 {
+	h, m := s.keyCacheHits.Load(), s.keyCacheMisses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// SchedCoalesced returns how many worklist pushes were absorbed into an
+// already-queued configuration — re-visits the scheduler saved.
+func (s *Stats) SchedCoalesced() int64 { return s.schedCoalesced.Load() }
+
+// ShardContention returns how many shard lock acquisitions found the lock
+// already held (parallel engine only).
+func (s *Stats) ShardContention() int64 { return s.shardContention.Load() }
+
+// AddKeyCacheHits bumps the key-cache hit counter. Safe on a nil receiver.
+func (s *Stats) AddKeyCacheHits(n int64) {
+	if s != nil {
+		s.keyCacheHits.Add(n)
+	}
+}
+
+// AddKeyCacheMisses bumps the key-cache miss counter. Safe on a nil receiver.
+func (s *Stats) AddKeyCacheMisses(n int64) {
+	if s != nil {
+		s.keyCacheMisses.Add(n)
+	}
+}
+
+// AddSchedCoalesced bumps the coalesced-push counter. Safe on a nil receiver.
+func (s *Stats) AddSchedCoalesced(n int64) {
+	if s != nil {
+		s.schedCoalesced.Add(n)
+	}
+}
+
+// AddShardContention bumps the shard-contention counter. Safe on a nil
+// receiver.
+func (s *Stats) AddShardContention(n int64) {
+	if s != nil {
+		s.shardContention.Add(n)
+	}
+}
 
 // ClosureTime returns total wall time inside closure code.
 func (s *Stats) ClosureTime() time.Duration { return time.Duration(s.closureTimeNs.Load()) }
@@ -146,6 +207,10 @@ func (s *Stats) Merge(o *Stats) {
 	s.maintainTimeNs.Add(o.maintainTimeNs.Load())
 	s.clonesAvoided.Add(o.clonesAvoided.Load())
 	s.cowMaterializations.Add(o.cowMaterializations.Load())
+	s.keyCacheHits.Add(o.keyCacheHits.Load())
+	s.keyCacheMisses.Add(o.keyCacheMisses.Load())
+	s.schedCoalesced.Add(o.schedCoalesced.Load())
+	s.shardContention.Add(o.shardContention.Load())
 }
 
 // Reset zeroes the counters.
@@ -160,6 +225,10 @@ func (s *Stats) Reset() {
 	s.maintainTimeNs.Store(0)
 	s.clonesAvoided.Store(0)
 	s.cowMaterializations.Store(0)
+	s.keyCacheHits.Store(0)
+	s.keyCacheMisses.Store(0)
+	s.schedCoalesced.Store(0)
+	s.shardContention.Store(0)
 }
 
 // Options configures graph construction.
@@ -185,6 +254,12 @@ type Graph struct {
 	sparse     map[int64]int64 // MapBackend; missing key = Inf
 	consistent bool
 	cow        *cowRef // sharing record for names/ids/dense/sparse
+	// ver counts content mutations of this graph struct. Callers that cache
+	// renderings derived from the graph (core.State's canonical keys) pair
+	// it with the graph's identity to detect staleness. Clone copies the
+	// current version; the clone and the original then version
+	// independently.
+	ver uint64
 }
 
 // cowRef counts the graphs sharing one storage generation. The count is
@@ -218,6 +293,10 @@ func NewDefault() *Graph { return New(Options{}) }
 // variable table and matrix first (the deferred cost of an earlier O(1)
 // Clone).
 func (g *Graph) materialize() {
+	// Every content mutation passes through here before writing, so this is
+	// the one place (plus the AddLE/MarkInconsistent early-outs that flip
+	// consistency without touching storage) that advances the version.
+	g.ver++
 	if g.cow.refs.Load() == 1 {
 		return
 	}
@@ -328,7 +407,18 @@ func (g *Graph) HasVar(name string) bool {
 func (g *Graph) Consistent() bool { return g.consistent }
 
 // MarkInconsistent forces the graph into the unsatisfiable state.
-func (g *Graph) MarkInconsistent() { g.consistent = false }
+func (g *Graph) MarkInconsistent() {
+	g.consistent = false
+	g.ver++
+}
+
+// Version returns the mutation counter for this graph struct. Paired with
+// the *Graph identity it tells cached-key holders whether the graph has
+// changed since the key was built.
+func (g *Graph) Version() uint64 { return g.ver }
+
+// StatsHandle returns the shared instrumentation sink, or nil.
+func (g *Graph) StatsHandle() *Stats { return g.opts.Stats }
 
 // AddVar ensures name is present (unconstrained if new).
 func (g *Graph) AddVar(name string) { g.intern(name) }
@@ -344,6 +434,7 @@ func (g *Graph) AddLE(x, y string, c int64) bool {
 	if i == j {
 		if c < 0 {
 			g.consistent = false
+			g.ver++
 		}
 		return g.consistent
 	}
@@ -353,6 +444,7 @@ func (g *Graph) AddLE(x, y string, c int64) bool {
 	// Inconsistency: existing bound j - i <= d with c + d < 0.
 	if d := g.get(j, i); d < Inf && c+d < 0 {
 		g.consistent = false
+		g.ver++
 		return false
 	}
 	g.materialize()

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/clients/symbolic"
@@ -19,11 +21,19 @@ import (
 	"repro/internal/sym"
 )
 
-// Matcher is the Section VIII client analysis.
+// Matcher is the Section VIII client analysis. It is safe for concurrent
+// use: the embedded symbolic matcher and the match memo are
+// concurrency-safe, and the stateful HSM prover (search counters + proof
+// cache) runs under proveMu — only actual proof searches serialize, and
+// those are rare because repeat queries are answered by the memo without
+// touching the prover.
 type Matcher struct {
 	simple symbolic.Matcher
 	ctx    *hsm.Ctx
 	prover *hsm.Prover
+	// proveMu serializes prover searches (and their Ctx-driven term
+	// conversions) across engine workers.
+	proveMu sync.Mutex
 
 	// memo caches whole-set HSM match decisions. The HSM proof outcome is a
 	// pure function of (identity HSMs, communication expressions, global
@@ -35,12 +45,18 @@ type Matcher struct {
 	memo  core.MatchMemo
 	invFP string
 
-	// HSMMatches counts matches proved by HSM reasoning (instrumentation:
-	// matches the simple client could not handle).
-	HSMMatches int
-	// HSMAttempts counts HSM match attempts.
-	HSMAttempts int
+	// hsmMatches counts matches proved by HSM reasoning (instrumentation:
+	// matches the simple client could not handle); hsmAttempts counts HSM
+	// match attempts.
+	hsmMatches  atomic.Int64
+	hsmAttempts atomic.Int64
 }
+
+// HSMMatchCount reports matches proved by HSM reasoning.
+func (m *Matcher) HSMMatchCount() int { return int(m.hsmMatches.Load()) }
+
+// HSMAttemptCount reports HSM match attempts.
+func (m *Matcher) HSMAttemptCount() int { return int(m.hsmAttempts.Load()) }
 
 // New builds a cartesian matcher from the program's global invariants
 // (collected with core.ScanInvariants): multiplicative equalities such as
@@ -69,7 +85,7 @@ func (m *Matcher) Prover() *hsm.Prover { return m.prover }
 
 // SimpleMatches reports how many matches the embedded Section VII matcher
 // handled.
-func (m *Matcher) SimpleMatches() int { return m.simple.Matches }
+func (m *Matcher) SimpleMatches() int { return m.simple.MatchCount() }
 
 // Memo exposes the match-decision cache (instrumentation).
 func (m *Matcher) Memo() *core.MatchMemo { return &m.memo }
@@ -82,6 +98,11 @@ func (m *Matcher) hsmDecision(sIDH, rIDH *hsm.HSM, dest, src ast.Expr) bool {
 	key := core.MatchKey(m.invFP, sIDH.Key(), rIDH.Key(), dest.String(), src.String())
 	if res, ok := m.memo.Lookup(key); ok {
 		return res
+	}
+	m.proveMu.Lock()
+	defer m.proveMu.Unlock()
+	if res, ok := m.memo.Lookup(key); ok {
+		return res // decided by a racing worker while we waited
 	}
 	res := func() bool {
 		hd, err := m.ctx.Convert(dest, sIDH)
@@ -109,7 +130,7 @@ func (m *Matcher) Match(st *core.State, sender *core.ProcSet, dest ast.Expr, rec
 	if plan, ok := m.simple.Match(st, sender, dest, receiver, src); ok {
 		return plan, ok
 	}
-	m.HSMAttempts++
+	m.hsmAttempts.Add(1)
 	sIDH, ok := m.idHSM(sender)
 	if !ok {
 		return nil, false
@@ -126,7 +147,7 @@ func (m *Matcher) Match(st *core.State, sender *core.ProcSet, dest ast.Expr, rec
 	if !m.hsmDecision(sIDH, rIDH, dest, src) {
 		return nil, false
 	}
-	m.HSMMatches++
+	m.hsmMatches.Add(1)
 	return &core.MatchPlan{
 		SenderMatched: sender.Range,
 		RecvMatched:   receiver.Range,
@@ -141,7 +162,7 @@ func (m *Matcher) SelfMatch(st *core.State, ps *core.ProcSet, dest, src ast.Expr
 	if m.simple.SelfMatch(st, ps, dest, src) {
 		return true
 	}
-	m.HSMAttempts++
+	m.hsmAttempts.Add(1)
 	idh, ok := m.idHSM(ps)
 	if !ok {
 		return false
@@ -149,7 +170,7 @@ func (m *Matcher) SelfMatch(st *core.State, ps *core.ProcSet, dest, src ast.Expr
 	if !m.hsmDecision(idh, idh, dest, src) {
 		return false
 	}
-	m.HSMMatches++
+	m.hsmMatches.Add(1)
 	return true
 }
 

@@ -52,7 +52,7 @@ func TestNASCGSquareTranspose(t *testing.T) {
 	if match.Sender.String() != "[0..np - 1]" || match.Receiver.String() != "[0..np - 1]" {
 		t.Errorf("exchange ranges = %v -> %v, want whole set", match.Sender, match.Receiver)
 	}
-	if m.HSMMatches == 0 {
+	if m.HSMMatchCount() == 0 {
 		t.Error("expected the HSM prover to perform the match")
 	}
 }
@@ -74,7 +74,7 @@ func TestNASCGRectTranspose(t *testing.T) {
 	if len(res.Matches) != 1 {
 		t.Fatalf("matches = %v, want 1", res.Matches)
 	}
-	if m.HSMMatches == 0 {
+	if m.HSMMatchCount() == 0 {
 		t.Error("expected HSM match")
 	}
 }
@@ -120,8 +120,8 @@ func TestCartesianSubsumesSymbolic(t *testing.T) {
 	if m.SimpleMatches() == 0 {
 		t.Error("simple matcher should have handled the var+c matches")
 	}
-	if m.HSMMatches != 0 {
-		t.Errorf("HSM matches = %d, want 0", m.HSMMatches)
+	if m.HSMMatchCount() != 0 {
+		t.Errorf("HSM matches = %d, want 0", m.HSMMatchCount())
 	}
 }
 

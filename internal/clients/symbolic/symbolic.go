@@ -11,6 +11,8 @@
 package symbolic
 
 import (
+	"sync/atomic"
+
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/procset"
@@ -18,13 +20,19 @@ import (
 	"repro/internal/tri"
 )
 
-// Matcher is the Section VII client. The zero value is ready to use.
+// Matcher is the Section VII client. The zero value is ready to use; the
+// matcher is safe for concurrent use (its instrumentation counters are
+// atomic and matching itself only reads the querying state).
 type Matcher struct {
-	// Matches counts successful match operations (instrumentation).
-	Matches int
-	// Attempts counts match attempts.
-	Attempts int
+	matches  atomic.Int64 // successful match operations (instrumentation)
+	attempts atomic.Int64 // match attempts
 }
+
+// MatchCount reports successful match operations.
+func (m *Matcher) MatchCount() int { return int(m.matches.Load()) }
+
+// AttemptCount reports match attempts.
+func (m *Matcher) AttemptCount() int { return int(m.attempts.Load()) }
 
 // Name identifies the client analysis.
 func (m *Matcher) Name() string { return "symbolic" }
@@ -39,7 +47,7 @@ func classify(e sym.Expr) (idCoef int64, offset sym.Expr) {
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(st *core.State, sender *core.ProcSet, dest ast.Expr, receiver *core.ProcSet, src ast.Expr) (*core.MatchPlan, bool) {
-	m.Attempts++
+	m.attempts.Add(1)
 	d, ok := st.AffineExprID(sender, dest)
 	if !ok {
 		return nil, false
@@ -88,7 +96,7 @@ func (m *Matcher) Match(st *core.State, sender *core.ProcSet, dest ast.Expr, rec
 	if plan == nil {
 		return nil, false
 	}
-	m.Matches++
+	m.matches.Add(1)
 	return plan, true
 }
 

@@ -133,21 +133,21 @@ func TestMatchCacheHits(t *testing.T) {
 	// The single analysis already repeats queries across the join/widen
 	// revisits of the loop head; re-analyzing with the same matcher must
 	// hit for every query of the second run.
-	missesAfterFirst := m.Memo().Misses
+	missesAfterFirst := m.Memo().MissCount()
 	if _, err := core.Analyze(g, core.Options{Matcher: m}); err != nil {
 		t.Fatal(err)
 	}
 	memo := m.Memo()
-	if memo.Hits == 0 {
-		t.Fatalf("no cache hits: hits=%d misses=%d", memo.Hits, memo.Misses)
+	if memo.HitCount() == 0 {
+		t.Fatalf("no cache hits: hits=%d misses=%d", memo.HitCount(), memo.MissCount())
 	}
-	if memo.Misses != missesAfterFirst {
-		t.Errorf("second identical analysis missed the cache: %d -> %d misses", missesAfterFirst, memo.Misses)
+	if memo.MissCount() != missesAfterFirst {
+		t.Errorf("second identical analysis missed the cache: %d -> %d misses", missesAfterFirst, memo.MissCount())
 	}
 	if memo.HitRate() <= 0 {
 		t.Errorf("HitRate = %v, want > 0", memo.HitRate())
 	}
-	if p := m.Prover(); p.CacheHits == 0 && memo.Hits == 0 {
+	if p := m.Prover(); p.CacheHits == 0 && memo.HitCount() == 0 {
 		t.Error("neither matcher memo nor prover cache hit")
 	}
 }

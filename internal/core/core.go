@@ -108,6 +108,44 @@ type State struct {
 	// the same element set) need no copy.
 	sharedMatches bool
 	sharedPending bool
+	// Canonical-key cache: FullKey/ShapeKey serializations are expensive
+	// (sorts plus a full constraint-graph rendering), and the engine asks
+	// for them on every table revisit. A cached key is valid while the
+	// configuration content is unchanged: constraint-graph changes are
+	// tracked by (graph identity, graph version); Sets/Matches/Pending/Top
+	// changes by explicit dirtyKeys calls in the State-level mutators.
+	// Clone deliberately does not copy the cache — transfer functions
+	// mutate fresh clones through direct field writes that bypass
+	// dirtyKeys, so clones must start cold.
+	ckFull  keyCache
+	ckShape keyCache
+}
+
+// keyCache is one cached canonical-key rendering, stamped with the graph
+// identity and version it was built against.
+type keyCache struct {
+	key  string
+	ok   bool
+	g    *cg.Graph
+	gVer uint64
+}
+
+// valid reports whether the cached key is still trustworthy for graph g.
+func (c *keyCache) valid(g *cg.Graph) bool {
+	return c.ok && c.g == g && c.gVer == g.Version()
+}
+
+// store records a freshly built key against the current graph state.
+func (c *keyCache) store(key string, g *cg.Graph) {
+	*c = keyCache{key: key, ok: true, g: g, gVer: g.Version()}
+}
+
+// dirtyKeys invalidates the cached canonical keys. Every State method that
+// changes key-relevant content (Sets, Matches, Pending, Top) must call it;
+// constraint-graph mutations are caught by the graph version instead.
+func (st *State) dirtyKeys() {
+	st.ckFull.ok = false
+	st.ckShape.ok = false
 }
 
 // SetAssignedVars installs the set of program variables that are written
@@ -215,6 +253,7 @@ func (st *State) Set(id int) *ProcSet {
 // MarkTop sends the configuration to ⊤ with a reason (the framework's
 // give-up transition).
 func (st *State) MarkTop(why string) {
+	st.dirtyKeys()
 	st.Top = true
 	if st.TopWhy == "" {
 		st.TopWhy = why
@@ -273,6 +312,7 @@ func (st *State) DropNamespace(id int) {
 // and a fresh set receives second (with a copied namespace). Returns the new
 // set. Both remain at ps's node with ps's blocked flag.
 func (st *State) SplitSet(ps *ProcSet, first, second procset.Set) *ProcSet {
+	st.dirtyKeys()
 	nid := st.FreshID()
 	st.CopyNamespace(ps.ID, nid)
 	ps.Range = first
@@ -284,6 +324,7 @@ func (st *State) SplitSet(ps *ProcSet, first, second procset.Set) *ProcSet {
 // RemoveSet deletes the set with the given id (discovered empty), forgetting
 // its namespace.
 func (st *State) RemoveSet(id int) {
+	st.dirtyKeys()
 	st.invalidateNamespace(id)
 	st.DropNamespace(id)
 	for i, p := range st.Sets {
@@ -299,6 +340,7 @@ func (st *State) RemoveSet(id int) {
 // join of "a's view" and "b's view renamed to a" — each variable keeps only
 // facts valid for both subsets.
 func (st *State) MergeSets(a, b *ProcSet, merged procset.Set) {
+	st.dirtyKeys()
 	// Ranges and matches may reference per-set variables whose facts the
 	// merge will weaken or drop (e.g. the root's loop counter i with i = np
 	// at the loop exit); rewrite them to equality witnesses first.
@@ -334,6 +376,7 @@ func (st *State) MergeSets(a, b *ProcSet, merged procset.Set) {
 }
 
 func (st *State) removeSetKeepingRanges(id int) {
+	st.dirtyKeys()
 	for i, p := range st.Sets {
 		if p.ID == id {
 			st.Sets = append(st.Sets[:i], st.Sets[i+1:]...)
@@ -405,6 +448,11 @@ func (st *State) ShapeKey() string {
 	if st.Top {
 		return "TOP"
 	}
+	if st.ckShape.valid(st.G) {
+		st.G.StatsHandle().AddKeyCacheHits(1)
+		return st.ckShape.key
+	}
+	st.G.StatsHandle().AddKeyCacheMisses(1)
 	st.sortCanonical()
 	st.sortPending()
 	parts := make([]string, len(st.Sets))
@@ -419,6 +467,7 @@ func (st *State) ShapeKey() string {
 	for _, p := range st.Pending {
 		key += fmt.Sprintf("|p%d%s", p.Node, p.Shape)
 	}
+	st.ckShape.store(key, st.G)
 	return key
 }
 
@@ -428,6 +477,11 @@ func (st *State) FullKey() string {
 	if st.Top {
 		return "TOP:" + st.TopWhy
 	}
+	if st.ckFull.valid(st.G) {
+		st.G.StatsHandle().AddKeyCacheHits(1)
+		return st.ckFull.key
+	}
+	st.G.StatsHandle().AddKeyCacheMisses(1)
 	st.sortCanonical()
 	var b strings.Builder
 	for _, p := range st.Sets {
@@ -455,7 +509,9 @@ func (st *State) FullKey() string {
 		}
 		b.WriteString(";")
 	}
-	return b.String()
+	key := b.String()
+	st.ckFull.store(key, st.G)
+	return key
 }
 
 // AlignTo renames st's set IDs positionally onto ref's (both must share the
@@ -483,6 +539,7 @@ func (st *State) AlignTo(ref *State) {
 
 // renameSets applies a simultaneous set-ID renaming.
 func (st *State) renameSets(mapping map[int]int) {
+	st.dirtyKeys()
 	// Two-phase variable rename through temporaries to avoid collisions.
 	var renames [][2]string
 	for from, to := range mapping {
@@ -535,6 +592,7 @@ func maxID(sets []*ProcSet) int {
 // SubstEverywhere rewrites a variable in all ranges and match records (used
 // by invertible assignments and widening-parameter shifts).
 func (st *State) SubstEverywhere(name string, repl sym.Expr) {
+	st.dirtyKeys()
 	for _, p := range st.Sets {
 		if p.Range.Uses(name) {
 			p.Range = p.Range.Subst(name, repl)
@@ -583,6 +641,7 @@ func (st *State) SubstEverywhere(name string, repl sym.Expr) {
 // EnrichEverywhere expands all range bounds with constraint-graph equality
 // witnesses (done before widening so the atom intersection can succeed).
 func (st *State) EnrichEverywhere() {
+	st.dirtyKeys()
 	ctx := st.Ctx()
 	st.ownMatches()
 	st.ownPending()
@@ -605,6 +664,7 @@ func (st *State) EnrichEverywhere() {
 // for the same CFG node pair when the ranges union cleanly (in either
 // direction — forward pipelines accumulate upward, backward ones downward).
 func (st *State) AddMatch(sendNode, recvNode int, sender, receiver procset.Set) {
+	st.dirtyKeys()
 	st.ownMatches()
 	ctx := st.Ctx()
 	sender = sender.Enrich(ctx)

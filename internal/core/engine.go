@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/cfg"
@@ -12,6 +14,21 @@ import (
 	"repro/internal/procset"
 	"repro/internal/sym"
 	"repro/internal/tri"
+)
+
+// Worklist schedule names accepted by Options.Schedule.
+const (
+	// ScheduleFIFO visits configurations breadth-first in discovery order
+	// (the default; Workers=1 with this schedule reproduces the classic
+	// sequential worklist exactly).
+	ScheduleFIFO = "fifo"
+	// ScheduleLIFO explores depth-first: loop bodies reach their local
+	// fixpoint before sibling configurations are expanded.
+	ScheduleLIFO = "lifo"
+	// ScheduleShape pops the lexicographically smallest shape key first,
+	// grouping configurations of the same control region so queued
+	// revisions coalesce into fewer visits.
+	ScheduleShape = "shape"
 )
 
 // Options configures the pCFG analysis engine.
@@ -41,6 +58,19 @@ type Options struct {
 	NonBlockingSends bool
 	// Trace receives step-by-step analysis logging when non-nil.
 	Trace io.Writer
+	// Workers is the number of goroutines driving the worklist (default 1:
+	// the sequential engine). With Workers > 1 the configuration table is
+	// sharded and workers step snapshots of distinct configurations
+	// concurrently; the Matcher must then be safe for concurrent use (the
+	// bundled clients are).
+	Workers int
+	// Schedule selects the worklist order: ScheduleFIFO (default),
+	// ScheduleLIFO or ScheduleShape. Any other value is an error.
+	Schedule string
+	// Shards is the configuration-table shard count for the parallel
+	// engine, rounded up to a power of two (default 32). Smaller values
+	// increase lock contention; useful in tests to stress the locking.
+	Shards int
 }
 
 func (o *Options) joinVisits() int {
@@ -69,6 +99,38 @@ func (o *Options) maxSteps() int {
 		return 100000
 	}
 	return o.MaxSteps
+}
+
+func (o *Options) workers() int {
+	if o.Workers <= 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+func (o *Options) shardCount() int {
+	n := o.Shards
+	if n <= 0 {
+		n = 32
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (o *Options) schedule() (string, error) {
+	switch o.Schedule {
+	case "", ScheduleFIFO:
+		return ScheduleFIFO, nil
+	case ScheduleLIFO:
+		return ScheduleLIFO, nil
+	case ScheduleShape:
+		return ScheduleShape, nil
+	}
+	return "", fmt.Errorf("core: unknown Options.Schedule %q (want %q, %q or %q)",
+		o.Schedule, ScheduleFIFO, ScheduleLIFO, ScheduleShape)
 }
 
 // PCFGEdge is one explored pCFG edge: a transition between configurations.
@@ -171,31 +233,74 @@ type tableEntry struct {
 	// paramMints counts fresh widening parameters anchored at this key; a
 	// key that keeps needing new parameters is not converging.
 	paramMints int
+	// stuckTops are the give-up (⊤) successors produced by this entry's most
+	// recent step, replaced wholesale on every re-step. They are not merged
+	// into the table during the run: a ⊤ verdict derived from an entry
+	// version that is later revised is transient — the revised entry may
+	// step past the dead end — so give-ups become real only at convergence,
+	// when finish() commits the verdicts of the final entry versions
+	// (commitStuckTops). Without the deferral a parallel worker stepping a
+	// stale intermediate version could permanently poison the result with a
+	// ⊤ the sequential engine never sees.
+	stuckTops []succ
+}
+
+// tableShard is one lock-striped slice of the configuration table, indexed
+// by interned shape-key ids. The sequential engine uses the shards as plain
+// maps (no locking); the parallel engine locks a shard around entry reads,
+// snapshots and revisions.
+type tableShard struct {
+	mu sync.Mutex
+	m  map[uint64]*tableEntry
 }
 
 type engine struct {
-	g      *cfg.Graph
-	opts   Options
-	table  map[string]*tableEntry
-	work   []string
-	inWork map[string]bool
-	inv    *Invariants
-	res    *Result
-	nParam int
+	g         *cfg.Graph
+	opts      Options
+	in        *interner
+	shards    []tableShard
+	shardMask uint64
+	inv       *Invariants
+	res       *Result
+	resMu     sync.Mutex // guards res.Edges, res.Prints and Trace output
+	nParam    atomic.Int64
+	steps     atomic.Int64
+	widenings atomic.Int64
+	budgetHit atomic.Bool
+	parallel  bool
+
+	// Sequential path (Workers == 1).
+	queue  workQueue
+	inWork map[uint64]bool
+
+	// Parallel path (Workers > 1).
+	sched *scheduler
 }
+
+func (e *engine) shard(id uint64) *tableShard { return &e.shards[id&e.shardMask] }
+
+func (e *engine) stats() *cg.Stats { return e.opts.CGOpts.Stats }
 
 // Analyze runs the parallel dataflow analysis over the program's CFG.
 func Analyze(g *cfg.Graph, opts Options) (*Result, error) {
 	if opts.Matcher == nil {
 		return nil, fmt.Errorf("core: Options.Matcher is required")
 	}
+	schedule, err := opts.schedule()
+	if err != nil {
+		return nil, err
+	}
 	e := &engine{
 		g:      g,
 		opts:   opts,
-		table:  map[string]*tableEntry{},
-		inWork: map[string]bool{},
+		in:     newInterner(),
+		shards: make([]tableShard, opts.shardCount()),
 		inv:    NewInvariants(),
 		res:    &Result{},
+	}
+	e.shardMask = uint64(len(e.shards) - 1)
+	for i := range e.shards {
+		e.shards[i].m = map[uint64]*tableEntry{}
 	}
 	// Pre-scan assume statements for global invariants (np = nrows*ncols
 	// etc.) so the HSM matcher has them from the start.
@@ -208,56 +313,76 @@ func Analyze(g *cfg.Graph, opts Options) (*Result, error) {
 	init.SetAssignedVars(assignedVars(g))
 	InjectAffineConsequences(init.G, e.inv)
 	e.normalize(init)
-	e.insert("", init, "start")
-	finalKeys := map[string]bool{}
-	topKeys := map[string]bool{}
+	if opts.workers() > 1 {
+		e.runParallel(init, schedule)
+	} else {
+		e.runSequential(init, schedule)
+	}
+	e.finish()
+	return e.res, nil
+}
 
-	budgetExhausted := false
-	for len(e.work) > 0 {
-		if e.res.Steps >= e.opts.maxSteps() {
-			budgetExhausted = true
+// runSequential is the single-goroutine fixpoint loop: pop an id, step the
+// table state, insert the successors. With the FIFO queue it visits
+// configurations in exactly the order the classic string-keyed worklist
+// did (ids are assigned densely in first-insert order).
+func (e *engine) runSequential(init *State, schedule string) {
+	e.queue = newQueue(schedule, e.in)
+	e.inWork = map[uint64]bool{}
+	e.insert("", init, "start")
+	for {
+		id, ok := e.queue.pop()
+		if !ok {
 			break
 		}
-		key := e.work[0]
-		e.work = e.work[1:]
-		e.inWork[key] = false
-		entry := e.table[key]
+		if int(e.steps.Load()) >= e.opts.maxSteps() {
+			e.budgetHit.Store(true)
+			break
+		}
+		e.inWork[id] = false
+		entry := e.shard(id).m[id]
 		if entry == nil {
 			continue
 		}
 		st := entry.st
-		if st.Top {
-			if !topKeys[key] {
-				topKeys[key] = true
-				e.res.Tops = append(e.res.Tops, st)
-			}
+		if st.Top || e.allAtExit(st) {
 			continue
 		}
-		if e.allAtExit(st) {
-			if !finalKeys[key] {
-				finalKeys[key] = true
-				e.res.Finals = append(e.res.Finals, st)
+		e.steps.Add(1)
+		key := e.in.keyOf(id)
+		var tops []succ
+		for _, sa := range e.step(st) {
+			if sa.st.Top {
+				tops = append(tops, sa)
+				continue
 			}
-			continue
-		}
-		e.res.Steps++
-		succs := e.step(st)
-		for _, sa := range succs {
 			e.insert(key, sa.st, sa.action)
 		}
+		entry.stuckTops = tops
 	}
-	// Refresh finals/tops from the table (entries may have been widened
-	// after first being recorded).
-	e.res.Finals = e.res.Finals[:0]
-	e.res.Tops = e.res.Tops[:0]
-	for k, entry := range e.table {
-		if entry.st.Top {
-			e.res.Tops = append(e.res.Tops, entry.st)
-		} else if finalKeys[k] || e.allAtExit(entry.st) {
-			e.res.Finals = append(e.res.Finals, entry.st)
+}
+
+// finish derives the result from the converged table: a deterministic
+// post-pass shared by the sequential and parallel engines. Terminal
+// configurations are classified by inspection (an entry widened after
+// first being visited keeps its shape, so all-at-exit and Top are stable
+// properties of the final entry), helper parameters are resolved, and
+// every output slice is sorted by content so the result is independent of
+// table iteration and — in the parallel case — worker interleaving.
+func (e *engine) finish() {
+	e.commitStuckTops()
+	configs := 0
+	for si := range e.shards {
+		configs += len(e.shards[si].m)
+		for _, entry := range e.shards[si].m {
+			if entry.st.Top {
+				e.res.Tops = append(e.res.Tops, entry.st)
+			} else if e.allAtExit(entry.st) {
+				e.res.Finals = append(e.res.Finals, entry.st)
+			}
 		}
 	}
-	if budgetExhausted {
+	if e.budgetHit.Load() {
 		e.res.Tops = append(e.res.Tops, &State{Top: true, TopWhy: "step budget exhausted"})
 	}
 	for _, fin := range e.res.Finals {
@@ -265,9 +390,67 @@ func Analyze(g *cfg.Graph, opts Options) (*Result, error) {
 	}
 	sort.Slice(e.res.Finals, func(i, j int) bool { return e.res.Finals[i].FullKey() < e.res.Finals[j].FullKey() })
 	sort.Slice(e.res.Tops, func(i, j int) bool { return e.res.Tops[i].TopWhy < e.res.Tops[j].TopWhy })
-	e.res.Configs = len(e.table)
+	e.res.Configs = configs
+	e.res.Steps = int(e.steps.Load())
+	e.res.Widenings = int(e.widenings.Load())
+	if e.parallel {
+		// Edge and print discovery order depends on the interleaving; sort
+		// for run-to-run stability.
+		sort.Slice(e.res.Edges, func(i, j int) bool {
+			a, b := e.res.Edges[i], e.res.Edges[j]
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			return a.Action < b.Action
+		})
+		sort.Slice(e.res.Prints, func(i, j int) bool {
+			a, b := e.res.Prints[i], e.res.Prints[j]
+			if a.Node != b.Node {
+				return a.Node < b.Node
+			}
+			if a.Range != b.Range {
+				return a.Range < b.Range
+			}
+			return a.Val < b.Val
+		})
+	}
 	e.collectMatches()
-	return e.res, nil
+}
+
+// commitStuckTops merges the deferred give-up successors of still-stuck
+// entries into the table. During the run a ⊤ successor is only recorded on
+// its source entry (tableEntry.stuckTops), so it becomes real only if the
+// source's final converged version still produces it. Sources are ordered
+// by shape key — not by interned id, which in the parallel engine depends
+// on the interleaving — so the surviving ⊤ state (all ⊤ states share the
+// one "TOP" table key) is deterministic.
+func (e *engine) commitStuckTops() {
+	type stuckSrc struct {
+		fromKey string
+		succs   []succ
+	}
+	var srcs []stuckSrc
+	for si := range e.shards {
+		for id, entry := range e.shards[si].m {
+			if len(entry.stuckTops) > 0 {
+				srcs = append(srcs, stuckSrc{e.in.keyOf(id), entry.stuckTops})
+			}
+		}
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].fromKey < srcs[j].fromKey })
+	for _, s := range srcs {
+		for _, sa := range s.succs {
+			key := sa.st.ShapeKey()
+			e.recordEdge(s.fromKey, key, sa.action)
+			id := e.in.intern(key)
+			if sh := e.shard(id); sh.m[id] == nil {
+				sh.m[id] = &tableEntry{st: sa.st}
+			}
+		}
+	}
 }
 
 // collectMatches unions match records over terminal configurations (finals
@@ -312,7 +495,9 @@ func (e *engine) collectMatches() {
 
 func (e *engine) tracef(format string, args ...any) {
 	if e.opts.Trace != nil {
+		e.resMu.Lock()
 		fmt.Fprintf(e.opts.Trace, format+"\n", args...)
+		e.resMu.Unlock()
 	}
 }
 
@@ -345,7 +530,7 @@ type succ struct {
 }
 
 // insert merges a successor configuration into the table, joining/widening
-// on revisit, and schedules it.
+// on revisit, and schedules it (sequential path).
 func (e *engine) insert(fromKey string, st *State, action string) {
 	if !st.Top && len(st.Sets) == 0 {
 		// Unreachable configuration (inconsistent constraints): drop.
@@ -353,55 +538,78 @@ func (e *engine) insert(fromKey string, st *State, action string) {
 	}
 	st.CanonicalizeParams()
 	key := st.ShapeKey()
-	e.res.Edges = append(e.res.Edges, PCFGEdge{From: fromKey, To: key, Action: action})
-	entry := e.table[key]
+	e.recordEdge(fromKey, key, action)
+	id := e.in.intern(key)
+	sh := e.shard(id)
+	entry := sh.m[id]
 	if entry == nil {
-		e.table[key] = &tableEntry{st: st}
-		e.push(key)
+		sh.m[id] = &tableEntry{st: st}
+		e.push(id)
 		e.tracef("new    %-40s %s", key, st)
 		return
 	}
+	if e.reviseEntry(entry, st, key) {
+		e.push(id)
+	}
+}
+
+// reviseEntry merges incoming state st into an existing table entry,
+// advancing the join→widen ladder, and reports whether the entry changed
+// and must be rescheduled. In the parallel engine the caller holds the
+// entry's shard lock; concurrent snapshot holders of the previous entry
+// state are protected by copy-on-write (the revision never writes storage
+// shared with a clone in place).
+func (e *engine) reviseEntry(entry *tableEntry, st *State, key string) bool {
 	entry.visits++
 	if entry.visits > e.opts.maxVisits() {
 		if !entry.st.Top {
 			entry.st = &State{Top: true, TopWhy: "widening did not converge at " + key}
-			e.push(key)
+			return true
 		}
-		return
+		return false
 	}
 	if entry.st.Top {
-		return
+		return false
 	}
 	if st.Top {
 		entry.st = st
-		e.push(key)
-		return
+		return true
 	}
 	before := entry.st.FullKey()
 	st.AlignTo(entry.st)
 	widened := e.combine(entry, st)
 	if widened.Top {
 		entry.st = widened
-		e.push(key)
-		return
+		return true
 	}
 	remap := widened.CanonicalizeParams()
 	if to, ok := remap[entry.widenParam]; ok {
 		entry.widenParam = to
 	}
 	if widened.FullKey() != before {
-		e.res.Widenings++
+		e.widenings.Add(1)
 		entry.st = widened
-		e.push(key)
 		e.tracef("widen  %-40s %s", key, widened)
+		return true
 	}
+	return false
 }
 
-func (e *engine) push(key string) {
-	if !e.inWork[key] {
-		e.inWork[key] = true
-		e.work = append(e.work, key)
+func (e *engine) push(id uint64) {
+	if e.inWork[id] {
+		e.stats().AddSchedCoalesced(1)
+		return
 	}
+	e.inWork[id] = true
+	e.queue.push(id)
+}
+
+// recordEdge appends an explored pCFG edge (res.Edges is shared across
+// workers in the parallel engine).
+func (e *engine) recordEdge(from, to, action string) {
+	e.resMu.Lock()
+	e.res.Edges = append(e.res.Edges, PCFGEdge{From: from, To: to, Action: action})
+	e.resMu.Unlock()
 }
 
 // ---------------------------------------------------------------------------
@@ -644,8 +852,7 @@ func (e *engine) parametricWiden(entry *tableEntry, old, nw *State) (*State, boo
 			return nil, false
 		}
 		entry.paramMints++
-		k := fmt.Sprintf("wp%d", e.nParam)
-		e.nParam++
+		k := fmt.Sprintf("wp%d", e.nParam.Add(1)-1)
 		entry.widenParam = k
 		old.G.AddEq(k, vOld, cOld)
 		trial.G.AddEq(k, vNew, cNew)
@@ -904,6 +1111,8 @@ func (e *engine) recordPrint(ns *State, ps *ProcSet, node *cfg.Node) {
 			}
 		}
 	}
+	e.resMu.Lock()
+	defer e.resMu.Unlock()
 	for _, p := range e.res.Prints {
 		if p == obs {
 			return

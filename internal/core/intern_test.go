@@ -1,0 +1,142 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestInternerDenseIDs(t *testing.T) {
+	in := newInterner()
+	a := in.intern("alpha")
+	b := in.intern("beta")
+	if a != 0 || b != 1 {
+		t.Fatalf("ids = %d, %d; want dense 0, 1", a, b)
+	}
+	if got := in.intern("alpha"); got != a {
+		t.Fatalf("re-intern = %d, want %d", got, a)
+	}
+	if in.keyOf(b) != "beta" || in.size() != 2 {
+		t.Fatalf("keyOf/size wrong: %q, %d", in.keyOf(b), in.size())
+	}
+}
+
+func TestInternerConcurrent(t *testing.T) {
+	in := newInterner()
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := keys[i%len(keys)]
+				if in.keyOf(in.intern(k)) != k {
+					t.Error("intern/keyOf mismatch")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if in.size() != len(keys) {
+		t.Fatalf("size = %d, want %d", in.size(), len(keys))
+	}
+}
+
+func TestRingQueueFIFOAndCompaction(t *testing.T) {
+	q := &ringQueue{}
+	for i := uint64(0); i < 500; i++ {
+		q.push(i)
+		if i%2 == 1 { // drain in pairs to force head movement
+			for j := i - 1; j <= i; j++ {
+				got, ok := q.pop()
+				if !ok || got != j {
+					t.Fatalf("pop = %d,%v; want %d", got, ok, j)
+				}
+			}
+		}
+	}
+	if q.size() != 0 {
+		t.Fatalf("size = %d, want 0", q.size())
+	}
+	if len(q.buf) >= 500 {
+		t.Fatalf("popped prefix retained: len(buf) = %d", len(q.buf))
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on empty queue succeeded")
+	}
+}
+
+func TestLIFOQueue(t *testing.T) {
+	q := &lifoQueue{}
+	q.push(1)
+	q.push(2)
+	q.push(3)
+	for _, want := range []uint64{3, 2, 1} {
+		got, ok := q.pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %d,%v; want %d", got, ok, want)
+		}
+	}
+}
+
+func TestShapeQueuePopsSmallestKey(t *testing.T) {
+	in := newInterner()
+	q := &shapeQueue{keyOf: in.keyOf}
+	ids := []uint64{in.intern("m"), in.intern("a"), in.intern("z"), in.intern("b")}
+	for _, id := range ids {
+		q.push(id)
+	}
+	var got []string
+	for {
+		id, ok := q.pop()
+		if !ok {
+			break
+		}
+		got = append(got, in.keyOf(id))
+	}
+	want := "a,b,m,z"
+	if joined := joinStrings(got); joined != want {
+		t.Fatalf("pop order = %s, want %s", joined, want)
+	}
+}
+
+func joinStrings(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}
+
+func TestSchedulerCoalescesAndTerminates(t *testing.T) {
+	s := newScheduler(&ringQueue{}, nil)
+	s.push(1)
+	s.push(1) // coalesced: still queued
+	id, ok := s.pop()
+	if !ok || id != 1 {
+		t.Fatalf("pop = %d,%v", id, ok)
+	}
+	s.push(1) // running: marks dirty
+	s.done(1) // dirty: requeued
+	id, ok = s.pop()
+	if !ok || id != 1 {
+		t.Fatalf("requeue pop = %d,%v", id, ok)
+	}
+	s.done(1)
+	if _, ok := s.pop(); ok {
+		t.Fatal("pop after fixpoint should report done")
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := newScheduler(&ringQueue{}, nil)
+	s.push(7)
+	s.stop()
+	if _, ok := s.pop(); ok {
+		t.Fatal("pop after stop should fail")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"strings"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/procset"
@@ -31,6 +32,12 @@ type MatchPlan struct {
 //
 // Implementations: clients/symbolic (Section VII, var+c expressions) and
 // clients/cartesian (Section VIII, HSM expressions over grids).
+//
+// When an analysis runs with Options.Workers > 1, Match/SelfMatch are
+// called concurrently from the worker goroutines, so implementations must
+// be safe for concurrent use (the bundled clients are: counters are
+// atomic, the match memo locks internally, and the cartesian client
+// serializes its HSM prover).
 type Matcher interface {
 	// Name identifies the client analysis.
 	Name() string
@@ -53,31 +60,36 @@ type Matcher interface {
 // re-running the search. Only the boolean decision is cached — plans embed
 // the querying state's concrete ranges and are rebuilt by the caller.
 //
-// The zero value is ready to use. Not safe for concurrent use; under
-// core.AnalyzeAll each worker analyzes an independent workload with its own
-// matcher (and therefore its own memo).
+// The zero value is ready to use. Safe for concurrent use: the parallel
+// worklist engine (Options.Workers > 1) issues match queries from several
+// goroutines against one matcher, so the memo serializes its map accesses
+// behind a mutex. The critical section is a map probe — the decision
+// procedure itself runs outside it.
 type MatchMemo struct {
-	// Hits counts queries answered from the memo; Misses counts queries
-	// that ran the underlying decision procedure.
-	Hits   int
-	Misses int
+	mu      sync.Mutex
+	hits    int
+	misses  int
 	entries map[string]bool
 }
 
 // Lookup returns the cached decision for key and whether one exists,
 // maintaining the hit/miss counters.
 func (m *MatchMemo) Lookup(key string) (res, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	res, ok = m.entries[key]
 	if ok {
-		m.Hits++
+		m.hits++
 	} else {
-		m.Misses++
+		m.misses++
 	}
 	return res, ok
 }
 
 // Store records a decision for key.
 func (m *MatchMemo) Store(key string, res bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.entries == nil {
 		m.entries = map[string]bool{}
 	}
@@ -85,14 +97,34 @@ func (m *MatchMemo) Store(key string, res bool) {
 }
 
 // Len reports the number of cached decisions.
-func (m *MatchMemo) Len() int { return len(m.entries) }
+func (m *MatchMemo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// HitCount reports queries answered from the memo.
+func (m *MatchMemo) HitCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits
+}
+
+// MissCount reports queries that ran the underlying decision procedure.
+func (m *MatchMemo) MissCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.misses
+}
 
 // HitRate reports the fraction of queries served from the memo.
 func (m *MatchMemo) HitRate() float64 {
-	if m.Hits+m.Misses == 0 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.hits+m.misses == 0 {
 		return 0
 	}
-	return float64(m.Hits) / float64(m.Hits+m.Misses)
+	return float64(m.hits) / float64(m.hits+m.misses)
 }
 
 // MatchKey joins canonical query components into a memo key using a

@@ -1,0 +1,125 @@
+package core
+
+import "sync"
+
+// Parallel fixpoint driver (Options.Workers > 1).
+//
+// The pCFG worklist algorithm tolerates stale reads: stepping an outdated
+// snapshot of a configuration produces successors that the join/widen
+// ladder absorbs, and the scheduler's dirty marking guarantees the
+// configuration is revisited after any revision that raced with an
+// in-flight step. The one successor kind the ladder cannot absorb is a
+// give-up (⊤): once in the table it never goes away, so a ⊤ derived from a
+// stale intermediate version would poison the result. Give-up successors
+// are therefore deferred — recorded per-entry (tableEntry.stuckTops) and
+// overwritten by each re-step — and committed only at convergence, from
+// the final entry versions (engine.commitStuckTops). Combined with the
+// deterministic finish() post-pass and parameter canonicalization (helper
+// names are assigned by appearance order inside each state, not globally),
+// the converged Finals, Tops and Matches are independent of worker
+// interleaving.
+
+// runParallel spawns the worker pool and blocks until the fixpoint is
+// reached (scheduler pending count hits zero) or the step budget aborts
+// the run.
+func (e *engine) runParallel(init *State, schedule string) {
+	e.parallel = true
+	e.sched = newScheduler(newQueue(schedule, e.in), e.stats())
+	e.insertPar("", init, "start")
+	var wg sync.WaitGroup
+	for w := 0; w < e.opts.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				id, ok := e.sched.pop()
+				if !ok {
+					return
+				}
+				e.processPar(id)
+				e.sched.done(id)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// processPar steps one configuration: snapshot the table state under its
+// shard lock, release the lock, run the (expensive) transfer/matching step
+// on the private snapshot, then merge the successors. Terminal entries
+// (Top or all-at-exit) are left for finish() to classify.
+func (e *engine) processPar(id uint64) {
+	sh := e.lockShard(id)
+	entry := sh.m[id]
+	var snap *State
+	if entry != nil && !entry.st.Top && !e.allAtExit(entry.st) {
+		snap = entry.st.Clone()
+	}
+	sh.mu.Unlock()
+	if snap == nil {
+		return
+	}
+	if e.steps.Add(1) > int64(e.opts.maxSteps()) {
+		e.steps.Add(-1)
+		e.budgetHit.Store(true)
+		e.sched.stop()
+		return
+	}
+	fromKey := e.in.keyOf(id)
+	var tops []succ
+	for _, sa := range e.step(snap) {
+		if sa.st.Top {
+			tops = append(tops, sa)
+			continue
+		}
+		e.insertPar(fromKey, sa.st, sa.action)
+	}
+	// Record this step's give-up verdict on the entry, replacing the
+	// previous step's. The scheduler runs at most one step per id at a
+	// time, so verdict writes for an id are ordered; a revision that races
+	// with this step marks the id dirty, and the requeued re-step
+	// overwrites the verdict derived from the stale snapshot.
+	sh = e.lockShard(id)
+	if entry := sh.m[id]; entry != nil {
+		entry.stuckTops = tops
+	}
+	sh.mu.Unlock()
+}
+
+// insertPar merges a successor configuration into the sharded table and
+// schedules it. Canonicalization and key rendering happen before the lock
+// is taken; only the table-entry revision itself runs under the shard
+// lock.
+func (e *engine) insertPar(fromKey string, st *State, action string) {
+	if !st.Top && len(st.Sets) == 0 {
+		return
+	}
+	st.CanonicalizeParams()
+	key := st.ShapeKey()
+	e.recordEdge(fromKey, key, action)
+	id := e.in.intern(key)
+	sh := e.lockShard(id)
+	entry := sh.m[id]
+	if entry == nil {
+		sh.m[id] = &tableEntry{st: st}
+		sh.mu.Unlock()
+		e.tracef("new    %-40s %s", key, st)
+		e.sched.push(id)
+		return
+	}
+	changed := e.reviseEntry(entry, st, key)
+	sh.mu.Unlock()
+	if changed {
+		e.sched.push(id)
+	}
+}
+
+// lockShard locks the shard owning id, counting contended acquisitions.
+func (e *engine) lockShard(id uint64) *tableShard {
+	sh := e.shard(id)
+	if !sh.mu.TryLock() {
+		e.stats().AddShardContention(1)
+		sh.mu.Lock()
+	}
+	return sh
+}

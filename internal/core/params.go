@@ -91,6 +91,7 @@ func (st *State) CanonicalizeParams() map[string]string {
 	if identity {
 		return mapping
 	}
+	st.dirtyKeys()
 	// Two-phase rename in the constraint graph (deterministic order).
 	for i, from := range order {
 		if st.G.HasVar(from) {

@@ -132,6 +132,7 @@ func (st *State) freeze(e sym.Expr) (sym.Expr, bool) {
 // destination expression is not supported (the caller falls back to the
 // blocking treatment).
 func (st *State) IssueSend(ps *ProcSet, n *cfg.Node) bool {
+	st.dirtyKeys()
 	d, ok := st.AffineExprID(ps, n.Dest)
 	if !ok {
 		return false
@@ -327,6 +328,7 @@ func (st *State) MatchPending(receiver *ProcSet, src sym.Expr, idx int) (*Pendin
 // sharedPending flag (if set) must stay set — ownPending still deep-copies
 // the elements on the next element write.
 func (st *State) ReplacePending(idx int, rests []*PendingSend) {
+	st.dirtyKeys()
 	out := make([]*PendingSend, 0, len(st.Pending)-1+len(rests))
 	out = append(out, st.Pending[:idx]...)
 	out = append(out, rests...)
@@ -335,10 +337,13 @@ func (st *State) ReplacePending(idx int, rests []*PendingSend) {
 	st.sortPending()
 }
 
-// sortPending keeps pending records in a canonical order.
+// sortPending keeps pending records in a canonical order. A slice that is
+// already in order (the common case after the first sort) is left alone; a
+// reorder of a still-shared backing array first re-slices so clones reading
+// the same array concurrently (parallel-engine snapshots) never observe the
+// swap. Element pointers survive the re-slice, so sharedPending stays set.
 func (st *State) sortPending() {
-	sort.SliceStable(st.Pending, func(i, j int) bool {
-		a, b := st.Pending[i], st.Pending[j]
+	less := func(a, b *PendingSend) bool {
 		if a.Node != b.Node {
 			return a.Node < b.Node
 		}
@@ -346,6 +351,22 @@ func (st *State) sortPending() {
 			return a.Shape < b.Shape
 		}
 		return anonRangeKey(a.Senders) < anonRangeKey(b.Senders)
+	}
+	sorted := true
+	for i := 1; i < len(st.Pending); i++ {
+		if less(st.Pending[i], st.Pending[i-1]) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	if st.sharedPending {
+		st.Pending = append([]*PendingSend(nil), st.Pending...)
+	}
+	sort.SliceStable(st.Pending, func(i, j int) bool {
+		return less(st.Pending[i], st.Pending[j])
 	})
 }
 
@@ -374,6 +395,7 @@ func (st *State) dropEmptyPendings() {
 	if n == len(st.Pending) {
 		return
 	}
+	st.dirtyKeys()
 	out := make([]*PendingSend, 0, n)
 	for _, p := range st.Pending {
 		if keep(p) {

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"container/heap"
+	"sync"
+
+	"repro/internal/cg"
+)
+
+// workQueue orders the ids of configurations awaiting (re)visits. The
+// engine guarantees an id is enqueued at most once at a time (the
+// worklist's classic "in work" set), so implementations never see
+// duplicates.
+type workQueue interface {
+	push(id uint64)
+	pop() (uint64, bool)
+	size() int
+}
+
+// ringQueue is a FIFO over a slice with an explicit head index. Popping
+// advances the head instead of re-slicing, so the backing array's popped
+// prefix does not accumulate for the lifetime of the analysis (the old
+// `work = work[1:]` loop retained every key string ever queued); once the
+// dead prefix dominates the backing array it is compacted away.
+type ringQueue struct {
+	buf  []uint64
+	head int
+}
+
+func (q *ringQueue) push(id uint64) {
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, id)
+}
+
+func (q *ringQueue) pop() (uint64, bool) {
+	if q.head == len(q.buf) {
+		return 0, false
+	}
+	id := q.buf[q.head]
+	q.head++
+	return id, true
+}
+
+func (q *ringQueue) size() int { return len(q.buf) - q.head }
+
+// lifoQueue is a stack: depth-first exploration of the configuration
+// space. Reaches fixpoints on loop bodies before exploring siblings.
+type lifoQueue struct {
+	buf []uint64
+}
+
+func (q *lifoQueue) push(id uint64) { q.buf = append(q.buf, id) }
+
+func (q *lifoQueue) pop() (uint64, bool) {
+	if len(q.buf) == 0 {
+		return 0, false
+	}
+	id := q.buf[len(q.buf)-1]
+	q.buf = q.buf[:len(q.buf)-1]
+	return id, true
+}
+
+func (q *lifoQueue) size() int { return len(q.buf) }
+
+// shapeQueue pops the lexicographically smallest shape key first. Shape
+// keys render the per-node partition of process sets, so neighbouring
+// configurations of the same control region sort together: revisits of a
+// configuration whose predecessors are still queued tend to be coalesced
+// into one visit instead of re-stepping the state once per predecessor.
+type shapeQueue struct {
+	keyOf func(uint64) string
+	ids   []uint64
+}
+
+func (q *shapeQueue) Len() int           { return len(q.ids) }
+func (q *shapeQueue) Less(i, j int) bool { return q.keyOf(q.ids[i]) < q.keyOf(q.ids[j]) }
+func (q *shapeQueue) Swap(i, j int)      { q.ids[i], q.ids[j] = q.ids[j], q.ids[i] }
+func (q *shapeQueue) Push(x interface{}) { q.ids = append(q.ids, x.(uint64)) }
+func (q *shapeQueue) Pop() interface{} {
+	id := q.ids[len(q.ids)-1]
+	q.ids = q.ids[:len(q.ids)-1]
+	return id
+}
+
+func (q *shapeQueue) push(id uint64) { heap.Push(q, id) }
+
+func (q *shapeQueue) pop() (uint64, bool) {
+	if len(q.ids) == 0 {
+		return 0, false
+	}
+	return heap.Pop(q).(uint64), true
+}
+
+func (q *shapeQueue) size() int { return len(q.ids) }
+
+// newQueue builds the queue backend for a schedule name (validated by
+// Options.schedule).
+func newQueue(schedule string, in *interner) workQueue {
+	switch schedule {
+	case ScheduleLIFO:
+		return &lifoQueue{}
+	case ScheduleShape:
+		return &shapeQueue{keyOf: in.keyOf}
+	default:
+		return &ringQueue{}
+	}
+}
+
+// Per-configuration scheduler states. A configuration is idle (not
+// queued, not being stepped), queued, running on some worker, or running
+// with a revision that arrived mid-step (dirty) and therefore needs a
+// requeue when the step finishes.
+const (
+	cfgIdle uint8 = iota
+	cfgQueued
+	cfgRunning
+	cfgRunningDirty
+)
+
+// scheduler coordinates the parallel worklist: it owns the queue, tracks
+// each configuration's scheduling state, and detects termination. The
+// invariant behind the termination detector: pending counts configurations
+// that are queued or running; a worker holds its pop "in flight" until it
+// calls done, so pending==0 means no configuration can ever become queued
+// again — the fixpoint is reached.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       workQueue
+	state   map[uint64]uint8
+	pending int
+	stopped bool
+	stats   *cg.Stats
+}
+
+func newScheduler(q workQueue, stats *cg.Stats) *scheduler {
+	s := &scheduler{q: q, state: make(map[uint64]uint8, 64), stats: stats}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// push requests a (re)visit of id. Pushes onto an already-queued or
+// already-dirty configuration coalesce: the single upcoming visit will
+// observe the revised table entry, saving a full step. Pushes onto a
+// running configuration mark it dirty so it is requeued after its
+// in-flight step (which read a pre-revision snapshot) completes.
+func (s *scheduler) push(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return
+	}
+	switch s.state[id] {
+	case cfgIdle:
+		s.state[id] = cfgQueued
+		s.pending++
+		s.q.push(id)
+		s.cond.Signal()
+	case cfgQueued, cfgRunningDirty:
+		s.stats.AddSchedCoalesced(1)
+	case cfgRunning:
+		s.state[id] = cfgRunningDirty
+	}
+}
+
+// pop blocks until a configuration is available, the fixpoint is reached,
+// or the scheduler is stopped. ok=false means the worker should exit.
+func (s *scheduler) pop() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopped {
+			return 0, false
+		}
+		if id, ok := s.q.pop(); ok {
+			s.state[id] = cfgRunning
+			return id, true
+		}
+		if s.pending == 0 {
+			return 0, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// done reports that the step for id finished. A dirty configuration is
+// requeued (its in-flight step used a stale snapshot); otherwise it goes
+// idle, and if it was the last pending configuration the fixpoint is
+// reached and all waiting workers are released.
+func (s *scheduler) done(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state[id] == cfgRunningDirty && !s.stopped {
+		s.state[id] = cfgQueued
+		s.q.push(id)
+		s.cond.Signal()
+		return
+	}
+	s.state[id] = cfgIdle
+	s.pending--
+	if s.pending == 0 {
+		s.cond.Broadcast()
+	}
+}
+
+// stop aborts the run (step budget exhausted): workers drain immediately.
+func (s *scheduler) stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+	s.cond.Broadcast()
+}

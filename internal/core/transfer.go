@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/cfg"
@@ -538,8 +539,11 @@ func (st *State) GlobalAssume(ps *ProcSet, cond ast.Expr, inv *Invariants) {
 }
 
 // Invariants accumulates non-affine global equalities for the cartesian
-// (HSM) matcher, e.g. np = nrows*ncols.
+// (HSM) matcher, e.g. np = nrows*ncols. Collect locks internally because
+// parallel workers may process assume statements concurrently; the maps
+// are only read after the run (or before it, by InjectAffineConsequences).
 type Invariants struct {
+	mu          sync.Mutex
 	Subst       map[string]sym.Expr
 	LowerBounds map[string]int64
 }
@@ -555,13 +559,19 @@ func NewInvariants() *Invariants {
 // Collect extracts invariants from an assume condition: var == polynomial
 // equalities and var >= c lower bounds, recursing into conjunctions.
 func (inv *Invariants) Collect(cond ast.Expr) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	inv.collectLocked(cond)
+}
+
+func (inv *Invariants) collectLocked(cond ast.Expr) {
 	b, ok := cond.(*ast.Binary)
 	if !ok {
 		return
 	}
 	if b.Op == ast.LAnd {
-		inv.Collect(b.L)
-		inv.Collect(b.R)
+		inv.collectLocked(b.L)
+		inv.collectLocked(b.R)
 		return
 	}
 	toPoly := func(e ast.Expr) (sym.Expr, bool) { return astToPoly(e) }
