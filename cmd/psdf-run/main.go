@@ -29,6 +29,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/sem"
 	"repro/internal/sim"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 		nonblocking = flag.Bool("nonblocking", false, "with -analyze: enable the Section X non-blocking send extension")
 		workers     = flag.Int("workers", 1, "with -analyze: worker goroutines inside each analysis (parallel worklist engine)")
 		schedule    = flag.String("schedule", "", "with -analyze: worklist order (fifo, lifo or shape; default fifo)")
+		failOnFind  = flag.Bool("fail-on-findings", false, "exit nonzero on verification findings (analyze) or leaks/assert failures (simulate)")
 	)
 	flag.Parse()
 	if *analyze {
@@ -50,7 +52,7 @@ func main() {
 			flag.PrintDefaults()
 			os.Exit(2)
 		}
-		if err := runAnalyses(flag.Args(), *parallel, *nonblocking, *workers, *schedule); err != nil {
+		if err := runAnalyses(flag.Args(), *parallel, *nonblocking, *workers, *schedule, *failOnFind); err != nil {
 			fmt.Fprintln(os.Stderr, "psdf-run:", err)
 			os.Exit(1)
 		}
@@ -61,7 +63,7 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *np, *envFlag, *rendezvous, *events); err != nil {
+	if err := run(flag.Arg(0), *np, *envFlag, *rendezvous, *events, *failOnFind); err != nil {
 		fmt.Fprintln(os.Stderr, "psdf-run:", err)
 		os.Exit(1)
 	}
@@ -105,7 +107,7 @@ func buildCFG(path string) (*cfg.Graph, error) {
 // runAnalyses statically analyzes every program through the bounded worker
 // pool and prints each topology. Every job gets its own matcher (matcher
 // instrumentation and memo tables are not race-safe to share).
-func runAnalyses(paths []string, parallelism int, nonblocking bool, workers int, schedule string) error {
+func runAnalyses(paths []string, parallelism int, nonblocking bool, workers int, schedule string, failOnFind bool) error {
 	jobs := make([]core.Job, 0, len(paths))
 	for _, path := range paths {
 		g, err := buildCFG(path)
@@ -125,7 +127,8 @@ func runAnalyses(paths []string, parallelism int, nonblocking bool, workers int,
 	}
 	results := core.AnalyzeAll(jobs, parallelism)
 	failed := false
-	for _, jr := range results {
+	findings := 0
+	for i, jr := range results {
 		if jr.Err != nil {
 			failed = true
 			fmt.Printf("%s: ERROR %v\n", jr.Name, jr.Err)
@@ -140,14 +143,25 @@ func runAnalyses(paths []string, parallelism int, nonblocking bool, workers int,
 		for _, t := range res.Tops {
 			fmt.Printf("  TOP: %s\n", t.TopWhy)
 		}
+		if failOnFind {
+			// AnalyzeAll returns results in input order.
+			vr := verify.Check(jobs[i].G, res)
+			for _, f := range vr.Findings {
+				fmt.Printf("  FINDING %s: %s\n", f.Kind, f.Message)
+			}
+			findings += len(vr.Findings)
+		}
 	}
 	if failed {
 		return fmt.Errorf("one or more analyses failed")
 	}
+	if findings > 0 {
+		return fmt.Errorf("%d verification finding(s)", findings)
+	}
 	return nil
 }
 
-func run(path string, np int, envFlag string, rendezvous, events bool) error {
+func run(path string, np int, envFlag string, rendezvous, events, failOnFind bool) error {
 	env, err := parseEnv(envFlag)
 	if err != nil {
 		return err
@@ -177,6 +191,9 @@ func run(path string, np int, envFlag string, rendezvous, events bool) error {
 	}
 	if res.Deadlocked {
 		return fmt.Errorf("deadlock: processes %v blocked", res.Blocked)
+	}
+	if failOnFind && (len(res.Leaked) > 0 || len(res.Failures) > 0) {
+		return fmt.Errorf("%d leaked message(s), %d assertion failure(s)", len(res.Leaked), len(res.Failures))
 	}
 	return nil
 }

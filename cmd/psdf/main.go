@@ -6,6 +6,11 @@
 // Usage:
 //
 //	psdf [flags] program.mpl
+//	psdf lint [-format text|json|sarif] [-strict-bounds] program.mpl ...
+//
+// The lint subcommand runs the coded diagnostic passes (message leaks,
+// deadlocks, tag mismatches, rank bounds, ⊤-blame, dead code) and exits
+// nonzero when error-severity findings exist.
 //
 // Flags:
 //
@@ -35,6 +40,11 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch: `psdf lint ...` runs the diagnostics passes; the
+	// bare flag form keeps its original behavior.
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		os.Exit(runLint(os.Args[2:]))
+	}
 	var (
 		client   = flag.String("client", "cartesian", "client analysis: symbolic or cartesian")
 		backend  = flag.String("backend", "array", "constraint-graph backend: array or map")

@@ -1,0 +1,198 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/cg"
+	"repro/internal/clients/symbolic"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/sym"
+)
+
+// analyzeBounds runs the analysis with rank-bounds recording on.
+func analyzeBounds(t *testing.T, src string) (*core.Result, *cfg.Graph) {
+	t.Helper()
+	prog, err := parser.Parse("test.mpl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g := cfg.Build(prog)
+	res, err := core.Analyze(g, core.Options{Matcher: &symbolic.Matcher{}, RecordCommBounds: true})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return res, g
+}
+
+func TestEntailsLE(t *testing.T) {
+	prog, err := parser.Parse("t.mpl", "x := 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Build(prog)
+	st := core.NewState(g.Entry, cg.Options{})
+	np := sym.Var("np")
+	cases := []struct {
+		l, r sym.Expr
+		want bool
+	}{
+		{sym.Const(0), sym.Const(3), true},
+		{sym.Const(3), sym.Const(0), false},
+		{sym.Const(1), np, true},                   // np >= 1 is baked in
+		{sym.Const(0), sym.AddConst(np, -1), true}, // np - 1 >= 0
+		{sym.Const(2), np, false},                  // np >= 2 not known
+		{np, np, true},
+		{sym.AddConst(np, -1), np, true},
+		{np, sym.AddConst(np, -1), false},
+	}
+	for _, c := range cases {
+		if got := st.EntailsLE(c.l, c.r); got != c.want {
+			t.Errorf("EntailsLE(%s, %s) = %v, want %v", c.l, c.r, got, c.want)
+		}
+	}
+}
+
+// Guarded shift: every communication target is provably in [0, np-1].
+func TestBoundsProvenGuardedShift(t *testing.T) {
+	res, _ := analyzeBounds(t, `
+assume np >= 4
+if id == 0 then
+  send x -> id + 1
+elif id <= np - 2 then
+  recv y <- id - 1
+  send x -> id + 1
+else
+  recv y <- id - 1
+end
+`)
+	if !res.Clean() {
+		t.Fatalf("analysis not clean: %v", res.TopReasons())
+	}
+	if len(res.CommBounds) == 0 {
+		t.Fatal("no rank-bounds observations recorded")
+	}
+	for _, o := range res.CommBounds {
+		if o.Status != core.BoundsProven {
+			t.Errorf("observation not proven: %s", o)
+		}
+	}
+}
+
+// Unguarded shift: process np-1 sends to np (dest case) and process 0
+// receives from -1 (src case). Each direction needs its own program —
+// observations are only recorded at nodes the analysis actually reaches,
+// and all processes block at the first communication operation.
+func TestBoundsViolatedUnguardedShift(t *testing.T) {
+	res, _ := analyzeBounds(t, `
+assume np >= 2
+send x -> id + 1
+recv y <- id - 1
+`)
+	if !hasViolation(res, "dest") {
+		t.Errorf("send dest id+1 on [0..np-1] not flagged; obs: %v", res.CommBounds)
+	}
+	res, _ = analyzeBounds(t, `
+assume np >= 2
+recv y <- id - 1
+send x -> id + 1
+`)
+	if !hasViolation(res, "src") {
+		t.Errorf("recv src id-1 on [0..np-1] not flagged; obs: %v", res.CommBounds)
+	}
+}
+
+func hasViolation(res *core.Result, dir string) bool {
+	for _, o := range res.CommBounds {
+		if o.Status == core.BoundsViolated && o.Dir == dir {
+			return true
+		}
+	}
+	return false
+}
+
+// A give-up must carry provenance: blamed node, origin key, and a trace.
+func TestTopProvenanceAndTrace(t *testing.T) {
+	res, g := analyzeBounds(t, `
+assume np >= 2
+send x -> id + 1
+recv y <- id - 1
+`)
+	if len(res.Tops) == 0 {
+		t.Fatal("expected the unguarded shift to reach ⊤")
+	}
+	top := res.Tops[0]
+	if top.TopNode <= 0 {
+		t.Fatalf("⊤ state has no blamed node: why=%q", top.TopWhy)
+	}
+	n := g.Node(top.TopNode)
+	if n == nil {
+		t.Fatalf("blamed node n%d not in CFG", top.TopNode)
+	}
+	if !n.IsComm() {
+		t.Errorf("blame should land on the blocked comm node, got n%d[%s]", n.ID, n.Label())
+	}
+	if top.TopKey == "" {
+		t.Fatal("⊤ state has no origin key")
+	}
+	trace := res.TraceTo(top.TopKey)
+	if len(trace) == 0 {
+		t.Fatalf("no trace to origin %q", top.TopKey)
+	}
+	if last := trace[len(trace)-1]; last.To != top.TopKey {
+		t.Errorf("trace ends at %q, want %q", last.To, top.TopKey)
+	}
+}
+
+// Nodes behind a provably empty branch are never visited.
+func TestVisitedSkipsDeadBranch(t *testing.T) {
+	res, g := analyzeBounds(t, `
+assume np >= 2
+if id >= np then
+  x := 1
+end
+print np
+`)
+	if !res.Clean() {
+		t.Fatalf("analysis not clean: %v", res.TopReasons())
+	}
+	var assign, print *cfg.Node
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case cfg.Assign:
+			assign = n
+		case cfg.Print:
+			print = n
+		}
+	}
+	if assign == nil || print == nil {
+		t.Fatal("test program shape changed")
+	}
+	if res.Visited[assign.ID] {
+		t.Errorf("dead assign n%d marked visited", assign.ID)
+	}
+	if !res.Visited[print.ID] {
+		t.Errorf("live print n%d not marked visited", print.ID)
+	}
+}
+
+func TestBlameNodeParsing(t *testing.T) {
+	cases := []struct {
+		action string
+		want   int
+	}{
+		{"match n5->n12", 5},
+		{"n3[send x -> 1]", 3},
+		{"block n17", 17},
+		{"give-up", -1},
+		{"", -1},
+		{"no digits here", -1},
+	}
+	for _, c := range cases {
+		e := core.PCFGEdge{Action: c.action}
+		if got := e.BlameNode(); got != c.want {
+			t.Errorf("BlameNode(%q) = %d, want %d", c.action, got, c.want)
+		}
+	}
+}

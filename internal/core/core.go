@@ -93,6 +93,13 @@ type State struct {
 	Pending []*PendingSend
 	Top     bool
 	TopWhy  string
+	// TopNode is the CFG node blamed for the give-up (0 = unknown; node 0
+	// is Entry, which never causes ⊤). TopKey is the shape key of the
+	// configuration the give-up transition left from. Both are provenance
+	// only: they never enter FullKey/ShapeKey, so they cannot affect
+	// fixpoint detection or the parallel/sequential equivalence of keys.
+	TopNode int
+	TopKey  string
 	nextID  int
 	// nextFrozen numbers frozen-variable twins minted by pending sends.
 	nextFrozen int
@@ -190,6 +197,8 @@ func (st *State) Clone() *State {
 		G:             st.G.Clone(),
 		Top:           st.Top,
 		TopWhy:        st.TopWhy,
+		TopNode:       st.TopNode,
+		TopKey:        st.TopKey,
 		nextID:        st.nextID,
 		nextFrozen:    st.nextFrozen,
 		Matches:       st.Matches,
@@ -257,6 +266,16 @@ func (st *State) MarkTop(why string) {
 	st.Top = true
 	if st.TopWhy == "" {
 		st.TopWhy = why
+	}
+}
+
+// MarkTopAt is MarkTop with blame: it additionally records the CFG node
+// whose operation triggered the give-up (first blame wins, like TopWhy).
+func (st *State) MarkTopAt(n *cfg.Node, why string) {
+	prev := st.TopWhy
+	st.MarkTop(why)
+	if prev == "" && n != nil {
+		st.TopNode = n.ID
 	}
 }
 

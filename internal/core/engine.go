@@ -67,6 +67,12 @@ type Options struct {
 	// Schedule selects the worklist order: ScheduleFIFO (default),
 	// ScheduleLIFO or ScheduleShape. Any other value is an error.
 	Schedule string
+	// RecordCommBounds enables rank-bounds observations: every process set
+	// reaching a communication operation has its partner expression checked
+	// against [0, np-1] with the constraint-graph client, and the verdicts
+	// accumulate in Result.CommBounds (for the lint rank-bounds pass). Off
+	// by default — the checks cost extra entailment queries per comm site.
+	RecordCommBounds bool
 	// Shards is the configuration-table shard count for the parallel
 	// engine, rounded up to a power of two (default 32). Smaller values
 	// increase lock contention; useful in tests to stress the locking.
@@ -158,6 +164,13 @@ type Result struct {
 	// Prints records what the analysis knows at each print site: the
 	// constant-propagation observations of the Fig 2 client.
 	Prints []PrintObs
+	// Visited, indexed by CFG node ID, marks nodes some non-empty process
+	// set reached during exploration. Unvisited non-synthetic nodes are
+	// dead code (when the analysis completed cleanly).
+	Visited []bool
+	// CommBounds holds the rank-bounds observations collected when
+	// Options.RecordCommBounds is set.
+	CommBounds []CommBoundsObs
 }
 
 // PrintObs is a dataflow fact observed at a print statement: the printing
@@ -268,6 +281,14 @@ type engine struct {
 	widenings atomic.Int64
 	budgetHit atomic.Bool
 	parallel  bool
+	// visited marks CFG nodes some non-empty process set was positioned at
+	// in a reachable configuration (indexed by node ID; used by the
+	// dead-code lint pass). Atomic because parallel workers normalize
+	// concurrently.
+	visited []atomic.Bool
+	// obsMu/obsSeen dedupe rank-bounds observations across revisits.
+	obsMu   sync.Mutex
+	obsSeen map[string]bool
 
 	// Sequential path (Workers == 1).
 	queue  workQueue
@@ -291,12 +312,14 @@ func Analyze(g *cfg.Graph, opts Options) (*Result, error) {
 		return nil, err
 	}
 	e := &engine{
-		g:      g,
-		opts:   opts,
-		in:     newInterner(),
-		shards: make([]tableShard, opts.shardCount()),
-		inv:    NewInvariants(),
-		res:    &Result{},
+		g:       g,
+		opts:    opts,
+		in:      newInterner(),
+		shards:  make([]tableShard, opts.shardCount()),
+		inv:     NewInvariants(),
+		res:     &Result{},
+		visited: make([]atomic.Bool, len(g.Nodes)),
+		obsSeen: map[string]bool{},
 	}
 	e.shardMask = uint64(len(e.shards) - 1)
 	for i := range e.shards {
@@ -393,6 +416,26 @@ func (e *engine) finish() {
 	e.res.Configs = configs
 	e.res.Steps = int(e.steps.Load())
 	e.res.Widenings = int(e.widenings.Load())
+	e.res.Visited = make([]bool, len(e.visited))
+	for i := range e.visited {
+		e.res.Visited[i] = e.visited[i].Load()
+	}
+	sort.Slice(e.res.CommBounds, func(i, j int) bool {
+		a, b := e.res.CommBounds[i], e.res.CommBounds[j]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Dir != b.Dir {
+			return a.Dir < b.Dir
+		}
+		if a.Status != b.Status {
+			return a.Status < b.Status
+		}
+		if a.Range != b.Range {
+			return a.Range < b.Range
+		}
+		return a.Detail < b.Detail
+	})
 	if e.parallel {
 		// Edge and print discovery order depends on the interleaving; sort
 		// for run-to-run stability.
@@ -443,6 +486,9 @@ func (e *engine) commitStuckTops() {
 	sort.Slice(srcs, func(i, j int) bool { return srcs[i].fromKey < srcs[j].fromKey })
 	for _, s := range srcs {
 		for _, sa := range s.succs {
+			if sa.st.TopKey == "" {
+				sa.st.TopKey = s.fromKey
+			}
 			key := sa.st.ShapeKey()
 			e.recordEdge(s.fromKey, key, sa.action)
 			id := e.in.intern(key)
@@ -515,6 +561,21 @@ func assignedVars(g *cfg.Graph) map[string]bool {
 	return out
 }
 
+// firstActiveNode picks a representative non-exit node of a configuration
+// for ⊤ blame (canonical order keeps the choice deterministic).
+func firstActiveNode(st *State) int {
+	st.sortCanonical()
+	for _, p := range st.Sets {
+		if p.Node.Kind != cfg.Exit {
+			return p.Node.ID
+		}
+	}
+	if len(st.Sets) > 0 {
+		return st.Sets[0].Node.ID
+	}
+	return 0
+}
+
 func (e *engine) allAtExit(st *State) bool {
 	for _, p := range st.Sets {
 		if p.Node.Kind != cfg.Exit {
@@ -563,7 +624,8 @@ func (e *engine) reviseEntry(entry *tableEntry, st *State, key string) bool {
 	entry.visits++
 	if entry.visits > e.opts.maxVisits() {
 		if !entry.st.Top {
-			entry.st = &State{Top: true, TopWhy: "widening did not converge at " + key}
+			entry.st = &State{Top: true, TopWhy: "widening did not converge at " + key,
+				TopNode: firstActiveNode(entry.st), TopKey: key}
 			return true
 		}
 		return false
@@ -579,6 +641,9 @@ func (e *engine) reviseEntry(entry *tableEntry, st *State, key string) bool {
 	st.AlignTo(entry.st)
 	widened := e.combine(entry, st)
 	if widened.Top {
+		if widened.TopKey == "" {
+			widened.TopKey = key
+		}
 		entry.st = widened
 		return true
 	}
@@ -733,7 +798,12 @@ func (e *engine) combineRetry(entry *tableEntry, nw *State, retries int) *State 
 				}
 				detail = append(detail, fmt.Sprintf("match %s vs %s", oldR, newR))
 			}
-			return &State{Top: true, TopWhy: "widening failed: no common bound expressions: " + strings.Join(detail, "; ")}
+			blame := 0
+			if len(failing) > 0 {
+				blame = old.Sets[failing[0]].Node.ID
+			}
+			return &State{Top: true, TopWhy: "widening failed: no common bound expressions: " + strings.Join(detail, "; "),
+				TopNode: blame}
 		}
 		// Retry after parametric generalization.
 		return e.combineRetry(entry, nw2, retries-1)
@@ -1059,12 +1129,16 @@ func (e *engine) stepBlocked(st *State, depth int) []succ {
 	// 5. Stuck: the framework gives up with ⊤.
 	ns := st.Clone()
 	var blocked []string
+	var first *cfg.Node
 	for _, p := range ns.Sets {
 		if p.Blocked {
+			if first == nil {
+				first = p.Node
+			}
 			blocked = append(blocked, nodeDesc(p.Node)+p.Range.String())
 		}
 	}
-	ns.MarkTop("no send-receive match possible; blocked: " + strings.Join(blocked, ", "))
+	ns.MarkTopAt(first, "no send-receive match possible; blocked: "+strings.Join(blocked, ", "))
 	return []succ{{ns, "give-up"}}
 }
 
@@ -1093,7 +1167,7 @@ func (e *engine) advanceSet(st *State, id int) []succ {
 	case cfg.Branch:
 		return e.branchSet(ns, ps)
 	default:
-		ns.MarkTop("unexpected node kind " + node.Kind.String())
+		ns.MarkTopAt(node, "unexpected node kind "+node.Kind.String())
 	}
 	e.normalize(ns)
 	return []succ{{ns, nodeDesc(node)}}
@@ -1149,7 +1223,7 @@ func (e *engine) branchSetDepth(ns *State, ps *ProcSet, depth int) []succ {
 				}
 			}
 		}
-		ns.MarkTop(fmt.Sprintf("unsupported id-dependent condition: %s on %s [G: %s]", node.Cond, ps.Range, ns.G))
+		ns.MarkTopAt(node, fmt.Sprintf("unsupported id-dependent condition: %s on %s [G: %s]", node.Cond, ps.Range, ns.G))
 		return []succ{{ns, "give-up"}}
 	}
 
@@ -1483,6 +1557,13 @@ func (e *engine) propagateValue(ns *State, sender *ProcSet, senderRange procset.
 	}
 }
 
+// markVisited records that some non-empty process set reached a CFG node.
+func (e *engine) markVisited(id int) {
+	if id >= 0 && id < len(e.visited) {
+		e.visited[id].Store(true)
+	}
+}
+
 // trySelfMatches looks for a set blocked at a send (or sendrecv) whose own
 // subsequent receive completes a whole-set permutation exchange — the
 // paper's transpose pattern (Section VIII-B), justified by eager buffering.
@@ -1514,16 +1595,24 @@ func (e *engine) trySelfMatches(st *State) ([]succ, bool) {
 			ns := st.Clone()
 			nps := ns.Set(ps.ID)
 			sendNode := nps.Node
-			// Advance through intermediate sequential nodes.
+			// Advance through intermediate sequential nodes. They are
+			// executed inline, so they never surface in a normalized
+			// configuration — mark them visited here.
 			advance(nps)
 			for _, n := range inter {
 				if n.Kind == cfg.Assign {
 					ns.ApplyAssign(nps, n.AssignName, n.AssignRhs)
 				}
+				e.markVisited(n.ID)
 				nps.Node = n.SuccSeq()
 			}
-			// Now at recvNode; consume it.
+			// Now at recvNode; consume it (visited and bounds-checked like a
+			// normalized position, since it never becomes one).
 			nps.Node = recvNode
+			e.markVisited(recvNode.ID)
+			if e.opts.RecordCommBounds {
+				e.recordCommBounds(ns, nps)
+			}
 			e.propagateValue(ns, nps, nps.Range, sendNode.Value, nps, recvNode.RecvName)
 			ns.AddMatch(sendNode.ID, recvNode.ID, nps.Range, nps.Range)
 			advance(nps)
@@ -1629,12 +1718,27 @@ func (e *engine) normalize(st *State) {
 		}
 	}
 	if !st.RangesValid() {
-		st.MarkTop("process-set bounds no longer representable")
+		var bad *cfg.Node
+		for _, p := range st.Sets {
+			if !p.Range.IsValid() {
+				bad = p.Node
+				break
+			}
+		}
+		st.MarkTopAt(bad, "process-set bounds no longer representable")
 		return
 	}
 	if len(st.Sets) > e.opts.maxSets() {
-		st.MarkTop(fmt.Sprintf("configuration fragmented into %d process sets (limit %d)", len(st.Sets), e.opts.maxSets()))
+		st.MarkTopAt(st.Sets[0].Node, fmt.Sprintf("configuration fragmented into %d process sets (limit %d)", len(st.Sets), e.opts.maxSets()))
 		return
+	}
+	// Surviving sets have genuinely reached their nodes: mark them visited
+	// and, when enabled, check communication targets against [0, np-1].
+	for _, ps := range st.Sets {
+		e.markVisited(ps.Node.ID)
+		if e.opts.RecordCommBounds && ps.Node.IsComm() {
+			e.recordCommBounds(st, ps)
+		}
 	}
 	// Merge same-node adjacent sets (both directions), repeating to a fixed
 	// point.

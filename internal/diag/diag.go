@@ -1,0 +1,210 @@
+// Package diag defines the structured diagnostics model shared by the lint
+// passes and the psdf CLI: stable codes (PSDF-Exxx / PSDF-Wxxx), severities,
+// primary and related source spans, explanations and fix hints, plus a rule
+// registry that the output formatters (text, JSON, SARIF) render from.
+package diag
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/source"
+)
+
+// Severity classifies a diagnostic. Errors drive nonzero exit codes in the
+// CLI; warnings and infos do not.
+type Severity int
+
+// Severities, most severe first.
+const (
+	Error Severity = iota
+	Warning
+	Info
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	case Info:
+		return "info"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// sarifLevel maps a severity onto the SARIF result level vocabulary.
+func (s Severity) sarifLevel() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	}
+	return "note"
+}
+
+// Rule is the registry entry behind a diagnostic code: the stable identity
+// reported to users and machine consumers.
+type Rule struct {
+	// Code is the stable identifier, e.g. "PSDF-E001". E-codes default to
+	// Error severity, W-codes to Warning.
+	Code string
+	// Name is the short kebab-case rule name, e.g. "message-leak".
+	Name string
+	// DefaultSeverity is the severity diagnostics of this rule carry unless
+	// a pass overrides it.
+	DefaultSeverity Severity
+	// Summary is a one-line description of what the rule checks.
+	Summary string
+	// Help explains the underlying analysis and how to fix findings.
+	Help string
+}
+
+// The diagnostic codes emitted by the bundled lint passes.
+const (
+	CodeMessageLeak    = "PSDF-E001"
+	CodeDeadlock       = "PSDF-E002"
+	CodeTagMismatch    = "PSDF-E003"
+	CodeRankBounds     = "PSDF-E004"
+	CodeAnalysisGaveUp = "PSDF-E005"
+	CodeBoundsUnproven = "PSDF-W004"
+	CodeDeadCode       = "PSDF-W006"
+)
+
+// registry holds the known rules in registration order.
+var registry = []Rule{
+	{
+		Code: CodeMessageLeak, Name: "message-leak", DefaultSeverity: Error,
+		Summary: "a sent message is never received",
+		Help: "The dataflow analysis found a terminal configuration in which a send " +
+			"has no matching receive: the message stays in the channel forever. " +
+			"Check the destination expression and the receiver's guard conditions.",
+	},
+	{
+		Code: CodeDeadlock, Name: "potential-deadlock", DefaultSeverity: Error,
+		Summary: "processes may block forever on a receive",
+		Help: "A process set is blocked at a receive operation with no possible " +
+			"matching send. If the analysis also gave up, the block may instead " +
+			"reflect lost precision; the ⊤-blame trace shows which.",
+	},
+	{
+		Code: CodeTagMismatch, Name: "tag-mismatch", DefaultSeverity: Error,
+		Summary: "matched send and receive use different message tags",
+		Help: "The communication topology matches these operations structurally, " +
+			"but their tags differ, so a tag-checking runtime would not deliver " +
+			"the message. Align the tag annotations on both sides.",
+	},
+	{
+		Code: CodeRankBounds, Name: "rank-out-of-bounds", DefaultSeverity: Error,
+		Summary: "a communication target is provably outside [0, np-1]",
+		Help: "The constraint-graph client proved that some process in the range " +
+			"computes a partner rank below 0 or above np-1 — the classic " +
+			"unguarded id±1 boundary bug. Guard the operation so boundary " +
+			"processes skip it (e.g. `if id <= np - 2 then send ... end`).",
+	},
+	{
+		Code: CodeAnalysisGaveUp, Name: "analysis-gave-up", DefaultSeverity: Error,
+		Summary: "the dataflow analysis reached ⊤ and cannot verify this program",
+		Help: "The pCFG exploration hit a configuration it cannot represent " +
+			"(failed widening, unsupported rank-dependent condition, or no " +
+			"representable match). The blame trace shows the first operation " +
+			"that forced the give-up; restructuring it usually restores precision.",
+	},
+	{
+		Code: CodeBoundsUnproven, Name: "rank-bounds-unproven", DefaultSeverity: Warning,
+		Summary: "a communication target could not be proved inside [0, np-1]",
+		Help: "The target expression is outside the affine difference-constraint " +
+			"fragment (or the needed facts are missing), so in-bounds could not " +
+			"be proved — nor refuted. Reported only in strict mode.",
+	},
+	{
+		Code: CodeDeadCode, Name: "unreachable-code", DefaultSeverity: Warning,
+		Summary: "no process can ever execute this statement",
+		Help: "The process set reaching this program point is provably empty for " +
+			"every np (for example a branch on `id >= np`). The code is dead; " +
+			"remove it or fix the guard.",
+	},
+}
+
+var byCode = func() map[string]Rule {
+	m := make(map[string]Rule, len(registry))
+	for _, r := range registry {
+		m[r.Code] = r
+	}
+	return m
+}()
+
+// Rules returns all registered rules in code order.
+func Rules() []Rule {
+	out := append([]Rule(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// RuleFor looks up a rule by code; ok=false for unknown codes.
+func RuleFor(code string) (Rule, bool) {
+	r, ok := byCode[code]
+	return r, ok
+}
+
+// Related is a secondary location attached to a diagnostic (the other end of
+// a match, a step of a blame trace, ...).
+type Related struct {
+	Span    source.Span
+	Message string
+}
+
+// Diagnostic is one lint finding: a coded, located, explained message.
+type Diagnostic struct {
+	Code     string
+	Severity Severity
+	Path     string      // source file the finding is in
+	Span     source.Span // primary location (may be invalid for whole-program findings)
+	Message  string      // one-line statement of the finding
+	Explain  string      // optional longer explanation (analysis evidence)
+	Hint     string      // optional fix suggestion
+	Related  []Related   // secondary locations
+}
+
+// New builds a diagnostic for a registered code with the rule's default
+// severity.
+func New(code, path string, span source.Span, message string) Diagnostic {
+	sev := Error
+	if r, ok := byCode[code]; ok {
+		sev = r.DefaultSeverity
+	}
+	return Diagnostic{Code: code, Severity: sev, Path: path, Span: span, Message: message}
+}
+
+// Sort orders diagnostics for deterministic output: by path, then span start,
+// then code, then message.
+func Sort(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Span.Start != b.Span.Start {
+			if a.Span.Start.Line != b.Span.Start.Line {
+				return a.Span.Start.Line < b.Span.Start.Line
+			}
+			return a.Span.Start.Col < b.Span.Start.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// HasErrors reports whether any diagnostic has Error severity.
+func HasErrors(ds []Diagnostic) bool {
+	for _, d := range ds {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}

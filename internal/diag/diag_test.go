@@ -1,0 +1,197 @@
+package diag_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/source"
+)
+
+func sampleDiags() []diag.Diagnostic {
+	d := diag.New(diag.CodeRankBounds, "prog.mpl",
+		source.Span{Start: source.Pos{Line: 2, Col: 11}, End: source.Pos{Line: 2, Col: 17}},
+		"process np - 1 sends to np, beyond the last rank np - 1")
+	d.Explain = "the constraint-graph client proved the violation for range [0..np - 1]"
+	d.Hint = "guard the send so the last rank skips it"
+	d.Related = []diag.Related{{
+		Span:    source.Span{Start: source.Pos{Line: 3, Col: 11}},
+		Message: "the matching receive is here",
+	}}
+	w := diag.New(diag.CodeDeadCode, "prog.mpl",
+		source.Span{Start: source.Pos{Line: 5, Col: 3}},
+		"no process can execute this statement")
+	return []diag.Diagnostic{d, w}
+}
+
+func TestRegistry(t *testing.T) {
+	rules := diag.Rules()
+	if len(rules) < 7 {
+		t.Fatalf("expected at least 7 registered rules, got %d", len(rules))
+	}
+	for i := 1; i < len(rules); i++ {
+		if rules[i-1].Code >= rules[i].Code {
+			t.Errorf("rules not sorted: %s before %s", rules[i-1].Code, rules[i].Code)
+		}
+	}
+	r, ok := diag.RuleFor(diag.CodeMessageLeak)
+	if !ok || r.Name != "message-leak" || r.DefaultSeverity != diag.Error {
+		t.Errorf("CodeMessageLeak lookup wrong: %+v ok=%v", r, ok)
+	}
+	if w, ok := diag.RuleFor(diag.CodeDeadCode); !ok || w.DefaultSeverity != diag.Warning {
+		t.Errorf("CodeDeadCode should default to warning: %+v", w)
+	}
+	if _, ok := diag.RuleFor("PSDF-X999"); ok {
+		t.Error("unknown code should not resolve")
+	}
+}
+
+func TestNewUsesDefaultSeverity(t *testing.T) {
+	if d := diag.New(diag.CodeDeadCode, "f", source.Span{}, "m"); d.Severity != diag.Warning {
+		t.Errorf("severity = %v, want Warning", d.Severity)
+	}
+	if d := diag.New(diag.CodeDeadlock, "f", source.Span{}, "m"); d.Severity != diag.Error {
+		t.Errorf("severity = %v, want Error", d.Severity)
+	}
+}
+
+func TestSortAndHasErrors(t *testing.T) {
+	ds := []diag.Diagnostic{
+		diag.New(diag.CodeDeadCode, "b.mpl", source.Span{Start: source.Pos{Line: 1, Col: 1}}, "x"),
+		diag.New(diag.CodeMessageLeak, "a.mpl", source.Span{Start: source.Pos{Line: 9, Col: 1}}, "y"),
+		diag.New(diag.CodeDeadlock, "a.mpl", source.Span{Start: source.Pos{Line: 2, Col: 5}}, "z"),
+	}
+	diag.Sort(ds)
+	if ds[0].Path != "a.mpl" || ds[0].Span.Start.Line != 2 || ds[2].Path != "b.mpl" {
+		t.Errorf("sort order wrong: %+v", ds)
+	}
+	if !diag.HasErrors(ds) {
+		t.Error("HasErrors should see the E-codes")
+	}
+	if diag.HasErrors(ds[2:]) {
+		t.Error("warning-only list should report no errors")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	content := "assume np >= 2\nsend x -> id + 1\nrecv y <- id - 1\n\n  x := 1\n"
+	files := map[string]*source.File{"prog.mpl": source.NewFile("prog.mpl", content)}
+	var b strings.Builder
+	diag.WriteText(&b, files, sampleDiags())
+	out := b.String()
+	for _, want := range []string{
+		"prog.mpl:2:11: error[PSDF-E004]: process np - 1 sends to np",
+		"send x -> id + 1",
+		"^~~~~~",
+		"= the constraint-graph client proved",
+		"note: 3:11: the matching receive is here",
+		"hint: guard the send",
+		"prog.mpl:5:3: warning[PSDF-W006]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := diag.WriteJSON(&b, sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Diagnostics []struct {
+			Code     string `json:"code"`
+			Rule     string `json:"rule"`
+			Severity string `json:"severity"`
+			Span     *struct {
+				Start struct{ Line, Col int } `json:"start"`
+			} `json:"span"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(decoded.Diagnostics) != 2 {
+		t.Fatalf("want 2 diagnostics, got %d", len(decoded.Diagnostics))
+	}
+	d := decoded.Diagnostics[0]
+	if d.Code != "PSDF-E004" || d.Rule != "rank-out-of-bounds" || d.Severity != "error" {
+		t.Errorf("first diagnostic wrong: %+v", d)
+	}
+	if d.Span == nil || d.Span.Start.Line != 2 || d.Span.Start.Col != 11 {
+		t.Errorf("span wrong: %+v", d.Span)
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	var b strings.Builder
+	if err := diag.WriteSARIF(&b, "test", sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region *struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				RelatedLocations []struct {
+					Message *struct {
+						Text string `json:"text"`
+					} `json:"message"`
+				} `json:"relatedLocations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &log); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("log header wrong: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "psdf-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(diag.Rules()) {
+		t.Errorf("rules array should list every registered rule")
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "PSDF-E004" || r.Level != "error" {
+		t.Errorf("result wrong: %+v", r)
+	}
+	if run.Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+		t.Errorf("ruleIndex %d does not point at %s", r.RuleIndex, r.RuleID)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "prog.mpl" || loc.Region == nil || loc.Region.StartLine != 2 {
+		t.Errorf("location wrong: %+v", loc)
+	}
+	if len(r.RelatedLocations) != 1 || r.RelatedLocations[0].Message.Text != "the matching receive is here" {
+		t.Errorf("related locations wrong: %+v", r.RelatedLocations)
+	}
+}

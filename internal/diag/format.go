@@ -1,0 +1,284 @@
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/source"
+)
+
+// WriteText renders diagnostics in the classic compiler style:
+//
+//	path:line:col: error[PSDF-E004]: process np - 1 sends to np
+//	    send x -> id + 1
+//	         ^~~~~~~~~~~
+//	  note: ...
+//	  hint: guard the send so the last rank skips it
+//
+// files maps a diagnostic's Path to its source.File for line excerpts;
+// missing entries simply omit the excerpt.
+func WriteText(w io.Writer, files map[string]*source.File, ds []Diagnostic) {
+	for _, d := range ds {
+		loc := d.Path
+		if d.Span.IsValid() {
+			loc = fmt.Sprintf("%s:%d:%d", d.Path, d.Span.Start.Line, d.Span.Start.Col)
+		}
+		fmt.Fprintf(w, "%s: %s[%s]: %s\n", loc, d.Severity, d.Code, d.Message)
+		writeExcerpt(w, files[d.Path], d.Span)
+		if d.Explain != "" {
+			fmt.Fprintf(w, "  = %s\n", d.Explain)
+		}
+		for _, r := range d.Related {
+			if r.Span.IsValid() {
+				fmt.Fprintf(w, "  note: %d:%d: %s\n", r.Span.Start.Line, r.Span.Start.Col, r.Message)
+			} else {
+				fmt.Fprintf(w, "  note: %s\n", r.Message)
+			}
+		}
+		if d.Hint != "" {
+			fmt.Fprintf(w, "  hint: %s\n", d.Hint)
+		}
+	}
+}
+
+// writeExcerpt prints the source line under a span with a caret underline.
+func writeExcerpt(w io.Writer, f *source.File, sp source.Span) {
+	if f == nil || !sp.IsValid() {
+		return
+	}
+	line := f.Line(sp.Start.Line)
+	if line == "" {
+		return
+	}
+	fmt.Fprintf(w, "    %s\n", line)
+	start := sp.Start.Col - 1
+	if start < 0 || start >= len(line) {
+		return
+	}
+	end := start + 1
+	if sp.End.IsValid() && sp.End.Line == sp.Start.Line && sp.End.Col-1 > start {
+		end = sp.End.Col - 1
+		if end > len(line) {
+			end = len(line)
+		}
+	}
+	// Tabs in the prefix must stay tabs so the caret lines up.
+	pad := make([]byte, start)
+	for i := 0; i < start; i++ {
+		if line[i] == '\t' {
+			pad[i] = '\t'
+		} else {
+			pad[i] = ' '
+		}
+	}
+	marks := "^" + strings.Repeat("~", end-start-1)
+	fmt.Fprintf(w, "    %s%s\n", pad, marks)
+}
+
+// jsonPos/jsonSpan/jsonRelated/jsonDiag mirror the diagnostic model with
+// stable field names for the -format json output.
+type jsonPos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+type jsonSpan struct {
+	Start jsonPos  `json:"start"`
+	End   *jsonPos `json:"end,omitempty"`
+}
+
+type jsonRelated struct {
+	Span    *jsonSpan `json:"span,omitempty"`
+	Message string    `json:"message"`
+}
+
+type jsonDiag struct {
+	Code     string        `json:"code"`
+	Rule     string        `json:"rule,omitempty"`
+	Severity string        `json:"severity"`
+	Path     string        `json:"path"`
+	Span     *jsonSpan     `json:"span,omitempty"`
+	Message  string        `json:"message"`
+	Explain  string        `json:"explain,omitempty"`
+	Hint     string        `json:"hint,omitempty"`
+	Related  []jsonRelated `json:"related,omitempty"`
+}
+
+func toJSONSpan(sp source.Span) *jsonSpan {
+	if !sp.IsValid() {
+		return nil
+	}
+	out := &jsonSpan{Start: jsonPos{sp.Start.Line, sp.Start.Col}}
+	if sp.End.IsValid() && sp.End != sp.Start {
+		out.End = &jsonPos{sp.End.Line, sp.End.Col}
+	}
+	return out
+}
+
+// WriteJSON renders diagnostics as a JSON object {"diagnostics": [...]}.
+func WriteJSON(w io.Writer, ds []Diagnostic) error {
+	out := struct {
+		Diagnostics []jsonDiag `json:"diagnostics"`
+	}{Diagnostics: []jsonDiag{}}
+	for _, d := range ds {
+		jd := jsonDiag{
+			Code:     d.Code,
+			Severity: d.Severity.String(),
+			Path:     d.Path,
+			Span:     toJSONSpan(d.Span),
+			Message:  d.Message,
+			Explain:  d.Explain,
+			Hint:     d.Hint,
+		}
+		if r, ok := RuleFor(d.Code); ok {
+			jd.Rule = r.Name
+		}
+		for _, rel := range d.Related {
+			jd.Related = append(jd.Related, jsonRelated{Span: toJSONSpan(rel.Span), Message: rel.Message})
+		}
+		out.Diagnostics = append(out.Diagnostics, jd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ---------------------------------------------------------------------------
+// SARIF 2.1.0 (the subset code-scanning UIs consume)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version,omitempty"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string        `json:"id"`
+	Name             string        `json:"name,omitempty"`
+	ShortDescription *sarifMessage `json:"shortDescription,omitempty"`
+	FullDescription  *sarifMessage `json:"fullDescription,omitempty"`
+	DefaultConfig    *sarifConfig  `json:"defaultConfiguration,omitempty"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID           string          `json:"ruleId"`
+	RuleIndex        int             `json:"ruleIndex"`
+	Level            string          `json:"level"`
+	Message          sarifMessage    `json:"message"`
+	Locations        []sarifLocation `json:"locations,omitempty"`
+	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifMessage `json:"message,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+	EndLine     int `json:"endLine,omitempty"`
+	EndColumn   int `json:"endColumn,omitempty"`
+}
+
+func toSarifLocation(path string, sp source.Span, msg string) sarifLocation {
+	loc := sarifLocation{PhysicalLocation: sarifPhysical{ArtifactLocation: sarifArtifact{URI: path}}}
+	if sp.IsValid() {
+		r := &sarifRegion{StartLine: sp.Start.Line, StartColumn: sp.Start.Col}
+		if sp.End.IsValid() && sp.End != sp.Start {
+			r.EndLine = sp.End.Line
+			r.EndColumn = sp.End.Col
+		}
+		loc.PhysicalLocation.Region = r
+	}
+	if msg != "" {
+		loc.Message = &sarifMessage{Text: msg}
+	}
+	return loc
+}
+
+// WriteSARIF renders diagnostics as a single-run SARIF 2.1.0 log. The rules
+// array lists every registered rule (in code order), so ruleIndex values are
+// stable across runs regardless of which findings occur.
+func WriteSARIF(w io.Writer, toolVersion string, ds []Diagnostic) error {
+	rules := Rules()
+	ruleIdx := map[string]int{}
+	sr := make([]sarifRule, len(rules))
+	for i, r := range rules {
+		ruleIdx[r.Code] = i
+		sr[i] = sarifRule{
+			ID:               r.Code,
+			Name:             r.Name,
+			ShortDescription: &sarifMessage{Text: r.Summary},
+			FullDescription:  &sarifMessage{Text: r.Help},
+			DefaultConfig:    &sarifConfig{Level: r.DefaultSeverity.sarifLevel()},
+		}
+	}
+	results := []sarifResult{}
+	for _, d := range ds {
+		msg := d.Message
+		if d.Explain != "" {
+			msg += ". " + d.Explain
+		}
+		if d.Hint != "" {
+			msg += ". Hint: " + d.Hint
+		}
+		res := sarifResult{
+			RuleID:    d.Code,
+			RuleIndex: ruleIdx[d.Code],
+			Level:     d.Severity.sarifLevel(),
+			Message:   sarifMessage{Text: msg},
+			Locations: []sarifLocation{toSarifLocation(d.Path, d.Span, "")},
+		}
+		for _, rel := range d.Related {
+			res.RelatedLocations = append(res.RelatedLocations, toSarifLocation(d.Path, rel.Span, rel.Message))
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "psdf-lint", Version: toolVersion, Rules: sr}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -133,3 +133,109 @@ func TestCLIPsdfBenchSingleExperiment(t *testing.T) {
 		t.Error("unknown experiment accepted")
 	}
 }
+
+// TestCLIPsdfLint exercises the lint subcommand over the seeded-bug corpus
+// and the clean programs: exit codes, format selection, and that every
+// seeded bug is flagged with its expected code and a file:line:col span.
+func TestCLIPsdfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build skipped in -short mode")
+	}
+	bin := buildTool(t, "psdf")
+	root := repoRoot(t)
+	bugs := []struct {
+		file string
+		code string
+	}{
+		{"offbyone_shift.mpl", "PSDF-E004"},
+		{"tag_mismatch.mpl", "PSDF-E003"},
+		{"leak_extra.mpl", "PSDF-E001"},
+		{"unsupported_cond.mpl", "PSDF-E005"},
+	}
+	for _, c := range bugs {
+		path := filepath.Join(root, "testdata", "bugs", c.file)
+		out, err := exec.Command(bin, "lint", path).CombinedOutput()
+		if err == nil {
+			t.Errorf("psdf lint %s: expected nonzero exit\n%s", c.file, out)
+		}
+		if !strings.Contains(string(out), c.code) {
+			t.Errorf("psdf lint %s: output missing %s:\n%s", c.file, c.code, out)
+		}
+		if !strings.Contains(string(out), c.file+":") {
+			t.Errorf("psdf lint %s: output missing file:line:col location:\n%s", c.file, out)
+		}
+	}
+	// The dead-branch bug is warning-only: findings print but exit is zero.
+	out, err := exec.Command(bin, "lint",
+		filepath.Join(root, "testdata", "bugs", "dead_branch.mpl")).CombinedOutput()
+	if err != nil {
+		t.Errorf("psdf lint dead_branch.mpl: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "PSDF-W006") {
+		t.Errorf("psdf lint dead_branch.mpl missing PSDF-W006:\n%s", out)
+	}
+	// Clean programs produce no output and exit zero.
+	out, err = exec.Command(bin, "lint",
+		filepath.Join(root, "testdata", "shift1d.mpl"),
+		filepath.Join(root, "testdata", "exchange.mpl"),
+		filepath.Join(root, "testdata", "nascg_square.mpl")).CombinedOutput()
+	if err != nil {
+		t.Errorf("psdf lint clean: %v\n%s", err, out)
+	}
+	if len(strings.TrimSpace(string(out))) != 0 {
+		t.Errorf("psdf lint clean: unexpected findings:\n%s", out)
+	}
+	// SARIF output identifies the tool and the rule.
+	out, _ = exec.Command(bin, "lint", "-format", "sarif",
+		filepath.Join(root, "testdata", "bugs", "tag_mismatch.mpl")).CombinedOutput()
+	for _, w := range []string{`"psdf-lint"`, `"2.1.0"`, "PSDF-E003"} {
+		if !strings.Contains(string(out), w) {
+			t.Errorf("psdf lint sarif missing %s:\n%s", w, out)
+		}
+	}
+	// JSON output carries the rule name.
+	out, _ = exec.Command(bin, "lint", "-format", "json",
+		filepath.Join(root, "testdata", "bugs", "offbyone_shift.mpl")).CombinedOutput()
+	if !strings.Contains(string(out), `"rank-out-of-bounds"`) {
+		t.Errorf("psdf lint json missing rule name:\n%s", out)
+	}
+	// Unknown format is a usage error (exit 2).
+	cmd := exec.Command(bin, "lint", "-format", "yaml",
+		filepath.Join(root, "testdata", "shift1d.mpl"))
+	if err := cmd.Run(); err == nil {
+		t.Error("psdf lint -format yaml accepted")
+	} else if ee, ok := err.(*exec.ExitError); ok && ee.ExitCode() != 2 {
+		t.Errorf("psdf lint -format yaml exit = %d, want 2", ee.ExitCode())
+	}
+}
+
+// TestCLIPsdfRunFailOnFindings covers the flag-gated nonzero exits.
+func TestCLIPsdfRunFailOnFindings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build skipped in -short mode")
+	}
+	bin := buildTool(t, "psdf-run")
+	root := repoRoot(t)
+	leaky := filepath.Join(root, "testdata", "leaky.mpl")
+	// Without the flag the leaky simulation exits zero...
+	if out, err := exec.Command(bin, "-np", "4", leaky).CombinedOutput(); err != nil {
+		t.Fatalf("psdf-run leaky: %v\n%s", err, out)
+	}
+	// ...with it, the leak is fatal.
+	if _, err := exec.Command(bin, "-np", "4", "-fail-on-findings", leaky).CombinedOutput(); err == nil {
+		t.Error("psdf-run -fail-on-findings ignored a leak")
+	}
+	// Analyze mode: clean program passes, leak fails.
+	if out, err := exec.Command(bin, "-analyze", "-fail-on-findings",
+		filepath.Join(root, "testdata", "mdcask.mpl")).CombinedOutput(); err != nil {
+		t.Errorf("psdf-run -analyze clean: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-analyze", "-fail-on-findings",
+		filepath.Join(root, "testdata", "bugs", "leak_extra.mpl")).CombinedOutput()
+	if err == nil {
+		t.Error("psdf-run -analyze -fail-on-findings ignored a leak")
+	}
+	if !strings.Contains(string(out), "FINDING") {
+		t.Errorf("psdf-run -analyze findings not printed:\n%s", out)
+	}
+}

@@ -1,0 +1,210 @@
+package lint_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/clients/symbolic"
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/lint"
+	"repro/internal/source"
+)
+
+var update = flag.Bool("update", false, "rewrite golden lint outputs")
+
+const testdataRoot = "../../testdata"
+
+func loadFile(t *testing.T, path string, opts core.Options) *lint.Target {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagnostics use the base name so goldens are location-independent.
+	tgt, err := lint.Load(filepath.Base(path), string(src), opts)
+	if err != nil {
+		t.Fatalf("load %s: %v", path, err)
+	}
+	return tgt
+}
+
+// render produces the golden text form: the diagnostics plus a summary.
+func render(tgt *lint.Target, rep *lint.Report) string {
+	var b strings.Builder
+	files := map[string]*source.File{tgt.Path: tgt.File}
+	diag.WriteText(&b, files, rep.Diags)
+	fmt.Fprintf(&b, "-- findings: %d, errors: %v\n", len(rep.Diags), rep.HasErrors())
+	s := rep.Bounds
+	fmt.Fprintf(&b, "-- bounds: total=%d proven=%d proven-by-match=%d violated=%d unknown=%d non-affine=%d\n",
+		s.Total, s.Proven, s.ProvenByMatch, s.Violated, s.Unknown, s.NonAffine)
+	return b.String()
+}
+
+func checkGolden(t *testing.T, goldenPath, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+// TestBugCorpusGoldens lints every seeded-bug program and compares the text
+// rendering against the checked-in goldens.
+func TestBugCorpusGoldens(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(testdataRoot, "bugs", "*.mpl"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no bug corpus found: %v", err)
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".mpl")
+		t.Run(name, func(t *testing.T) {
+			tgt := loadFile(t, path, core.Options{})
+			rep := lint.Run(tgt, lint.Options{})
+			golden := filepath.Join(testdataRoot, "golden", "lint", name+".txt")
+			checkGolden(t, golden, render(tgt, rep))
+		})
+	}
+}
+
+// TestSARIFGolden pins the SARIF rendering for the off-by-one shift bug.
+func TestSARIFGolden(t *testing.T) {
+	tgt := loadFile(t, filepath.Join(testdataRoot, "bugs", "offbyone_shift.mpl"), core.Options{})
+	rep := lint.Run(tgt, lint.Options{})
+	var b strings.Builder
+	if err := diag.WriteSARIF(&b, "test", rep.Diags); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join(testdataRoot, "golden", "lint", "offbyone_shift.sarif")
+	checkGolden(t, golden, b.String())
+}
+
+// TestSeededBugsFlagged asserts each seeded bug yields its expected code
+// with a real source location, independent of golden formatting.
+func TestSeededBugsFlagged(t *testing.T) {
+	cases := []struct {
+		file string
+		code string
+	}{
+		{"offbyone_shift.mpl", diag.CodeRankBounds},
+		{"tag_mismatch.mpl", diag.CodeTagMismatch},
+		{"dead_branch.mpl", diag.CodeDeadCode},
+		{"leak_extra.mpl", diag.CodeMessageLeak},
+		{"unsupported_cond.mpl", diag.CodeAnalysisGaveUp},
+	}
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			tgt := loadFile(t, filepath.Join(testdataRoot, "bugs", c.file), core.Options{})
+			rep := lint.Run(tgt, lint.Options{})
+			for _, d := range rep.Diags {
+				if d.Code == c.code {
+					if !d.Span.IsValid() {
+						t.Errorf("%s finding has no source span: %+v", c.code, d)
+					}
+					return
+				}
+			}
+			t.Errorf("expected %s, got: %+v", c.code, rep.Diags)
+		})
+	}
+}
+
+// TestCleanProgramsNoFindings lints the known-good testdata programs and
+// expects zero findings — including no rank-bounds false positives on the
+// guarded shift, the exchange and the NAS-CG patterns.
+func TestCleanProgramsNoFindings(t *testing.T) {
+	cases := []struct {
+		file        string
+		nonblocking bool
+	}{
+		{"shift1d.mpl", false},
+		{"exchange.mpl", false},
+		{"fanout.mpl", false},
+		{"mdcask.mpl", false},
+		{"nascg_square.mpl", false},
+		{"nascg_rect.mpl", false},
+		{"sendfirst_shift.mpl", true},
+	}
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			tgt := loadFile(t, filepath.Join(testdataRoot, c.file),
+				core.Options{NonBlockingSends: c.nonblocking})
+			rep := lint.Run(tgt, lint.Options{})
+			if len(rep.Diags) != 0 {
+				var b strings.Builder
+				diag.WriteText(&b, map[string]*source.File{tgt.Path: tgt.File}, rep.Diags)
+				t.Errorf("findings on clean program:\n%s", b.String())
+			}
+			if rep.Bounds.Violated != 0 {
+				t.Errorf("bounds violations on clean program: %+v", rep.Bounds)
+			}
+		})
+	}
+}
+
+// TestGuardedShiftBoundsProven asserts the constraint-graph client proves
+// the guarded shift's targets directly (not merely via matching).
+func TestGuardedShiftBoundsProven(t *testing.T) {
+	tgt := loadFile(t, filepath.Join(testdataRoot, "shift1d.mpl"), core.Options{})
+	rep := lint.Run(tgt, lint.Options{})
+	if rep.Bounds.Proven == 0 {
+		t.Errorf("no directly proven facets on shift1d: %+v", rep.Bounds)
+	}
+}
+
+// TestStrictModeWarnsUnproven: strict mode surfaces unproven facets as
+// warnings (never errors), and default mode stays silent about them.
+func TestStrictModeWarnsUnproven(t *testing.T) {
+	// leak_extra's orphan send never matches, so its facet stays unproven
+	// unless the constraint graph can prove it — the literal target 1 with
+	// np >= 2 is provable, so use a program with an unprovable target.
+	src := "assume np >= 2\nif id == 0 then\n  send x -> np - 2\nend\n"
+	tgt, err := lint.Load("strict.mpl", src, core.Options{Matcher: &symbolic.Matcher{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict := lint.Run(tgt, lint.Options{Strict: true})
+	var warned bool
+	for _, d := range strict.Diags {
+		if d.Code == diag.CodeBoundsUnproven {
+			warned = true
+			if d.Severity != diag.Warning {
+				t.Errorf("W004 severity = %v, want warning", d.Severity)
+			}
+		}
+	}
+	if !warned {
+		t.Skipf("facet was provable after all: %+v", strict.Bounds)
+	}
+	lax := lint.Run(tgt, lint.Options{})
+	for _, d := range lax.Diags {
+		if d.Code == diag.CodeBoundsUnproven {
+			t.Error("W004 reported without strict mode")
+		}
+	}
+}
+
+func TestPassesRegistry(t *testing.T) {
+	ps := lint.Passes()
+	if len(ps) != 6 {
+		t.Fatalf("expected 6 passes, got %d", len(ps))
+	}
+	for _, p := range ps {
+		if p.Name == "" || p.Doc == "" || p.Run == nil {
+			t.Errorf("incomplete pass registration: %+v", p)
+		}
+	}
+}

@@ -49,6 +49,7 @@ func MustParse(name, src string) *ast.Program {
 type parser struct {
 	toks  []lexer.Token
 	pos   int
+	prev  lexer.Token // last consumed token, for full-extent statement spans
 	diags *source.DiagList
 }
 
@@ -60,7 +61,26 @@ func (p *parser) advance() lexer.Token {
 	if p.pos < len(p.toks)-1 {
 		p.pos++
 	}
+	p.prev = t
 	return t
+}
+
+// spanTo extends a span from the given start to the end of the last consumed
+// token, so statements and operator expressions cover their full source
+// extent (diagnostics underline the whole construct, not just its keyword).
+func (p *parser) spanTo(start source.Span) source.Span {
+	return joinSpans(start, p.prev.Span)
+}
+
+// joinSpans covers everything from a's start to b's end.
+func joinSpans(a, b source.Span) source.Span {
+	if !a.IsValid() {
+		return b
+	}
+	if !b.IsValid() || b.End.Before(a.End) {
+		return a
+	}
+	return source.Span{Start: a.Start, End: b.End}
 }
 
 func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
@@ -133,13 +153,13 @@ func (p *parser) parseStmt() ast.Stmt {
 		return p.parseSendRecv()
 	case token.KwPrint:
 		p.advance()
-		return &ast.Print{Arg: p.parseExpr(), Sp: t.Span}
+		return &ast.Print{Arg: p.parseExpr(), Sp: p.spanTo(t.Span)}
 	case token.KwAssume:
 		p.advance()
-		return &ast.Assume{Cond: p.parseExpr(), Sp: t.Span}
+		return &ast.Assume{Cond: p.parseExpr(), Sp: p.spanTo(t.Span)}
 	case token.KwAssert:
 		p.advance()
-		return &ast.Assert{Cond: p.parseExpr(), Sp: t.Span}
+		return &ast.Assert{Cond: p.parseExpr(), Sp: p.spanTo(t.Span)}
 	}
 	p.diags.Errorf(t.Span, "expected statement, found %s", t)
 	return nil
@@ -152,14 +172,14 @@ func (p *parser) parseVarDecl() ast.Stmt {
 	for p.accept(token.Comma) {
 		names = append(names, p.expect(token.Ident).Lit)
 	}
-	return &ast.VarDecl{Names: names, Sp: start.Span}
+	return &ast.VarDecl{Names: names, Sp: p.spanTo(start.Span)}
 }
 
 func (p *parser) parseAssign() ast.Stmt {
 	name := p.expect(token.Ident)
 	p.expect(token.Assign)
 	rhs := p.parseExpr()
-	return &ast.Assign{Name: name.Lit, Rhs: rhs, Sp: name.Span}
+	return &ast.Assign{Name: name.Lit, Rhs: rhs, Sp: p.spanTo(name.Span)}
 }
 
 func (p *parser) parseIf() ast.Stmt {
@@ -175,12 +195,12 @@ func (p *parser) parseIf() ast.Stmt {
 		p.advance()
 		inner := p.parseIfTail(elifTok.Span)
 		els = []ast.Stmt{inner}
-		return &ast.If{Cond: cond, Then: then, Else: els, Sp: start.Span}
+		return &ast.If{Cond: cond, Then: then, Else: els, Sp: p.spanTo(start.Span)}
 	case p.accept(token.KwElse):
 		els = p.parseBlock(token.KwEnd)
 	}
 	p.expect(token.KwEnd)
-	return &ast.If{Cond: cond, Then: then, Else: els, Sp: start.Span}
+	return &ast.If{Cond: cond, Then: then, Else: els, Sp: p.spanTo(start.Span)}
 }
 
 // parseIfTail parses "expr then block (elif...|else...)? end" after an elif.
@@ -194,12 +214,12 @@ func (p *parser) parseIfTail(sp source.Span) ast.Stmt {
 		elifTok := p.cur()
 		p.advance()
 		els = []ast.Stmt{p.parseIfTail(elifTok.Span)}
-		return &ast.If{Cond: cond, Then: then, Else: els, Sp: sp}
+		return &ast.If{Cond: cond, Then: then, Else: els, Sp: p.spanTo(sp)}
 	case p.accept(token.KwElse):
 		els = p.parseBlock(token.KwEnd)
 	}
 	p.expect(token.KwEnd)
-	return &ast.If{Cond: cond, Then: then, Else: els, Sp: sp}
+	return &ast.If{Cond: cond, Then: then, Else: els, Sp: p.spanTo(sp)}
 }
 
 func (p *parser) parseWhile() ast.Stmt {
@@ -208,7 +228,7 @@ func (p *parser) parseWhile() ast.Stmt {
 	p.expect(token.KwDo)
 	body := p.parseBlock(token.KwEnd)
 	p.expect(token.KwEnd)
-	return &ast.While{Cond: cond, Body: body, Sp: start.Span}
+	return &ast.While{Cond: cond, Body: body, Sp: p.spanTo(start.Span)}
 }
 
 func (p *parser) parseFor() ast.Stmt {
@@ -221,7 +241,7 @@ func (p *parser) parseFor() ast.Stmt {
 	p.expect(token.KwDo)
 	body := p.parseBlock(token.KwEnd)
 	p.expect(token.KwEnd)
-	return &ast.For{Var: name.Lit, Lo: lo, Hi: hi, Body: body, Sp: start.Span}
+	return &ast.For{Var: name.Lit, Lo: lo, Hi: hi, Body: body, Sp: p.spanTo(start.Span)}
 }
 
 func (p *parser) parseTag() string {
@@ -236,7 +256,7 @@ func (p *parser) parseSend() ast.Stmt {
 	val := p.parseExpr()
 	p.expect(token.Arrow)
 	dest := p.parseExpr()
-	return &ast.Send{Value: val, Dest: dest, Tag: p.parseTag(), Sp: start.Span}
+	return &ast.Send{Value: val, Dest: dest, Tag: p.parseTag(), Sp: p.spanTo(start.Span)}
 }
 
 func (p *parser) parseRecv() ast.Stmt {
@@ -244,7 +264,7 @@ func (p *parser) parseRecv() ast.Stmt {
 	name := p.expect(token.Ident)
 	p.expect(token.LArrow)
 	src := p.parseExpr()
-	return &ast.Recv{Name: name.Lit, Src: src, Tag: p.parseTag(), Sp: start.Span}
+	return &ast.Recv{Name: name.Lit, Src: src, Tag: p.parseTag(), Sp: p.spanTo(start.Span)}
 }
 
 func (p *parser) parseSendRecv() ast.Stmt {
@@ -256,7 +276,7 @@ func (p *parser) parseSendRecv() ast.Stmt {
 	name := p.expect(token.Ident)
 	p.expect(token.LArrow)
 	src := p.parseExpr()
-	return &ast.SendRecv{Value: val, Dest: dest, Name: name.Lit, Src: src, Tag: p.parseTag(), Sp: start.Span}
+	return &ast.SendRecv{Value: val, Dest: dest, Name: name.Lit, Src: src, Tag: p.parseTag(), Sp: p.spanTo(start.Span)}
 }
 
 // ---------------------------------------------------------------------------
@@ -267,9 +287,9 @@ func (p *parser) parseExpr() ast.Expr { return p.parseOr() }
 func (p *parser) parseOr() ast.Expr {
 	l := p.parseAnd()
 	for p.at(token.OrOr) {
-		op := p.advance()
+		p.advance()
 		r := p.parseAnd()
-		l = &ast.Binary{Op: ast.LOr, L: l, R: r, Sp: op.Span}
+		l = &ast.Binary{Op: ast.LOr, L: l, R: r, Sp: joinSpans(l.Span(), r.Span())}
 	}
 	return l
 }
@@ -277,9 +297,9 @@ func (p *parser) parseOr() ast.Expr {
 func (p *parser) parseAnd() ast.Expr {
 	l := p.parseCmp()
 	for p.at(token.AndAnd) {
-		op := p.advance()
+		p.advance()
 		r := p.parseCmp()
-		l = &ast.Binary{Op: ast.LAnd, L: l, R: r, Sp: op.Span}
+		l = &ast.Binary{Op: ast.LAnd, L: l, R: r, Sp: joinSpans(l.Span(), r.Span())}
 	}
 	return l
 }
@@ -296,9 +316,9 @@ var cmpOps = map[token.Kind]ast.BinOp{
 func (p *parser) parseCmp() ast.Expr {
 	l := p.parseSum()
 	if op, ok := cmpOps[p.cur().Kind]; ok {
-		t := p.advance()
+		p.advance()
 		r := p.parseSum()
-		return &ast.Binary{Op: op, L: l, R: r, Sp: t.Span}
+		return &ast.Binary{Op: op, L: l, R: r, Sp: joinSpans(l.Span(), r.Span())}
 	}
 	return l
 }
@@ -312,7 +332,7 @@ func (p *parser) parseSum() ast.Expr {
 			op = ast.Sub
 		}
 		r := p.parseTerm()
-		l = &ast.Binary{Op: op, L: l, R: r, Sp: t.Span}
+		l = &ast.Binary{Op: op, L: l, R: r, Sp: joinSpans(l.Span(), r.Span())}
 	}
 	return l
 }
@@ -331,7 +351,7 @@ func (p *parser) parseTerm() ast.Expr {
 			op = ast.Mod
 		}
 		r := p.parseUnary()
-		l = &ast.Binary{Op: op, L: l, R: r, Sp: t.Span}
+		l = &ast.Binary{Op: op, L: l, R: r, Sp: joinSpans(l.Span(), r.Span())}
 	}
 	return l
 }
@@ -340,10 +360,12 @@ func (p *parser) parseUnary() ast.Expr {
 	switch p.cur().Kind {
 	case token.Minus:
 		t := p.advance()
-		return &ast.Unary{Op: ast.Neg, X: p.parseUnary(), Sp: t.Span}
+		x := p.parseUnary()
+		return &ast.Unary{Op: ast.Neg, X: x, Sp: joinSpans(t.Span, x.Span())}
 	case token.Not:
 		t := p.advance()
-		return &ast.Unary{Op: ast.LNot, X: p.parseUnary(), Sp: t.Span}
+		x := p.parseUnary()
+		return &ast.Unary{Op: ast.LNot, X: x, Sp: joinSpans(t.Span, x.Span())}
 	}
 	return p.parsePrimary()
 }

@@ -269,3 +269,32 @@ func TestSemicolonsAllowed(t *testing.T) {
 		t.Errorf("got %d stmts, want 2", len(prog.Stmts))
 	}
 }
+
+func TestFullExtentSpans(t *testing.T) {
+	src := "send x + 1 -> id + 1 : tag\nif id == 0 then\n  x := y * 2\nend\n"
+	prog := parseOK(t, src)
+
+	// Statement spans cover keyword through last token.
+	snd := prog.Stmts[0].(*ast.Send)
+	if sp := snd.Span(); sp.Start.Col != 1 || sp.End.Line != 1 || sp.End.Col != 27 {
+		t.Errorf("send span = %s, want 1:1-1:27", sp)
+	}
+	iff := prog.Stmts[1].(*ast.If)
+	if sp := iff.Span(); sp.Start.Line != 2 || sp.End.Line != 4 || sp.End.Col != 4 {
+		t.Errorf("if span = %s, want 2:1-4:4", sp)
+	}
+	asn := iff.Then[0].(*ast.Assign)
+	if sp := asn.Span(); sp.Start.Col != 3 || sp.End.Col != 13 {
+		t.Errorf("assign span = %s, want 3:3-3:13", sp)
+	}
+
+	// Expression spans cover both operands, not just the operator token.
+	dest := snd.Dest.(*ast.Binary)
+	if sp := dest.Span(); sp.Start.Col != 15 || sp.End.Col != 21 {
+		t.Errorf("dest expr span = %s, want 1:15-1:21", sp)
+	}
+	cond := iff.Cond.(*ast.Binary)
+	if sp := cond.Span(); sp.Start.Col != 4 || sp.End.Col != 11 {
+		t.Errorf("cond span = %s, want 2:4-2:11", sp)
+	}
+}

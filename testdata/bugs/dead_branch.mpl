@@ -1,0 +1,8 @@
+# Seeded bug: the branch condition `id >= np` is false for every process,
+# so the assignment is unreachable for every np.
+# Expected lint: PSDF-W006 (unreachable-code) on the assignment.
+assume np >= 2
+if id >= np then
+  x := 1
+end
+print np

@@ -1,0 +1,6 @@
+# Seeded bug: rank 0 sends a message nobody ever receives.
+# Expected lint: PSDF-E001 (message-leak) on the send.
+assume np >= 2
+if id == 0 then
+  send x -> 1
+end

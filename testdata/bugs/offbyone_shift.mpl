@@ -1,0 +1,6 @@
+# Seeded bug: unguarded 1-D shift. Every process sends right and receives
+# from the left, but nothing stops process np-1 from targeting rank np.
+# Expected lint: PSDF-E004 (rank-out-of-bounds) on the send.
+assume np >= 2
+send x -> id + 1
+recv y <- id - 1

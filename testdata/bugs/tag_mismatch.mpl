@@ -1,0 +1,8 @@
+# Seeded bug: the matched send/receive pair disagrees on the message tag.
+# Expected lint: PSDF-E003 (tag-mismatch) on the send, noting the receive.
+assume np >= 2
+if id == 0 then
+  send x -> 1 : halo
+elif id == 1 then
+  recv y <- 0 : data
+end

@@ -1,0 +1,8 @@
+# Seeded bug: the branch condition multiplies id with itself, which is
+# outside the affine fragment the analysis can split process sets on.
+# Expected lint: PSDF-E005 (analysis-gave-up) with a blame trace.
+assume np >= 2
+if id * id == 0 then
+  x := 1
+end
+print np
