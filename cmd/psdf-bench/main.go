@@ -6,15 +6,18 @@
 //
 // Usage:
 //
-//	psdf-bench [-exp id] [-parallel n]
+//	psdf-bench [-exp id] [-parallel n] [-bench-dir dir]
 //	                            run one experiment (fig2, fig5, fig6, fig7,
 //	                            table1, profile, storage, scaling,
 //	                            precision, verify, stencil, aggregation,
 //	                            parallel, engine) or all (default). With
 //	                            all, -parallel bounds how many experiments
 //	                            run concurrently (0 = one per CPU,
-//	                            1 = serial).
-//	psdf-bench -engine-workers 1,2,4,8 [-engine-out BENCH_engine.json]
+//	                            1 = serial). Every spec that runs also
+//	                            writes a machine-readable BENCH_<spec>.json
+//	                            (wall time + obs phase breakdown) under
+//	                            -bench-dir (default: current directory).
+//	psdf-bench -engine-workers 1,2,4,8 [-engine-out BENCH_engine_workers.json]
 //	                            benchmark the parallel worklist engine at
 //	                            each worker count (testing.Benchmark) and
 //	                            write the machine-readable results.
@@ -25,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -38,8 +42,9 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	parallel := flag.Int("parallel", 0, "worker bound for -exp all (0 = one per CPU, 1 = sequential)")
+	benchDir := flag.String("bench-dir", ".", "directory for the per-spec BENCH_<spec>.json records")
 	engineWorkers := flag.String("engine-workers", "", "comma-separated worker counts (e.g. 1,2,4,8): benchmark the parallel worklist engine and write machine-readable results")
-	engineOut := flag.String("engine-out", "BENCH_engine.json", "output path for -engine-workers results")
+	engineOut := flag.String("engine-out", "BENCH_engine_workers.json", "output path for -engine-workers results")
 	flag.Parse()
 
 	if *engineWorkers != "" {
@@ -50,25 +55,8 @@ func main() {
 		return
 	}
 
-	byID := map[string]func() (*experiments.Table, error){
-		"fig2":        experiments.Fig2,
-		"fig5":        experiments.Fig5,
-		"fig6":        experiments.Fig6,
-		"fig7":        experiments.Fig7,
-		"table1":      experiments.TableI,
-		"profile":     experiments.ProfileSectionIX,
-		"storage":     experiments.Storage,
-		"scaling":     experiments.Scaling,
-		"precision":   experiments.Precision,
-		"verify":      experiments.VerifyExp,
-		"stencil":     experiments.Stencil,
-		"aggregation": experiments.Aggregation,
-		"parallel":    experiments.ParallelDriver,
-		"engine":      experiments.Engine,
-	}
-
 	if *exp == "all" {
-		tables, err := experiments.AllParallel(*parallel)
+		tables, recs, err := experiments.RunAll(*parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "psdf-bench:", err)
 			os.Exit(1)
@@ -76,19 +64,40 @@ func main() {
 		for _, t := range tables {
 			fmt.Println(t)
 		}
+		for _, rec := range recs {
+			if err := writeBenchRecord(*benchDir, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "psdf-bench:", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
-	builder, ok := byID[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "psdf-bench: unknown experiment %q\n", *exp)
-		os.Exit(2)
-	}
-	t, err := builder()
+	t, rec, err := experiments.RunSpec(*exp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "psdf-bench:", err)
 		os.Exit(1)
 	}
 	fmt.Println(t)
+	if err := writeBenchRecord(*benchDir, rec); err != nil {
+		fmt.Fprintln(os.Stderr, "psdf-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// writeBenchRecord persists one experiment's benchmark record as
+// BENCH_<spec>.json: wall time plus the obs phase breakdown aggregated over
+// every analysis the experiment ran.
+func writeBenchRecord(dir string, rec *experiments.SpecResult) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+rec.Spec+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (wall %dms, %d phases)\n", path, rec.WallNs/1e6, len(rec.Phases))
+	return nil
 }
 
 // engineBenchRecord is one machine-readable benchmark measurement of the

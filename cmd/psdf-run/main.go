@@ -8,17 +8,31 @@
 // Usage:
 //
 //	psdf-run -np N [-env k=v,k=v] [-rendezvous] program.mpl
-//	psdf-run -analyze [-parallel n] [-workers n] [-schedule s] [-nonblocking] program.mpl [more.mpl ...]
+//	psdf-run -analyze [-parallel n] [-workers n] [-schedule s] [-nonblocking]
+//	         [-trace out.json] [-trace-jsonl out.jsonl] [-metrics]
+//	         [-metrics-out m.prom] [-http addr] program.mpl [more.mpl ...]
 //
 // -parallel bounds how many programs are analyzed at once; -workers sets
 // the number of goroutines driving the worklist inside each analysis
 // (the parallel intra-analysis engine), and -schedule its visit order.
+//
+// Observability: -trace writes a Chrome trace-event file (load it at
+// https://ui.perfetto.dev or summarize it with `psdf trace`); -trace-jsonl
+// writes the same spans as JSON lines with nanosecond precision. -metrics
+// prints the unified metrics registry in Prometheus text format after the
+// run (-metrics-out writes it to a file instead); -http serves /metrics
+// and /debug/pprof while the analyses run, for inspecting long fixpoints
+// mid-flight. Tracing only observes: analysis results are byte-identical
+// with it on or off.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -26,6 +40,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/clients/cartesian"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/sem"
 	"repro/internal/sim"
@@ -44,6 +59,11 @@ func main() {
 		workers     = flag.Int("workers", 1, "with -analyze: worker goroutines inside each analysis (parallel worklist engine)")
 		schedule    = flag.String("schedule", "", "with -analyze: worklist order (fifo, lifo or shape; default fifo)")
 		failOnFind  = flag.Bool("fail-on-findings", false, "exit nonzero on verification findings (analyze) or leaks/assert failures (simulate)")
+		traceOut    = flag.String("trace", "", "with -analyze: write a Chrome trace-event file (Perfetto-loadable)")
+		traceJSONL  = flag.String("trace-jsonl", "", "with -analyze: write the span trace as JSON lines")
+		metricsFlag = flag.Bool("metrics", false, "with -analyze: print the metrics registry (Prometheus text) after the run")
+		metricsOut  = flag.String("metrics-out", "", "with -analyze: write the metrics registry to this file")
+		httpAddr    = flag.String("http", "", "with -analyze: serve /metrics and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
 	if *analyze {
@@ -52,7 +72,19 @@ func main() {
 			flag.PrintDefaults()
 			os.Exit(2)
 		}
-		if err := runAnalyses(flag.Args(), *parallel, *nonblocking, *workers, *schedule, *failOnFind); err != nil {
+		cfg := analyzeConfig{
+			parallelism: *parallel,
+			nonblocking: *nonblocking,
+			workers:     *workers,
+			schedule:    *schedule,
+			failOnFind:  *failOnFind,
+			traceOut:    *traceOut,
+			traceJSONL:  *traceJSONL,
+			metrics:     *metricsFlag,
+			metricsOut:  *metricsOut,
+			httpAddr:    *httpAddr,
+		}
+		if err := runAnalyses(flag.Args(), cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "psdf-run:", err)
 			os.Exit(1)
 		}
@@ -104,28 +136,88 @@ func buildCFG(path string) (*cfg.Graph, error) {
 	return cfg.Build(prog), nil
 }
 
+// analyzeConfig carries the -analyze mode flags.
+type analyzeConfig struct {
+	parallelism int
+	nonblocking bool
+	workers     int
+	schedule    string
+	failOnFind  bool
+	traceOut    string
+	traceJSONL  string
+	metrics     bool
+	metricsOut  string
+	httpAddr    string
+}
+
 // runAnalyses statically analyzes every program through the bounded worker
-// pool and prints each topology. Every job gets its own matcher (matcher
-// instrumentation and memo tables are not race-safe to share).
-func runAnalyses(paths []string, parallelism int, nonblocking bool, workers int, schedule string, failOnFind bool) error {
+// pool and prints each topology plus its phase and match-memo breakdown.
+// Every job gets its own matcher (matcher instrumentation and memo tables
+// are not race-safe to share); the tracer and metrics registry are shared
+// (race-safe), with per-job pid/label attribution.
+func runAnalyses(paths []string, c analyzeConfig) error {
+	var tracer *obs.Tracer
+	if c.traceOut != "" || c.traceJSONL != "" {
+		tracer = obs.NewTracer()
+	}
+	var reg *obs.Registry
+	if c.metrics || c.metricsOut != "" || c.httpAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if c.httpAddr != "" {
+		// DefaultServeMux already carries /debug/pprof (blank import).
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = reg.WritePrometheus(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(c.httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "psdf-run: http:", err)
+			}
+		}()
+	}
+
 	jobs := make([]core.Job, 0, len(paths))
-	for _, path := range paths {
+	matchers := make([]*cartesian.Matcher, 0, len(paths))
+	laneNames := map[int]string{}
+	for i, path := range paths {
 		g, err := buildCFG(path)
 		if err != nil {
 			return err
+		}
+		m := cartesian.New(core.ScanInvariants(g))
+		m.SetObs(tracer, i+1)
+		matchers = append(matchers, m)
+		laneNames[i+1] = path
+		if reg != nil {
+			core.RegisterMatchMemoMetrics(reg, m.Memo(), path)
 		}
 		jobs = append(jobs, core.Job{
 			Name: path,
 			G:    g,
 			Opts: core.Options{
-				Matcher:          cartesian.New(core.ScanInvariants(g)),
-				NonBlockingSends: nonblocking,
-				Workers:          workers,
-				Schedule:         schedule,
+				Matcher:          m,
+				NonBlockingSends: c.nonblocking,
+				Workers:          c.workers,
+				Schedule:         c.schedule,
+				Tracer:           tracer,
+				Metrics:          reg,
+				TracePID:         i + 1,
 			},
 		})
 	}
-	results := core.AnalyzeAll(jobs, parallelism)
+	results := core.AnalyzeAll(jobs, c.parallelism)
+	if tracer != nil {
+		// With one retaining tracer shared across jobs, each JobResult's
+		// Phases snapshots the shared totals; recover per-job breakdowns
+		// from the retained events instead.
+		byPid := obs.TotalsByPid(tracer.Events())
+		for i := range results {
+			if ph := byPid[i+1]; ph != nil {
+				results[i].Phases = ph
+			}
+		}
+	}
 	failed := false
 	findings := 0
 	for i, jr := range results {
@@ -136,14 +228,22 @@ func runAnalyses(paths []string, parallelism int, nonblocking bool, workers int,
 		}
 		res := jr.Res
 		fmt.Printf("%s: clean=%v configs=%d steps=%d matches=%d (%v)\n",
-			jr.Name, res.Clean(), res.Configs, res.Steps, len(res.Matches), jr.Elapsed.Round(time.Microsecond))
+			jr.Name, res.Clean(), res.Configs, res.Steps, len(res.Matches), jr.Wall.Round(time.Microsecond))
 		for _, m := range res.Matches {
 			fmt.Printf("  n%d%s -> n%d%s\n", m.SendNode, m.Sender, m.RecvNode, m.Receiver)
 		}
 		for _, t := range res.Tops {
 			fmt.Printf("  TOP: %s\n", t.TopWhy)
 		}
-		if failOnFind {
+		if ph := formatPhases(jr.Phases, jr.Wall); ph != "" {
+			fmt.Printf("  phases: %s\n", ph)
+		}
+		memo := matchers[i].Memo()
+		if memo.HitCount()+memo.MissCount() > 0 {
+			fmt.Printf("  match-memo: %d hits / %d misses (%.0f%% hit rate), %d entries\n",
+				memo.HitCount(), memo.MissCount(), 100*memo.HitRate(), memo.Len())
+		}
+		if c.failOnFind {
 			// AnalyzeAll returns results in input order.
 			vr := verify.Check(jobs[i].G, res)
 			for _, f := range vr.Findings {
@@ -152,6 +252,9 @@ func runAnalyses(paths []string, parallelism int, nonblocking bool, workers int,
 			findings += len(vr.Findings)
 		}
 	}
+	if err := writeObsOutputs(tracer, reg, laneNames, c); err != nil {
+		return err
+	}
 	if failed {
 		return fmt.Errorf("one or more analyses failed")
 	}
@@ -159,6 +262,89 @@ func runAnalyses(paths []string, parallelism int, nonblocking bool, workers int,
 		return fmt.Errorf("%d verification finding(s)", findings)
 	}
 	return nil
+}
+
+// writeObsOutputs flushes the trace and metrics artifacts selected by the
+// flags.
+func writeObsOutputs(tracer *obs.Tracer, reg *obs.Registry, laneNames map[int]string, c analyzeConfig) error {
+	if tracer != nil {
+		evs := tracer.Events()
+		if c.traceOut != "" {
+			f, err := os.Create(c.traceOut)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteChromeTrace(f, evs, laneNames); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("trace: %d events -> %s (load at https://ui.perfetto.dev or run `psdf trace %s`)\n",
+				len(evs), c.traceOut, c.traceOut)
+		}
+		if c.traceJSONL != "" {
+			f, err := os.Create(c.traceJSONL)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteJSONL(f, evs); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	if reg != nil && c.metricsOut != "" {
+		f, err := os.Create(c.metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := reg.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if reg != nil && c.metrics {
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatPhases renders a job's phase totals as "phase dur (count)" pairs,
+// heaviest first, skipping the enclosing analyze span (it spans the whole
+// job and would read as 100%).
+func formatPhases(totals obs.PhaseTotals, wall time.Duration) string {
+	type pt struct {
+		name string
+		obs.PhaseStat
+	}
+	var ps []pt
+	for name, st := range totals {
+		if name == obs.PhaseAnalyze.String() || st.Count == 0 {
+			continue
+		}
+		ps = append(ps, pt{name, st})
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Total != ps[j].Total {
+			return ps[i].Total > ps[j].Total
+		}
+		return ps[i].name < ps[j].name
+	})
+	var parts []string
+	for _, p := range ps {
+		parts = append(parts, fmt.Sprintf("%s %v (%d)", p.name, p.Total.Round(time.Microsecond), p.Count))
+	}
+	return strings.Join(parts, ", ")
 }
 
 func run(path string, np int, envFlag string, rendezvous, events, failOnFind bool) error {

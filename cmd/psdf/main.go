@@ -7,10 +7,15 @@
 //
 //	psdf [flags] program.mpl
 //	psdf lint [-format text|json|sarif] [-strict-bounds] program.mpl ...
+//	psdf trace [-top n] [-check] trace.json ...
 //
 // The lint subcommand runs the coded diagnostic passes (message leaks,
 // deadlocks, tag mismatches, rank bounds, ⊤-blame, dead code) and exits
 // nonzero when error-severity findings exist.
+//
+// The trace subcommand summarizes a span trace written by `psdf-run
+// -analyze -trace` into a per-phase / per-configuration cost table, or
+// validates it with -check.
 //
 // Flags:
 //
@@ -44,6 +49,9 @@ func main() {
 	// bare flag form keeps its original behavior.
 	if len(os.Args) > 1 && os.Args[1] == "lint" {
 		os.Exit(runLint(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		os.Exit(runTrace(os.Args[2:]))
 	}
 	var (
 		client   = flag.String("client", "cartesian", "client analysis: symbolic or cartesian")

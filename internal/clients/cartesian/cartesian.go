@@ -18,6 +18,7 @@ import (
 	"repro/internal/clients/symbolic"
 	"repro/internal/core"
 	"repro/internal/hsm"
+	"repro/internal/obs"
 	"repro/internal/sym"
 )
 
@@ -82,6 +83,15 @@ func (m *Matcher) Name() string { return "cartesian" }
 
 // Prover exposes the underlying HSM prover (instrumentation).
 func (m *Matcher) Prover() *hsm.Prover { return m.prover }
+
+// SetObs attaches an observability tracer to the matcher's HSM prover:
+// searches that miss the memo emit obs.PhaseProver spans on the prover lane
+// of job pid. Call before the analysis starts (the prover is otherwise
+// only touched under proveMu).
+func (m *Matcher) SetObs(tr *obs.Tracer, pid int) {
+	m.prover.Tracer = tr
+	m.prover.TracePID = pid
+}
 
 // SimpleMatches reports how many matches the embedded Section VII matcher
 // handled.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cfg"
+	"repro/internal/obs"
 )
 
 // The paper's evaluation analyzes a suite of independent workloads; nothing
@@ -16,7 +17,9 @@ import (
 // Per-job state must not be shared across jobs unless it is race-safe:
 // cg.Stats is (atomic counters, so one Stats may aggregate a whole suite),
 // but Matchers keep plain instrumentation counters and memo tables, so each
-// Job needs its own Matcher instance.
+// Job needs its own Matcher instance. The obs types are race-safe, so one
+// Tracer or Registry may be shared across jobs (TracePID keeps their spans
+// and series apart).
 
 // Job is one unit of work for AnalyzeAll: a CFG plus the analysis options
 // to run it with.
@@ -32,16 +35,26 @@ type Job struct {
 
 // JobResult is the outcome of one Job, in the same position as its input.
 type JobResult struct {
-	Name    string
-	Res     *Result
-	Err     error
-	Elapsed time.Duration
+	Name string
+	Res  *Result
+	Err  error
+	// Wall is the job's wall-clock analysis time (the analyze span).
+	Wall time.Duration
+	// Phases is the per-phase time/count breakdown of this job's run. When
+	// the caller supplied a shared Opts.Tracer the breakdown covers the
+	// whole tracer (all jobs); otherwise AnalyzeAll installs a private
+	// aggregate tracer per job and the breakdown is exactly this job's.
+	Phases obs.PhaseTotals
 }
 
 // AnalyzeAll runs every job through Analyze on a bounded worker pool and
 // returns the results in input order. parallelism <= 0 selects
 // runtime.NumCPU(); parallelism == 1 degenerates to a sequential loop with
 // identical results.
+//
+// Jobs with Opts.TracePID == 0 get input position + 1, so spans and metric
+// series from different jobs stay distinguishable in a shared tracer or
+// registry.
 func AnalyzeAll(jobs []Job, parallelism int) []JobResult {
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
@@ -52,9 +65,22 @@ func AnalyzeAll(jobs []Job, parallelism int) []JobResult {
 	results := make([]JobResult, len(jobs))
 	run := func(i int) {
 		j := jobs[i]
-		start := time.Now()
-		res, err := Analyze(j.G, j.Opts)
-		results[i] = JobResult{Name: j.Name, Res: res, Err: err, Elapsed: time.Since(start)}
+		opts := j.Opts
+		if opts.TracePID == 0 {
+			opts.TracePID = i + 1
+		}
+		tr := opts.Tracer
+		perJob := tr == nil
+		if perJob {
+			// Aggregate-only tracer: phase totals for the result breakdown
+			// at near-zero cost, no event retention.
+			tr = obs.NewAggregate()
+			opts.Tracer = tr
+		}
+		sp := tr.Begin(opts.TracePID, 0, obs.PhaseAnalyze, j.Name)
+		res, err := Analyze(j.G, opts)
+		wall := sp.End()
+		results[i] = JobResult{Name: j.Name, Res: res, Err: err, Wall: wall, Phases: tr.Totals()}
 	}
 	if parallelism <= 1 {
 		for i := range jobs {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/cfg"
 	"repro/internal/cg"
+	"repro/internal/obs"
 	"repro/internal/procset"
 	"repro/internal/sym"
 	"repro/internal/tri"
@@ -77,6 +78,20 @@ type Options struct {
 	// engine, rounded up to a power of two (default 32). Smaller values
 	// increase lock contention; useful in tests to stress the locking.
 	Shards int
+	// Tracer receives a span per engine phase (step, transfer, match,
+	// split, insert, join, widen, give-up commit, finish; plus dequeue on
+	// the parallel path) when non-nil. Tracing only observes — results are
+	// byte-identical with it on or off — and the nil default costs nothing.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives the engine's counters and gauges:
+	// final step/widening/config counts, interned-key count, per-shard
+	// table sizes, and (parallel path) live + high-water scheduler
+	// queue-depth and pending gauges.
+	Metrics *obs.Registry
+	// TracePID labels this analysis's spans and metric series when several
+	// jobs share one tracer or registry (AnalyzeAll assigns input position
+	// + 1 when zero).
+	TracePID int
 }
 
 func (o *Options) joinVisits() int {
@@ -291,8 +306,9 @@ type engine struct {
 	obsSeen map[string]bool
 
 	// Sequential path (Workers == 1).
-	queue  workQueue
-	inWork map[uint64]bool
+	queue      workQueue
+	inWork     map[uint64]bool
+	seqDepthHW int // queue-depth high-water mark
 
 	// Parallel path (Workers > 1).
 	sched *scheduler
@@ -301,6 +317,13 @@ type engine struct {
 func (e *engine) shard(id uint64) *tableShard { return &e.shards[id&e.shardMask] }
 
 func (e *engine) stats() *cg.Stats { return e.opts.CGOpts.Stats }
+
+// span opens a phase span on this engine's trace lane (tid 0 is the
+// sequential engine / driver goroutine; parallel workers use 1..Workers).
+// Free when Options.Tracer is nil.
+func (e *engine) span(tid int, ph obs.Phase, key string) obs.Span {
+	return e.opts.Tracer.Begin(e.opts.TracePID, tid, ph, key)
+}
 
 // Analyze runs the parallel dataflow analysis over the program's CFG.
 func Analyze(g *cfg.Graph, opts Options) (*Result, error) {
@@ -342,6 +365,9 @@ func Analyze(g *cfg.Graph, opts Options) (*Result, error) {
 		e.runSequential(init, schedule)
 	}
 	e.finish()
+	if opts.Metrics != nil {
+		e.publishMetrics()
+	}
 	return e.res, nil
 }
 
@@ -352,7 +378,7 @@ func Analyze(g *cfg.Graph, opts Options) (*Result, error) {
 func (e *engine) runSequential(init *State, schedule string) {
 	e.queue = newQueue(schedule, e.in)
 	e.inWork = map[uint64]bool{}
-	e.insert("", init, "start")
+	e.insert("", init, "start", 0)
 	for {
 		id, ok := e.queue.pop()
 		if !ok {
@@ -373,15 +399,17 @@ func (e *engine) runSequential(init *State, schedule string) {
 		}
 		e.steps.Add(1)
 		key := e.in.keyOf(id)
+		sp := e.span(0, obs.PhaseStep, key)
 		var tops []succ
-		for _, sa := range e.step(st) {
+		for _, sa := range e.step(st, 0, key) {
 			if sa.st.Top {
 				tops = append(tops, sa)
 				continue
 			}
-			e.insert(key, sa.st, sa.action)
+			e.insert(key, sa.st, sa.action, 0)
 		}
 		entry.stuckTops = tops
+		sp.End()
 	}
 }
 
@@ -393,7 +421,11 @@ func (e *engine) runSequential(init *State, schedule string) {
 // every output slice is sorted by content so the result is independent of
 // table iteration and — in the parallel case — worker interleaving.
 func (e *engine) finish() {
+	sp := e.span(0, obs.PhaseFinish, "")
+	defer sp.End()
+	gsp := e.span(0, obs.PhaseGiveupCommit, "")
 	e.commitStuckTops()
+	gsp.End()
 	configs := 0
 	for si := range e.shards {
 		configs += len(e.shards[si].m)
@@ -592,13 +624,15 @@ type succ struct {
 
 // insert merges a successor configuration into the table, joining/widening
 // on revisit, and schedules it (sequential path).
-func (e *engine) insert(fromKey string, st *State, action string) {
+func (e *engine) insert(fromKey string, st *State, action string, tid int) {
 	if !st.Top && len(st.Sets) == 0 {
 		// Unreachable configuration (inconsistent constraints): drop.
 		return
 	}
 	st.CanonicalizeParams()
 	key := st.ShapeKey()
+	sp := e.span(tid, obs.PhaseInsert, key)
+	defer sp.End()
 	e.recordEdge(fromKey, key, action)
 	id := e.in.intern(key)
 	sh := e.shard(id)
@@ -609,7 +643,7 @@ func (e *engine) insert(fromKey string, st *State, action string) {
 		e.tracef("new    %-40s %s", key, st)
 		return
 	}
-	if e.reviseEntry(entry, st, key) {
+	if e.reviseEntry(entry, st, key, tid) {
 		e.push(id)
 	}
 }
@@ -620,7 +654,7 @@ func (e *engine) insert(fromKey string, st *State, action string) {
 // entry's shard lock; concurrent snapshot holders of the previous entry
 // state are protected by copy-on-write (the revision never writes storage
 // shared with a clone in place).
-func (e *engine) reviseEntry(entry *tableEntry, st *State, key string) bool {
+func (e *engine) reviseEntry(entry *tableEntry, st *State, key string, tid int) bool {
 	entry.visits++
 	if entry.visits > e.opts.maxVisits() {
 		if !entry.st.Top {
@@ -639,7 +673,13 @@ func (e *engine) reviseEntry(entry *tableEntry, st *State, key string) bool {
 	}
 	before := entry.st.FullKey()
 	st.AlignTo(entry.st)
+	combinePhase := obs.PhaseJoin
+	if entry.visits > e.opts.joinVisits() {
+		combinePhase = obs.PhaseWiden
+	}
+	csp := e.span(tid, combinePhase, key)
 	widened := e.combine(entry, st)
+	csp.End()
 	if widened.Top {
 		if widened.TopKey == "" {
 			widened.TopKey = key
@@ -667,6 +707,9 @@ func (e *engine) push(id uint64) {
 	}
 	e.inWork[id] = true
 	e.queue.push(id)
+	if d := e.queue.size(); d > e.seqDepthHW {
+		e.seqDepthHW = d
+	}
 }
 
 // recordEdge appends an explored pCFG edge (res.Edges is shared across
@@ -1087,8 +1130,9 @@ func advancesBy(a, b procset.Bound, delta int64) bool {
 // ---------------------------------------------------------------------------
 // Propagate: one analysis step (Fig 4's propagate)
 
-// step computes the successor configurations of st.
-func (e *engine) step(st *State) []succ {
+// step computes the successor configurations of st. tid and key identify
+// the worker lane and configuration for phase tracing only.
+func (e *engine) step(st *State, tid int, key string) []succ {
 	// 1. An unblocked set at a sequential node advances (transfer function).
 	st.sortCanonical()
 	for _, ps := range st.Sets {
@@ -1097,35 +1141,49 @@ func (e *engine) step(st *State) []succ {
 		}
 		if ps.Node.IsComm() {
 			if e.opts.NonBlockingSends && ps.Node.Kind == cfg.Send {
-				return e.issueSendStep(st, ps.ID)
+				sp := e.span(tid, obs.PhaseTransfer, key)
+				out := e.issueSendStep(st, ps.ID)
+				sp.End()
+				return out
 			}
 			continue
 		}
-		return e.advanceSet(st, ps.ID)
+		sp := e.span(tid, obs.PhaseTransfer, key)
+		out := e.advanceSet(st, ps.ID)
+		sp.End()
+		return out
 	}
-	return e.stepBlocked(st, len(st.Sets)+1)
+	return e.stepBlocked(st, len(st.Sets)+1, tid, key)
 }
 
 // stepBlocked handles a configuration whose sets are all blocked or at
 // exit: matching, self-matching, emptiness case-splits, then ⊤. depth
 // bounds nested emptiness splits.
-func (e *engine) stepBlocked(st *State, depth int) []succ {
+func (e *engine) stepBlocked(st *State, depth, tid int, key string) []succ {
+	msp := e.span(tid, obs.PhaseMatch, key)
 	// 2a. Satisfy receives from pending (non-blocking) sends.
 	if s, ok := e.tryPendingMatches(st); ok {
+		msp.End()
 		return s
 	}
 	// 2b. Match blocked sends to receives.
 	if s, ok := e.tryMatches(st); ok {
+		msp.End()
 		return s
 	}
 	// 3. Self-matches (permutation exchanges).
 	if s, ok := e.trySelfMatches(st); ok {
+		msp.End()
 		return s
 	}
+	msp.End()
 	// 4. Case-split on possibly-empty blocked sets.
-	if s, ok := e.tryEmptinessSplit(st, depth); ok {
+	ssp := e.span(tid, obs.PhaseSplit, key)
+	if s, ok := e.tryEmptinessSplit(st, depth, tid, key); ok {
+		ssp.End()
 		return s
 	}
+	ssp.End()
 	// 5. Stuck: the framework gives up with ⊤.
 	ns := st.Clone()
 	var blocked []string
@@ -1648,7 +1706,7 @@ func straightLineRecv(send *cfg.Node) (*cfg.Node, []*cfg.Node) {
 // the other assumes it non-empty and immediately continues the blocked-step
 // logic under that assumption (so the extra fact is not lost by folding
 // back into the same pCFG node).
-func (e *engine) tryEmptinessSplit(st *State, depth int) ([]succ, bool) {
+func (e *engine) tryEmptinessSplit(st *State, depth, tid int, key string) ([]succ, bool) {
 	if depth <= 0 {
 		return nil, false
 	}
@@ -1675,7 +1733,7 @@ func (e *engine) tryEmptinessSplit(st *State, depth int) ([]succ, bool) {
 		nonEmpty.G.AddLE(lbv, ubv, ubc-lbc)
 		e.normalize(nonEmpty)
 		out := []succ{{emptySt, fmt.Sprintf("assume %s empty", ps.Range)}}
-		out = append(out, e.stepBlocked(nonEmpty, depth-1)...)
+		out = append(out, e.stepBlocked(nonEmpty, depth-1, tid, key)...)
 		return out, true
 	}
 	return nil, false

@@ -1,6 +1,11 @@
 package core
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+)
 
 // Parallel fixpoint driver (Options.Workers > 1).
 //
@@ -25,21 +30,36 @@ import "sync"
 func (e *engine) runParallel(init *State, schedule string) {
 	e.parallel = true
 	e.sched = newScheduler(newQueue(schedule, e.in), e.stats())
-	e.insertPar("", init, "start")
+	if reg := e.opts.Metrics; reg != nil {
+		// Live scheduler gauges, evaluated under the scheduler mutex at
+		// render time (for the -http metrics listener; they settle to the
+		// final values once the run converges).
+		job := obs.Labels("job", fmt.Sprintf("%d", e.opts.TracePID))
+		sched := e.sched
+		reg.GaugeFuncVec("psdf_sched_queue_depth", "configurations currently queued", job,
+			func() float64 { return float64(sched.liveDepth()) })
+		reg.GaugeFuncVec("psdf_sched_pending", "configurations queued or running", job,
+			func() float64 { return float64(sched.livePending()) })
+	}
+	e.insertPar("", init, "start", 0)
 	var wg sync.WaitGroup
 	for w := 0; w < e.opts.workers(); w++ {
 		wg.Add(1)
-		go func() {
+		// Worker lanes are tids 1..Workers; tid 0 is the driver goroutine
+		// (finish post-pass and the caller's analyze span).
+		go func(tid int) {
 			defer wg.Done()
 			for {
+				dsp := e.span(tid, obs.PhaseDequeue, "")
 				id, ok := e.sched.pop()
+				dsp.End()
 				if !ok {
 					return
 				}
-				e.processPar(id)
+				e.processPar(id, tid)
 				e.sched.done(id)
 			}
-		}()
+		}(w + 1)
 	}
 	wg.Wait()
 }
@@ -48,7 +68,10 @@ func (e *engine) runParallel(init *State, schedule string) {
 // shard lock, release the lock, run the (expensive) transfer/matching step
 // on the private snapshot, then merge the successors. Terminal entries
 // (Top or all-at-exit) are left for finish() to classify.
-func (e *engine) processPar(id uint64) {
+func (e *engine) processPar(id uint64, tid int) {
+	fromKey := e.in.keyOf(id)
+	sp := e.span(tid, obs.PhaseStep, fromKey)
+	defer sp.End()
 	sh := e.lockShard(id)
 	entry := sh.m[id]
 	var snap *State
@@ -65,14 +88,13 @@ func (e *engine) processPar(id uint64) {
 		e.sched.stop()
 		return
 	}
-	fromKey := e.in.keyOf(id)
 	var tops []succ
-	for _, sa := range e.step(snap) {
+	for _, sa := range e.step(snap, tid, fromKey) {
 		if sa.st.Top {
 			tops = append(tops, sa)
 			continue
 		}
-		e.insertPar(fromKey, sa.st, sa.action)
+		e.insertPar(fromKey, sa.st, sa.action, tid)
 	}
 	// Record this step's give-up verdict on the entry, replacing the
 	// previous step's. The scheduler runs at most one step per id at a
@@ -90,12 +112,14 @@ func (e *engine) processPar(id uint64) {
 // schedules it. Canonicalization and key rendering happen before the lock
 // is taken; only the table-entry revision itself runs under the shard
 // lock.
-func (e *engine) insertPar(fromKey string, st *State, action string) {
+func (e *engine) insertPar(fromKey string, st *State, action string, tid int) {
 	if !st.Top && len(st.Sets) == 0 {
 		return
 	}
 	st.CanonicalizeParams()
 	key := st.ShapeKey()
+	isp := e.span(tid, obs.PhaseInsert, key)
+	defer isp.End()
 	e.recordEdge(fromKey, key, action)
 	id := e.in.intern(key)
 	sh := e.lockShard(id)
@@ -107,7 +131,7 @@ func (e *engine) insertPar(fromKey string, st *State, action string) {
 		e.sched.push(id)
 		return
 	}
-	changed := e.reviseEntry(entry, st, key)
+	changed := e.reviseEntry(entry, st, key, tid)
 	sh.mu.Unlock()
 	if changed {
 		e.sched.push(id)

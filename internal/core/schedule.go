@@ -135,6 +135,10 @@ type scheduler struct {
 	pending int
 	stopped bool
 	stats   *cg.Stats
+	// High-water marks for the observability gauges: deepest the queue got
+	// and most configurations simultaneously queued-or-running.
+	depthHW   int
+	pendingHW int
 }
 
 func newScheduler(q workQueue, stats *cg.Stats) *scheduler {
@@ -159,6 +163,12 @@ func (s *scheduler) push(id uint64) {
 		s.state[id] = cfgQueued
 		s.pending++
 		s.q.push(id)
+		if d := s.q.size(); d > s.depthHW {
+			s.depthHW = d
+		}
+		if s.pending > s.pendingHW {
+			s.pendingHW = s.pending
+		}
 		s.cond.Signal()
 	case cfgQueued, cfgRunningDirty:
 		s.stats.AddSchedCoalesced(1)
@@ -197,6 +207,9 @@ func (s *scheduler) done(id uint64) {
 	if s.state[id] == cfgRunningDirty && !s.stopped {
 		s.state[id] = cfgQueued
 		s.q.push(id)
+		if d := s.q.size(); d > s.depthHW {
+			s.depthHW = d
+		}
 		s.cond.Signal()
 		return
 	}
@@ -205,6 +218,28 @@ func (s *scheduler) done(id uint64) {
 	if s.pending == 0 {
 		s.cond.Broadcast()
 	}
+}
+
+// liveDepth reports how many configurations are queued right now (for the
+// live metrics gauge).
+func (s *scheduler) liveDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.size()
+}
+
+// livePending reports how many configurations are queued or running.
+func (s *scheduler) livePending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}
+
+// highWater reports the queue-depth and pending-count high-water marks.
+func (s *scheduler) highWater() (depth, pending int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.depthHW, s.pendingHW
 }
 
 // stop aborts the run (step budget exhausted): workers drain immediately.

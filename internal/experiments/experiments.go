@@ -20,6 +20,7 @@ import (
 	"repro/internal/hsm"
 	"repro/internal/modelcheck"
 	"repro/internal/mpicfg"
+	"repro/internal/obs"
 	"repro/internal/sym"
 	"repro/internal/topology"
 	"repro/internal/validate"
@@ -70,12 +71,14 @@ type analysisRun struct {
 	matcher *cartesian.Matcher
 	stats   *cg.Stats
 	elapsed time.Duration
+	phases  obs.PhaseTotals
 }
 
 // runAnalysis analyzes a workload with the cartesian client on the given
-// constraint-graph backend, collecting closure instrumentation.
-func runAnalysis(w *bench.Workload, backend cg.Backend) (*analysisRun, error) {
-	runs, err := runAnalyses([]*bench.Workload{w}, backend, 1)
+// constraint-graph backend, collecting closure instrumentation. tr (may be
+// nil) aggregates engine phase timings across the spec's analyses.
+func runAnalysis(tr *obs.Tracer, w *bench.Workload, backend cg.Backend) (*analysisRun, error) {
+	runs, err := runAnalyses(tr, []*bench.Workload{w}, backend, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -85,8 +88,10 @@ func runAnalysis(w *bench.Workload, backend cg.Backend) (*analysisRun, error) {
 // runAnalyses analyzes a set of workloads through the core.AnalyzeAll
 // bounded worker pool, one matcher and stats record per workload, returning
 // instrumented runs in input order. parallelism <= 0 selects one worker per
-// CPU; 1 runs sequentially.
-func runAnalyses(ws []*bench.Workload, backend cg.Backend, parallelism int) ([]*analysisRun, error) {
+// CPU; 1 runs sequentially. When tr is nil each job still gets a private
+// aggregate tracer (AnalyzeAll), so per-run phase breakdowns are always
+// available; a shared non-nil tr additionally accumulates the spec total.
+func runAnalyses(tr *obs.Tracer, ws []*bench.Workload, backend cg.Backend, parallelism int) ([]*analysisRun, error) {
 	runs := make([]*analysisRun, len(ws))
 	jobs := make([]core.Job, len(ws))
 	for i, w := range ws {
@@ -100,6 +105,7 @@ func runAnalyses(ws []*bench.Workload, backend cg.Backend, parallelism int) ([]*
 			Opts: core.Options{
 				Matcher: m,
 				CGOpts:  cg.Options{Backend: backend, Stats: stats},
+				Tracer:  tr,
 			},
 		}
 	}
@@ -108,15 +114,16 @@ func runAnalyses(ws []*bench.Workload, backend cg.Backend, parallelism int) ([]*
 			return nil, fmt.Errorf("%s: %w", jr.Name, jr.Err)
 		}
 		runs[i].res = jr.Res
-		runs[i].elapsed = jr.Elapsed
+		runs[i].elapsed = jr.Wall
+		runs[i].phases = jr.Phases
 	}
 	return runs, nil
 }
 
 // Fig2 regenerates the Figure 2 walkthrough: constant propagation across a
 // two-process exchange plus the detected topology.
-func Fig2() (*Table, error) {
-	run, err := runAnalysis(bench.Fig2Exchange(), cg.ArrayBackend)
+func fig2(tr *obs.Tracer) (*Table, error) {
+	run, err := runAnalysis(tr, bench.Fig2Exchange(), cg.ArrayBackend)
 	if err != nil {
 		return nil, err
 	}
@@ -144,8 +151,8 @@ func Fig2() (*Table, error) {
 // Fig5 regenerates the mdcask exchange-with-root analysis: the loop
 // invariant process sets and the collective-pattern detection motivating
 // Section I.
-func Fig5() (*Table, error) {
-	run, err := runAnalysis(bench.Fig5ExchangeRoot(), cg.ArrayBackend)
+func fig5(tr *obs.Tracer) (*Table, error) {
+	run, err := runAnalysis(tr, bench.Fig5ExchangeRoot(), cg.ArrayBackend)
 	if err != nil {
 		return nil, err
 	}
@@ -175,10 +182,10 @@ func Fig5() (*Table, error) {
 }
 
 // Fig6 regenerates the NAS-CG transpose analysis for both grid shapes.
-func Fig6() (*Table, error) {
+func fig6(tr *obs.Tracer) (*Table, error) {
 	rows := []Row{}
 	ws := []*bench.Workload{bench.TransposeSquare(), bench.TransposeRect()}
-	runs, err := runAnalyses(ws, cg.ArrayBackend, 0)
+	runs, err := runAnalyses(tr, ws, cg.ArrayBackend, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -205,8 +212,8 @@ func Fig6() (*Table, error) {
 
 // Fig7 regenerates the 1-D nearest-neighbor shift, checking the exact Fig 8
 // set-level matches.
-func Fig7() (*Table, error) {
-	run, err := runAnalysis(bench.Fig7Shift(), cg.ArrayBackend)
+func fig7(tr *obs.Tracer) (*Table, error) {
+	run, err := runAnalysis(tr, bench.Fig7Shift(), cg.ArrayBackend)
 	if err != nil {
 		return nil, err
 	}
@@ -236,7 +243,7 @@ func Fig7() (*Table, error) {
 
 // TableI verifies the HSM operation examples printed in the paper's Table I
 // discussion.
-func TableI() (*Table, error) {
+func tableI(tr *obs.Tracer) (*Table, error) {
 	ctx := hsm.NewCtx()
 	rows := []Row{}
 	check := func(name, paper string, got bool) {
@@ -270,6 +277,8 @@ func TableI() (*Table, error) {
 
 	// Adjacency: [[2:3,2]:2,6] = [2:6,2].
 	p := hsm.NewProver(ctx)
+	p.Tracer = tr
+	p.TracePID = 1
 	a := hsm.Node(hsm.Run(sym.Const(2), sym.Const(3), sym.Const(2)), sym.Const(2), sym.Const(6))
 	b := hsm.Run(sym.Const(2), sym.Const(6), sym.Const(2))
 	check("adjacency seq-equality", "[[2:3,2]:2,6] = [2:6,2]", p.SeqEqual(a, b))
@@ -301,8 +310,8 @@ func TableI() (*Table, error) {
 // ProfileSectionIX regenerates the Section IX performance profile on the
 // fan-out broadcast: where the analysis time goes and how often the two
 // closure variants run.
-func ProfileSectionIX() (*Table, error) {
-	run, err := runAnalysis(bench.Fanout(), cg.ArrayBackend)
+func profileSectionIX(tr *obs.Tracer) (*Table, error) {
+	run, err := runAnalysis(tr, bench.Fanout(), cg.ArrayBackend)
 	if err != nil {
 		return nil, err
 	}
@@ -331,7 +340,7 @@ func ProfileSectionIX() (*Table, error) {
 // Storage regenerates the Section IX storage observation: array-backed
 // constraint graphs versus container (map) backed ones, on a closure
 // workload sized like the paper's profile (around 60 variables).
-func Storage() (*Table, error) {
+func storage(tr *obs.Tracer) (*Table, error) {
 	type edge struct {
 		x, y string
 		c    int64
@@ -376,9 +385,9 @@ func Storage() (*Table, error) {
 
 // Scaling regenerates the Section II scaling contrast: explicit-state
 // checking grows with np; the pCFG analysis is np-independent.
-func Scaling() (*Table, error) {
+func scaling(tr *obs.Tracer) (*Table, error) {
 	w := bench.Fig5ExchangeRoot()
-	run, err := runAnalysis(w, cg.ArrayBackend)
+	run, err := runAnalysis(tr, w, cg.ArrayBackend)
 	if err != nil {
 		return nil, err
 	}
@@ -402,10 +411,10 @@ func Scaling() (*Table, error) {
 
 // Precision regenerates the MPI-CFG comparison: topology edges per
 // workload.
-func Precision() (*Table, error) {
+func precision(tr *obs.Tracer) (*Table, error) {
 	rows := []Row{}
 	ws := bench.All()
-	runs, err := runAnalyses(ws, cg.ArrayBackend, 0)
+	runs, err := runAnalyses(tr, ws, cg.ArrayBackend, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -426,10 +435,10 @@ func Precision() (*Table, error) {
 }
 
 // VerifyExp regenerates the error-detection experiment.
-func VerifyExp() (*Table, error) {
+func verifyExp(tr *obs.Tracer) (*Table, error) {
 	rows := []Row{}
 	ws := []*bench.Workload{bench.LeakyBroadcast(), bench.TypeMismatch()}
-	runs, err := runAnalyses(ws, cg.ArrayBackend, 0)
+	runs, err := runAnalyses(tr, ws, cg.ArrayBackend, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -447,8 +456,8 @@ func VerifyExp() (*Table, error) {
 
 // Stencil regenerates the Section VIII-C stencil experiment: the 2d+1 role
 // structure and concrete message counts per dimensionality.
-func Stencil() (*Table, error) {
-	run, err := runAnalysis(bench.Stencil1D(), cg.ArrayBackend)
+func stencil(tr *obs.Tracer) (*Table, error) {
+	run, err := runAnalysis(tr, bench.Stencil1D(), cg.ArrayBackend)
 	if err != nil {
 		return nil, err
 	}
@@ -481,7 +490,7 @@ func Stencil() (*Table, error) {
 // extension. The same send-first programs are analyzed under the blocking
 // model (pipeline unrolling + widening, or outright failure for non-unit
 // strides) and under aggregation (one set-level match).
-func Aggregation() (*Table, error) {
+func aggregation(tr *obs.Tracer) (*Table, error) {
 	rows := []Row{}
 	for _, w := range []*bench.Workload{bench.SendFirstShift(), bench.Stencil2DFixedWidth()} {
 		_, g := w.Parse()
@@ -489,7 +498,7 @@ func Aggregation() (*Table, error) {
 		// fail, and it must fail quickly).
 		mb := cartesian.New(core.ScanInvariants(g))
 		startB := time.Now()
-		resB, err := core.Analyze(g, core.Options{Matcher: mb, MaxVisits: 16, MaxSteps: 600})
+		resB, err := core.Analyze(g, core.Options{Matcher: mb, MaxVisits: 16, MaxSteps: 600, Tracer: tr})
 		if err != nil {
 			return nil, err
 		}
@@ -497,7 +506,7 @@ func Aggregation() (*Table, error) {
 		// Non-blocking extension.
 		mn := cartesian.New(core.ScanInvariants(g))
 		startN := time.Now()
-		resN, err := core.Analyze(g, core.Options{Matcher: mn, NonBlockingSends: true})
+		resN, err := core.Analyze(g, core.Options{Matcher: mn, NonBlockingSends: true, Tracer: tr})
 		if err != nil {
 			return nil, err
 		}
@@ -538,17 +547,17 @@ func intPow(b, e int) int {
 // twice — sequentially and one-workload-per-core — and reports the wall
 // clock, the copy-on-write effectiveness across the whole suite, and that
 // the parallel run reproduces the sequential topologies exactly.
-func ParallelDriver() (*Table, error) {
+func parallelDriver(tr *obs.Tracer) (*Table, error) {
 	ws := bench.All()
 	startSeq := time.Now()
-	seq, err := runAnalyses(ws, cg.ArrayBackend, 1)
+	seq, err := runAnalyses(tr, ws, cg.ArrayBackend, 1)
 	if err != nil {
 		return nil, err
 	}
 	elSeq := time.Since(startSeq)
 	workers := runtime.NumCPU()
 	startPar := time.Now()
-	par, err := runAnalyses(ws, cg.ArrayBackend, workers)
+	par, err := runAnalyses(tr, ws, cg.ArrayBackend, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -593,7 +602,7 @@ func ParallelDriver() (*Table, error) {
 // scheduler/key-cache instrumentation. Speedup is bounded by the frontier
 // width (~2 independent configurations on the shift, ~4 on the stencil)
 // and by GOMAXPROCS.
-func Engine() (*Table, error) {
+func engineWorklist(tr *obs.Tracer) (*Table, error) {
 	ws := []*bench.Workload{bench.Fig7Shift(), bench.Stencil1D(), bench.TransposeSquare(), bench.TransposeRect()}
 	var rows []Row
 	identical := true
@@ -611,6 +620,7 @@ func Engine() (*Table, error) {
 				Matcher: m,
 				CGOpts:  cg.Options{Backend: cg.ArrayBackend, Stats: stats},
 				Workers: workers,
+				Tracer:  tr,
 			})
 			el := time.Since(start)
 			if err != nil {
@@ -650,42 +660,100 @@ func Engine() (*Table, error) {
 	}, nil
 }
 
-// builders lists every experiment in DESIGN.md order.
-func builders() []func() (*Table, error) {
-	return []func() (*Table, error){
-		Fig2, Fig5, Fig6, Fig7, TableI, ProfileSectionIX, Storage, Scaling, Precision, VerifyExp, Stencil, Aggregation, ParallelDriver, Engine,
+// Spec is a runnable experiment: a stable ID (used for -exp selection and
+// the BENCH_<id>.json file name) plus its builder, which receives the
+// tracer that instruments every analysis run inside the experiment.
+type Spec struct {
+	ID    string
+	build func(tr *obs.Tracer) (*Table, error)
+}
+
+// specs lists every experiment in DESIGN.md order.
+func specs() []Spec {
+	return []Spec{
+		{"fig2", fig2},
+		{"fig5", fig5},
+		{"fig6", fig6},
+		{"fig7", fig7},
+		{"table1", tableI},
+		{"profile", profileSectionIX},
+		{"storage", storage},
+		{"scaling", scaling},
+		{"precision", precision},
+		{"verify", verifyExp},
+		{"stencil", stencil},
+		{"aggregation", aggregation},
+		{"parallel", parallelDriver},
+		{"engine", engineWorklist},
 	}
 }
 
-// All runs every experiment in DESIGN.md order.
-func All() ([]*Table, error) {
-	var out []*Table
-	for _, b := range builders() {
-		t, err := b()
-		if err != nil {
-			return nil, err
+// SpecIDs returns the experiment IDs in DESIGN.md order.
+func SpecIDs() []string {
+	ss := specs()
+	ids := make([]string, len(ss))
+	for i, s := range ss {
+		ids[i] = s.ID
+	}
+	return ids
+}
+
+// SpecResult is the stable benchmark record written as BENCH_<spec>.json:
+// wall time plus the obs phase breakdown aggregated over every analysis the
+// experiment ran.
+type SpecResult struct {
+	Spec   string          `json:"spec"`
+	Title  string          `json:"title"`
+	WallNs int64           `json:"wall_ns"`
+	Rows   int             `json:"rows"`
+	Phases obs.PhaseTotals `json:"phases"`
+}
+
+// RunSpec runs one experiment by ID with an aggregate tracer attached,
+// returning both the rendered table and the benchmark record.
+func RunSpec(id string) (*Table, *SpecResult, error) {
+	for _, s := range specs() {
+		if s.ID == id {
+			return runSpec(s)
 		}
-		out = append(out, t)
 	}
-	return out, nil
+	return nil, nil, fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(SpecIDs(), ", "))
 }
 
-// AllParallel regenerates every experiment with up to parallelism builders
-// in flight (the builders are independent), returning tables in the usual
-// order. parallelism <= 0 selects one worker per CPU.
-func AllParallel(parallelism int) ([]*Table, error) {
-	bs := builders()
+func runSpec(s Spec) (*Table, *SpecResult, error) {
+	tr := obs.NewAggregate()
+	start := time.Now()
+	t, err := s.build(tr)
+	wall := time.Since(start)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", s.ID, err)
+	}
+	return t, &SpecResult{
+		Spec:   s.ID,
+		Title:  t.Title,
+		WallNs: wall.Nanoseconds(),
+		Rows:   len(t.Rows),
+		Phases: tr.Totals(),
+	}, nil
+}
+
+// RunAll runs every experiment with up to parallelism specs in flight (the
+// specs are independent), returning tables and records in DESIGN.md order.
+// parallelism <= 0 selects one worker per CPU.
+func RunAll(parallelism int) ([]*Table, []*SpecResult, error) {
+	ss := specs()
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
 	}
-	if parallelism > len(bs) {
-		parallelism = len(bs)
+	if parallelism > len(ss) {
+		parallelism = len(ss)
 	}
-	if parallelism <= 1 {
-		return All()
+	if parallelism < 1 {
+		parallelism = 1
 	}
-	out := make([]*Table, len(bs))
-	errs := make([]error, len(bs))
+	out := make([]*Table, len(ss))
+	recs := make([]*SpecResult, len(ss))
+	errs := make([]error, len(ss))
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(parallelism)
@@ -693,21 +761,35 @@ func AllParallel(parallelism int) ([]*Table, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i], errs[i] = bs[i]()
+				out[i], recs[i], errs[i] = runSpec(ss[i])
 			}
 		}()
 	}
-	for i := range bs {
+	for i := range ss {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return out, nil
+	return out, recs, nil
+}
+
+// All runs every experiment in DESIGN.md order.
+func All() ([]*Table, error) {
+	tables, _, err := RunAll(1)
+	return tables, err
+}
+
+// AllParallel regenerates every experiment with up to parallelism specs in
+// flight, returning tables in the usual order. parallelism <= 0 selects one
+// worker per CPU.
+func AllParallel(parallelism int) ([]*Table, error) {
+	tables, _, err := RunAll(parallelism)
+	return tables, err
 }
 
 func yesNo(b bool) string {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sym"
 )
 
@@ -43,6 +44,12 @@ type Prover struct {
 	// install-time snapshot). Both proofs and refutations are cached: the
 	// search is deterministic, so a failure at the same bounds repeats.
 	cache map[string]bool
+	// Tracer, when non-nil, receives one obs.PhaseProver span per search
+	// that misses the memo (cache hits are free and not worth a span). The
+	// spans land on the dedicated prover lane (obs.ProverTid) under
+	// TracePID's process, with the explored-state count in the detail.
+	Tracer   *obs.Tracer
+	TracePID int
 }
 
 // NewProver returns a prover over the context.
@@ -99,9 +106,14 @@ func (p *Prover) store(key string, res bool) {
 
 // SeqEqual reports whether a and b provably denote the same sequence.
 func (p *Prover) SeqEqual(a, b *HSM) bool {
-	key := p.cacheKey("seq", a.Key(), b.Key())
+	ka, kb := a.Key(), b.Key()
+	key := p.cacheKey("seq", ka, kb)
 	if res, ok := p.lookup(key); ok {
 		return res
+	}
+	if p.Tracer.Enabled() {
+		sp := p.Tracer.Begin(p.TracePID, obs.ProverTid, obs.PhaseProver, ka+" =seq "+kb)
+		defer sp.EndDetail("rel=seq")
 	}
 	na := p.Ctx.Normalize(a)
 	nb := p.Ctx.Normalize(b)
@@ -125,6 +137,14 @@ func (p *Prover) SetEqual(a, b *HSM) bool {
 	}
 	key := p.cacheKey("set", ka, kb)
 	if res, ok := p.lookup(key); ok {
+		return res
+	}
+	if p.Tracer.Enabled() {
+		sp := p.Tracer.Begin(p.TracePID, obs.ProverTid, obs.PhaseProver, ka+" ~set "+kb)
+		before := p.StatesExplored
+		res := p.setEqualSearch(a, b)
+		sp.EndDetail(fmt.Sprintf("rel=set states=%d", p.StatesExplored-before))
+		p.store(key, res)
 		return res
 	}
 	res := p.setEqualSearch(a, b)

@@ -119,19 +119,110 @@ func TestCLIPsdfBenchSingleExperiment(t *testing.T) {
 		t.Skip("CLI build skipped in -short mode")
 	}
 	bin := buildTool(t, "psdf-bench")
-	out, err := exec.Command(bin, "-exp", "table1").CombinedOutput()
+	dir := t.TempDir()
+	cmd := exec.Command(bin, "-exp", "table1")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
 	if err != nil {
 		t.Fatalf("psdf-bench: %v\n%s", err, out)
 	}
-	for _, w := range []string{"Table I", "paper", "measured", "yes"} {
+	for _, w := range []string{"Table I", "paper", "measured", "yes", "wrote BENCH_table1.json"} {
 		if !strings.Contains(string(out), w) {
 			t.Errorf("psdf-bench output missing %q:\n%s", w, out)
+		}
+	}
+	// The machine-readable record lands in the working directory with the
+	// stable schema fields.
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_table1.json"))
+	if err != nil {
+		t.Fatalf("BENCH_table1.json: %v", err)
+	}
+	for _, w := range []string{`"spec": "table1"`, `"wall_ns"`, `"rows"`, `"phases"`} {
+		if !strings.Contains(string(data), w) {
+			t.Errorf("BENCH_table1.json missing %s:\n%s", w, data)
 		}
 	}
 	// Unknown experiment id exits nonzero.
 	if _, err := exec.Command(bin, "-exp", "nope").CombinedOutput(); err == nil {
 		t.Error("unknown experiment accepted")
 	}
+}
+
+// TestCLITraceWorkflow drives the full observability loop: psdf-run
+// -analyze -trace writes a Chrome trace and a metrics snapshot, and `psdf
+// trace` summarizes and validates the trace.
+func TestCLITraceWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build skipped in -short mode")
+	}
+	runBin := buildTool(t, "psdf-run")
+	psdfBin := buildTool(t, "psdf")
+	root := repoRoot(t)
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	metrics := filepath.Join(dir, "metrics.prom")
+
+	out, err := exec.Command(runBin, "-analyze",
+		"-trace", trace, "-trace-jsonl", jsonl, "-metrics-out", metrics,
+		filepath.Join(root, "testdata", "nascg_square.mpl"),
+		filepath.Join(root, "testdata", "mdcask.mpl")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("psdf-run -trace: %v\n%s", err, out)
+	}
+	for _, w := range []string{"phases:", "match-memo:", "hit rate"} {
+		if !strings.Contains(string(out), w) {
+			t.Errorf("psdf-run output missing %q:\n%s", w, out)
+		}
+	}
+	prom, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics file: %v", err)
+	}
+	for _, w := range []string{"psdf_engine_steps_total", "psdf_match_memo_total"} {
+		if !strings.Contains(string(prom), w) {
+			t.Errorf("metrics snapshot missing %s", w)
+		}
+	}
+
+	// Summarize both formats.
+	for _, path := range []string{trace, jsonl} {
+		out, err := exec.Command(psdfBin, "trace", path).CombinedOutput()
+		if err != nil {
+			t.Fatalf("psdf trace %s: %v\n%s", path, err, out)
+		}
+		for _, w := range []string{"phase", "transfer", "hottest configurations"} {
+			if !strings.Contains(string(out), w) {
+				t.Errorf("psdf trace %s missing %q:\n%s", path, w, out)
+			}
+		}
+	}
+	// Validation passes on a well-formed trace.
+	out, err = exec.Command(psdfBin, "trace", "-check", trace).CombinedOutput()
+	if err != nil {
+		t.Fatalf("psdf trace -check: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "ok (") {
+		t.Errorf("psdf trace -check output:\n%s", out)
+	}
+	// A truncated trace fails validation.
+	bad := filepath.Join(dir, "bad.jsonl")
+	lines := strings.SplitN(string(mustRead(t, jsonl)), "\n", 3)
+	if err := os.WriteFile(bad, []byte(lines[0]+"\n{\"broken\":\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Command(psdfBin, "trace", "-check", bad).CombinedOutput(); err == nil {
+		t.Error("psdf trace -check accepted a corrupt trace")
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
 }
 
 // TestCLIPsdfLint exercises the lint subcommand over the seeded-bug corpus

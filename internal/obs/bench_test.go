@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"testing"
+)
+
+// BenchmarkTracerDisabled measures the cost of instrumentation when
+// tracing is off (nil tracer): the acceptance contract is 0 allocs/op and
+// a handful of nanoseconds, so the engine can keep its spans unconditional.
+func BenchmarkTracerDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(1, 0, PhaseStep, "key")
+		sp.End()
+	}
+}
+
+// BenchmarkTracerAggregate is the always-on per-job mode: totals only.
+func BenchmarkTracerAggregate(b *testing.B) {
+	tr := NewAggregate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(1, 0, PhaseStep, "key")
+		sp.End()
+	}
+}
+
+// BenchmarkTracerRetained is full tracing (event retention) — the
+// expensive mode users opt into with -trace.
+func BenchmarkTracerRetained(b *testing.B) {
+	tr := NewTracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(1, 0, PhaseStep, "key")
+		sp.End()
+	}
+}
+
+// TestDisabledZeroAlloc enforces the zero-allocation contract in the
+// ordinary test run (benchmarks don't gate CI).
+func TestDisabledZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin(1, 0, PhaseMatch, "key")
+		sp.End()
+		_ = tr.Totals()
+		_ = tr.Enabled()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracer allocates %v per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func goldenEvents() []Event {
+	ms := time.Millisecond
+	return []Event{
+		mkEvent(PhaseAnalyze, 1, 0, 0, 10*ms, "shift1d"),
+		{Phase: PhaseStep, Pid: 1, Tid: 0, Start: 1 * ms, Dur: 3 * ms, Key: "cfg|a"},
+		{Phase: PhaseMatch, Pid: 1, Tid: 0, Start: 2 * ms, Dur: 1 * ms, Key: "cfg|a", Detail: "pairs=2"},
+		mkEvent(PhaseProver, 1, ProverTid, 2*ms, 500*time.Microsecond, "cfg|a"),
+	}
+}
+
+const chromeGolden = `[
+{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"shift1d"}}
+,{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"worker 0"}}
+,{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1000,"args":{"name":"prover"}}
+,{"name":"analyze","cat":"psdf","ph":"X","ts":0,"dur":10000,"pid":1,"tid":0,"args":{"key":"shift1d"}}
+,{"name":"step","cat":"psdf","ph":"X","ts":1000,"dur":3000,"pid":1,"tid":0,"args":{"key":"cfg|a"}}
+,{"name":"match","cat":"psdf","ph":"X","ts":2000,"dur":1000,"pid":1,"tid":0,"args":{"detail":"pairs=2","key":"cfg|a"}}
+,{"name":"prover","cat":"psdf","ph":"X","ts":2000,"dur":500,"pid":1,"tid":1000,"args":{"key":"cfg|a"}}
+]
+`
+
+const jsonlGolden = `{"phase":"analyze","pid":1,"tid":0,"start_ns":0,"dur_ns":10000000,"key":"shift1d"}
+{"phase":"step","pid":1,"tid":0,"start_ns":1000000,"dur_ns":3000000,"key":"cfg|a"}
+{"phase":"match","pid":1,"tid":0,"start_ns":2000000,"dur_ns":1000000,"key":"cfg|a","detail":"pairs=2"}
+{"phase":"prover","pid":1,"tid":1000,"start_ns":2000000,"dur_ns":500000,"key":"cfg|a"}
+`
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents(), map[int]string{1: "shift1d"}); err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeChromeLines(buf.String())
+	want := normalizeChromeLines(chromeGolden)
+	if got != want {
+		t.Errorf("chrome trace mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	// Round-trip: parsing recovers the span events (µs precision).
+	evs, err := ReadChromeTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("round-trip events = %d, want 4", len(evs))
+	}
+	if evs[2].Detail != "pairs=2" || evs[2].Phase != PhaseMatch {
+		t.Errorf("round-trip event = %+v", evs[2])
+	}
+	if evs[3].Tid != ProverTid || evs[3].Dur != 500*time.Microsecond {
+		t.Errorf("round-trip prover event = %+v", evs[3])
+	}
+}
+
+// normalizeChromeLines strips the leading comma continuation style so the
+// comparison is insensitive to where the separator sits.
+func normalizeChromeLines(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimSuffix(strings.TrimPrefix(l, ","), ",")
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != jsonlGolden {
+		t.Errorf("jsonl mismatch:\n--- got ---\n%s\n--- want ---\n%s", buf.String(), jsonlGolden)
+	}
+	evs, err := ReadJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("round-trip events = %d", len(evs))
+	}
+	// JSONL keeps nanosecond precision exactly.
+	want := goldenEvents()
+	SortEvents(want)
+	for i := range evs {
+		if evs[i] != want[i] {
+			t.Errorf("event %d: got %+v want %+v", i, evs[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONLRejectsUnknownPhase(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader(`{"phase":"warp","pid":0,"tid":0,"start_ns":0,"dur_ns":1}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown phase") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("psdf_engine_steps_total", "total engine propagate steps")
+	c.Add(12)
+	r.NewCounterVec("psdf_match_memo_total", "match memo lookups", Labels("result", "hit")).Add(9)
+	r.NewCounterVec("psdf_match_memo_total", "match memo lookups", Labels("result", "miss")).Add(3)
+	g := r.NewGauge("psdf_sched_queue_depth_max", "scheduler queue high-water mark")
+	g.Set(17)
+	h := r.NewHistogram("psdf_prover_states", "states explored per prover search", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+
+	const want = `# HELP psdf_engine_steps_total total engine propagate steps
+# TYPE psdf_engine_steps_total counter
+psdf_engine_steps_total 12
+# HELP psdf_match_memo_total match memo lookups
+# TYPE psdf_match_memo_total counter
+psdf_match_memo_total{result="hit"} 9
+psdf_match_memo_total{result="miss"} 3
+# HELP psdf_prover_states states explored per prover search
+# TYPE psdf_prover_states histogram
+psdf_prover_states_bucket{le="10"} 1
+psdf_prover_states_bucket{le="100"} 2
+psdf_prover_states_bucket{le="+Inf"} 2
+psdf_prover_states_sum 55
+psdf_prover_states_count 2
+# HELP psdf_sched_queue_depth_max scheduler queue high-water mark
+# TYPE psdf_sched_queue_depth_max gauge
+psdf_sched_queue_depth_max 17
+`
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("prometheus mismatch:\n--- got ---\n%s\n--- want ---\n%s", sb.String(), want)
+	}
+	// Rendering is deterministic.
+	var sb2 strings.Builder
+	_ = r.WritePrometheus(&sb2)
+	if sb.String() != sb2.String() {
+		t.Error("render not deterministic")
+	}
+}

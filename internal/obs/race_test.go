@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerConcurrentHammer drives the tracer from 8 worker goroutines
+// (plus concurrent readers) the way the parallel engine does; run under
+// -race in CI it proves the sharded event store and atomic totals are
+// data-race free.
+func TestTracerConcurrentHammer(t *testing.T) {
+	tr := NewTracer()
+	reg := NewRegistry()
+	c := reg.NewCounter("hammer_total", "")
+	g := reg.NewGauge("hammer_depth", "")
+	h := reg.NewHistogram("hammer_lat", "", []float64{1, 10})
+	const workers, iters = 8, 500
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				step := tr.Begin(1, w, PhaseStep, "k")
+				inner := tr.Begin(1, w, PhaseTransfer+Phase(i%6), "k")
+				inner.EndDetail(fmt.Sprintf("i=%d", i))
+				step.End()
+				c.Inc()
+				g.SetMax(float64(i))
+				h.Observe(float64(i % 20))
+			}
+		}(w)
+	}
+	// Concurrent readers: totals, events and a metrics render mid-flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = tr.Totals()
+			_ = tr.EventCount()
+			var sb nopWriter
+			_ = reg.WritePrometheus(&sb)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if n := tr.EventCount(); n != workers*iters*2 {
+		t.Errorf("events = %d, want %d", n, workers*iters*2)
+	}
+	if got := tr.Totals()["step"]; got.Count != workers*iters {
+		t.Errorf("step count = %d", got.Count)
+	}
+	if c.Value() != workers*iters {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if g.Value() != float64(iters-1) {
+		t.Errorf("gauge max = %v", g.Value())
+	}
+	if h.Count() != workers*iters {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+	// The merged snapshot must be well-formed (no partial overlaps within
+	// a lane) despite the concurrency.
+	if probs := Check(tr.Events(), 0); len(probs) != 0 {
+		t.Errorf("hammered trace malformed: %v", probs[:min(3, len(probs))])
+	}
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }

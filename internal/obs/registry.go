@@ -1,0 +1,349 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a unified metrics registry: counters, gauges, histograms and
+// function-backed variants, rendered in the Prometheus text exposition
+// format. All methods are safe for concurrent use, and every method on the
+// nil *Registry is a no-op so call sites never need to guard.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family groups every series sharing a metric name (one HELP/TYPE header).
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]*series // keyed by rendered label string
+}
+
+type series struct {
+	labels string // pre-rendered `{k="v",...}` or ""
+	// Exactly one of the following is active, per the family kind.
+	val  atomic.Uint64 // counter: integer count; gauge: math.Float64bits
+	fn   func() float64
+	hist *Histogram
+}
+
+// Labels renders a label set deterministically (sorted by key). Use the
+// result with the *Vec registration methods.
+func Labels(kv ...string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs.Labels: odd number of arguments")
+	}
+	pairs := make([]string, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", kv[i], escapeLabel(kv[i+1])))
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+func escapeLabel(v string) string {
+	// %q handles \ and "; Prometheus additionally wants \n escaped, which
+	// %q also does. Strip the quotes %q adds since Labels adds its own.
+	q := fmt.Sprintf("%q", v)
+	return q[1 : len(q)-1]
+}
+
+func (r *Registry) fam(name, help string, kind metricKind) *family {
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
+		r.fams[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+func (f *family) get(labels string) *series {
+	s, ok := f.series[labels]
+	if !ok {
+		s = &series{labels: labels}
+		f.series[labels] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ s *series }
+
+// Add increments the counter; negative deltas are ignored. Nil-safe.
+func (c Counter) Add(delta int64) {
+	if c.s == nil || delta < 0 {
+		return
+	}
+	c.s.val.Add(uint64(delta))
+}
+
+// Inc adds one. Nil-safe.
+func (c Counter) Inc() { c.Add(1) }
+
+// Value reports the current count.
+func (c Counter) Value() int64 {
+	if c.s == nil {
+		return 0
+	}
+	return int64(c.s.val.Load())
+}
+
+// Gauge is a settable float metric.
+type Gauge struct{ s *series }
+
+// Set stores the gauge value. Nil-safe.
+func (g Gauge) Set(v float64) {
+	if g.s == nil {
+		return
+	}
+	g.s.val.Store(math.Float64bits(v))
+}
+
+// SetMax raises the gauge to v if v is larger (high-water mark). Nil-safe.
+func (g Gauge) SetMax(v float64) {
+	if g.s == nil {
+		return
+	}
+	for {
+		old := g.s.val.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.s.val.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value reports the current gauge value.
+func (g Gauge) Value() float64 {
+	if g.s == nil {
+		return 0
+	}
+	return math.Float64frombits(g.s.val.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // Float64bits accumulated via CAS
+	count  atomic.Int64
+}
+
+// Observe records one sample. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// NewCounter registers (or fetches) an unlabelled counter. Nil-safe: the
+// returned Counter is inert when r is nil.
+func (r *Registry) NewCounter(name, help string) Counter {
+	return r.NewCounterVec(name, help, "")
+}
+
+// NewCounterVec registers (or fetches) a counter series with the given
+// rendered labels (see Labels).
+func (r *Registry) NewCounterVec(name, help, labels string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Counter{s: r.fam(name, help, kindCounter).get(labels)}
+}
+
+// NewGauge registers (or fetches) an unlabelled gauge.
+func (r *Registry) NewGauge(name, help string) Gauge {
+	return r.NewGaugeVec(name, help, "")
+}
+
+// NewGaugeVec registers (or fetches) a gauge series with labels.
+func (r *Registry) NewGaugeVec(name, help, labels string) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Gauge{s: r.fam(name, help, kindGauge).get(labels)}
+}
+
+// CounterFunc registers a counter whose value is fetched at render time.
+// The function must be safe to call concurrently with the instrumented
+// code (e.g. it reads atomics).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.counterOrGaugeFunc(name, help, "", kindCounter, fn)
+}
+
+// GaugeFunc registers a gauge evaluated at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.counterOrGaugeFunc(name, help, "", kindGauge, fn)
+}
+
+// GaugeFuncVec registers a labelled gauge evaluated at render time.
+func (r *Registry) GaugeFuncVec(name, help, labels string, fn func() float64) {
+	r.counterOrGaugeFunc(name, help, labels, kindGauge, fn)
+}
+
+func (r *Registry) counterOrGaugeFunc(name, help, labels string, kind metricKind, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fam(name, help, kind).get(labels).fn = fn
+}
+
+// NewHistogram registers (or fetches) a histogram with the given ascending
+// upper bucket bounds (a final +Inf bucket is implicit).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.fam(name, help, kindHistogram).get("")
+	if s.hist == nil {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		s.hist = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	}
+	return s.hist
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, deterministically: families sorted by name, series by label
+// string. Nil-safe (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Snapshot family pointers; series values are read outside the lock
+	// via atomics / fns.
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			switch {
+			case f.kind == kindHistogram && s.hist != nil:
+				writeHistogram(&b, f.name, s)
+			case s.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.fn()))
+			case f.kind == kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, int64(s.val.Load()))
+			default:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(math.Float64frombits(s.val.Load())))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	h := s.hist
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatFloat(ub), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %s\n", name, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.NewCounter("x", "")
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil-registry counter counted")
+	}
+	g := r.NewGauge("y", "")
+	g.Set(3)
+	g.SetMax(5)
+	if g.Value() != 0 {
+		t.Error("nil-registry gauge stored")
+	}
+	r.GaugeFunc("z", "", func() float64 { return 1 })
+	h := r.NewHistogram("h", "", []float64{1})
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil-registry histogram observed")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Errorf("nil registry rendered %q, %v", sb.String(), err)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("psdf_steps_total", "engine steps")
+	c.Add(5)
+	c.Inc()
+	c.Add(-3) // ignored
+	if c.Value() != 6 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	// Re-registering the same series returns the same underlying value.
+	if again := r.NewCounter("psdf_steps_total", "engine steps"); again.Value() != 6 {
+		t.Errorf("re-registered counter = %d", again.Value())
+	}
+	g := r.NewGauge("psdf_queue_depth", "")
+	g.Set(4)
+	g.SetMax(2) // lower: ignored
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.NewGauge("m", "")
+}
+
+func TestLabelsDeterministic(t *testing.T) {
+	a := Labels("b", "2", "a", "1")
+	if a != `{a="1",b="2"}` {
+		t.Errorf("labels = %s", a)
+	}
+	if Labels() != "" {
+		t.Error("empty labels nonempty")
+	}
+	if got := Labels("k", `va"l`+"\n"); !strings.Contains(got, `\"`) || !strings.Contains(got, `\n`) {
+		t.Errorf("unescaped label: %s", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat", "latency", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="10"} 3`,
+		`lat_bucket{le="100"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_sum 556.5`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeAndCounterFuncs(t *testing.T) {
+	r := NewRegistry()
+	v := 7.0
+	r.GaugeFunc("live", "current depth", func() float64 { return v })
+	r.CounterFunc("seen_total", "", func() float64 { return 42 })
+	r.GaugeFuncVec("shard_depth", "per-shard", Labels("shard", "3"), func() float64 { return 2 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"live 7", "seen_total 42", `shard_depth{shard="3"} 2`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	v = 8
+	sb.Reset()
+	_ = r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "live 8") {
+		t.Error("GaugeFunc not re-evaluated at render")
+	}
+}
