@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -69,14 +70,23 @@ func readTrace(path string) ([]obs.Event, error) {
 	defer f.Close()
 	var first [1]byte
 	for {
-		if _, err := f.Read(first[:]); err != nil {
+		n, err := f.Read(first[:])
+		if n > 0 {
+			switch first[0] {
+			case ' ', '\t', '\n', '\r':
+				continue
+			}
+			break
+		}
+		if err == io.EOF {
 			return nil, fmt.Errorf("empty trace file")
 		}
-		switch first[0] {
-		case ' ', '\t', '\n', '\r':
-			continue
+		if err == nil {
+			// A (0, nil) read is legal for an io.Reader; error out rather
+			// than spin.
+			err = io.ErrNoProgress
 		}
-		break
+		return nil, err
 	}
 	if _, err := f.Seek(0, 0); err != nil {
 		return nil, err

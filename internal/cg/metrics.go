@@ -11,18 +11,18 @@ func (s *Stats) RegisterMetrics(reg *obs.Registry, job string) {
 	if s == nil || reg == nil {
 		return
 	}
-	gauge := func(name, help string, fn func() int64) {
-		reg.GaugeFuncVec(name, help, job, func() float64 { return float64(fn()) })
+	counter := func(name, help string, fn func() int64) {
+		reg.CounterFuncVec(name, help, job, func() float64 { return float64(fn()) })
 	}
-	gauge("psdf_cg_full_closures_total", "full transitive-closure recomputations", s.FullClosures)
-	gauge("psdf_cg_incr_closures_total", "incremental closure maintenance updates", s.IncrClosures)
-	gauge("psdf_cg_joins_total", "constraint-graph join operations", s.Joins)
-	gauge("psdf_cg_clones_avoided_total", "state clones avoided by copy-on-write", s.ClonesAvoided)
-	gauge("psdf_cg_cow_materializations_total", "copy-on-write materializations (shared storage actually copied)", s.CoWMaterializations)
-	gauge("psdf_cg_key_cache_hits_total", "shape-key cache hits", s.KeyCacheHits)
-	gauge("psdf_cg_key_cache_misses_total", "shape-key cache misses", s.KeyCacheMisses)
-	gauge("psdf_cg_sched_coalesced_total", "worklist pushes coalesced into an already-queued visit", s.SchedCoalesced)
-	gauge("psdf_cg_shard_contention_total", "contended configuration-table shard acquisitions", s.ShardContention)
-	gauge("psdf_cg_closure_ns_total", "nanoseconds spent in full closures", func() int64 { return int64(s.ClosureTime()) })
-	gauge("psdf_cg_maintain_ns_total", "nanoseconds spent in incremental closure maintenance", func() int64 { return int64(s.MaintainTime()) })
+	counter("psdf_cg_full_closures_total", "full transitive-closure recomputations", s.FullClosures)
+	counter("psdf_cg_incr_closures_total", "incremental closure maintenance updates", s.IncrClosures)
+	counter("psdf_cg_joins_total", "constraint-graph join operations", s.Joins)
+	counter("psdf_cg_clones_avoided_total", "state clones avoided by copy-on-write", s.ClonesAvoided)
+	counter("psdf_cg_cow_materializations_total", "copy-on-write materializations (shared storage actually copied)", s.CoWMaterializations)
+	counter("psdf_cg_key_cache_hits_total", "shape-key cache hits", s.KeyCacheHits)
+	counter("psdf_cg_key_cache_misses_total", "shape-key cache misses", s.KeyCacheMisses)
+	counter("psdf_cg_sched_coalesced_total", "worklist pushes coalesced into an already-queued visit", s.SchedCoalesced)
+	counter("psdf_cg_shard_contention_total", "contended configuration-table shard acquisitions", s.ShardContention)
+	counter("psdf_cg_closure_ns_total", "nanoseconds spent in full closures", func() int64 { return int64(s.ClosureTime()) })
+	counter("psdf_cg_maintain_ns_total", "nanoseconds spent in incremental closure maintenance", func() int64 { return int64(s.MaintainTime()) })
 }

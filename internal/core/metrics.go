@@ -68,9 +68,9 @@ func RegisterMatchMemoMetrics(reg *obs.Registry, memo *MatchMemo, job string) {
 	}
 	hit := obs.Labels("job", job, "result", "hit")
 	miss := obs.Labels("job", job, "result", "miss")
-	reg.GaugeFuncVec("psdf_match_memo_total", "match memo lookups", hit,
+	reg.CounterFuncVec("psdf_match_memo_total", "match memo lookups", hit,
 		func() float64 { return float64(memo.HitCount()) })
-	reg.GaugeFuncVec("psdf_match_memo_total", "match memo lookups", miss,
+	reg.CounterFuncVec("psdf_match_memo_total", "match memo lookups", miss,
 		func() float64 { return float64(memo.MissCount()) })
 	reg.GaugeFuncVec("psdf_match_memo_entries", "match memo resident entries",
 		obs.Labels("job", job), func() float64 { return float64(memo.Len()) })

@@ -71,7 +71,6 @@ type analysisRun struct {
 	matcher *cartesian.Matcher
 	stats   *cg.Stats
 	elapsed time.Duration
-	phases  obs.PhaseTotals
 }
 
 // runAnalysis analyzes a workload with the cartesian client on the given
@@ -88,9 +87,10 @@ func runAnalysis(tr *obs.Tracer, w *bench.Workload, backend cg.Backend) (*analys
 // runAnalyses analyzes a set of workloads through the core.AnalyzeAll
 // bounded worker pool, one matcher and stats record per workload, returning
 // instrumented runs in input order. parallelism <= 0 selects one worker per
-// CPU; 1 runs sequentially. When tr is nil each job still gets a private
-// aggregate tracer (AnalyzeAll), so per-run phase breakdowns are always
-// available; a shared non-nil tr additionally accumulates the spec total.
+// CPU; 1 runs sequentially. A shared non-nil tr accumulates engine phase
+// totals across every job (the per-spec aggregate written to
+// BENCH_<spec>.json); per-job breakdowns, when needed, come from
+// core.AnalyzeAll's JobResult.Phases, not from this helper.
 func runAnalyses(tr *obs.Tracer, ws []*bench.Workload, backend cg.Backend, parallelism int) ([]*analysisRun, error) {
 	runs := make([]*analysisRun, len(ws))
 	jobs := make([]core.Job, len(ws))
@@ -115,7 +115,6 @@ func runAnalyses(tr *obs.Tracer, ws []*bench.Workload, backend cg.Backend, paral
 		}
 		runs[i].res = jr.Res
 		runs[i].elapsed = jr.Wall
-		runs[i].phases = jr.Phases
 	}
 	return runs, nil
 }

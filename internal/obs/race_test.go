@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sync"
 	"testing"
-	"time"
 )
 
 // TestTracerConcurrentHammer drives the tracer from 8 worker goroutines
@@ -32,22 +31,40 @@ func TestTracerConcurrentHammer(t *testing.T) {
 				c.Inc()
 				g.SetMax(float64(i))
 				h.Observe(float64(i % 20))
+				// Register fresh series while renders are in flight: the
+				// engine does exactly this (publishMetrics after each job,
+				// live-gauge registration) against a concurrent /metrics
+				// scrape, so WritePrometheus must never iterate a family map
+				// another goroutine is inserting into.
+				reg.NewCounterVec("hammer_dyn_total", "",
+					Labels("w", fmt.Sprint(w), "i", fmt.Sprint(i%17))).Inc()
+				reg.GaugeFuncVec("hammer_dyn_fn", "",
+					Labels("w", fmt.Sprint(w), "i", fmt.Sprint(i%17)),
+					func() float64 { return float64(i) })
 			}
 		}(w)
 	}
-	// Concurrent readers: totals, events and a metrics render mid-flight.
+	// Concurrent readers: totals, events and metrics renders hammered for
+	// the writers' whole lifetime, so every render overlaps live series
+	// registration (WritePrometheus vs. NewCounterVec on one family map).
+	writersDone := make(chan struct{})
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for i := 0; i < 50; i++ {
+		for {
 			_ = tr.Totals()
 			_ = tr.EventCount()
 			var sb nopWriter
 			_ = reg.WritePrometheus(&sb)
-			time.Sleep(time.Millisecond)
+			select {
+			case <-writersDone:
+				return
+			default:
+			}
 		}
 	}()
 	wg.Wait()
+	close(writersDone)
 	<-done
 
 	if n := tr.EventCount(); n != workers*iters*2 {

@@ -242,6 +242,13 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	r.counterOrGaugeFunc(name, help, "", kindCounter, fn)
 }
 
+// CounterFuncVec registers a labelled counter evaluated at render time. The
+// function must be monotonically non-decreasing for the rendered series to
+// be a valid Prometheus counter.
+func (r *Registry) CounterFuncVec(name, help, labels string, fn func() float64) {
+	r.counterOrGaugeFunc(name, help, labels, kindCounter, fn)
+}
+
 // GaugeFunc registers a gauge evaluated at render time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.counterOrGaugeFunc(name, help, "", kindGauge, fn)
@@ -278,6 +285,19 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram 
 	return s.hist
 }
 
+// famSnap is a point-in-time copy of one family taken under the registry
+// lock: the header fields plus the sorted series (pointer and fn). The
+// registration methods mutate family.series and series.fn under r.mu, so a
+// render must not touch either outside the lock; series *values* stay live
+// (atomics) and are read at format time.
+type famSnap struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+	fns    []func() float64
+}
+
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format, deterministically: families sorted by name, series by label
 // string. Nil-safe (writes nothing).
@@ -291,20 +311,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	// Snapshot family pointers; series values are read outside the lock
-	// via atomics / fns.
-	fams := make([]*family, len(names))
+	fams := make([]famSnap, len(names))
 	for i, n := range names {
-		fams[i] = r.fams[n]
-	}
-	r.mu.Unlock()
-
-	var b strings.Builder
-	for _, f := range fams {
-		if f.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
-		}
-		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		f := r.fams[n]
+		snap := famSnap{name: f.name, help: f.help, kind: f.kind}
 		keys := make([]string, 0, len(f.series))
 		for k := range f.series {
 			keys = append(keys, k)
@@ -312,11 +322,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		sort.Strings(keys)
 		for _, k := range keys {
 			s := f.series[k]
+			snap.series = append(snap.series, s)
+			snap.fns = append(snap.fns, s.fn)
+		}
+		fams[i] = snap
+	}
+	r.mu.Unlock()
+
+	// Format outside the lock: fns may be arbitrarily slow (or re-enter the
+	// registry), and atomics make the value reads safe.
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for i, s := range f.series {
 			switch {
 			case f.kind == kindHistogram && s.hist != nil:
 				writeHistogram(&b, f.name, s)
-			case s.fn != nil:
-				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.fn()))
+			case f.fns[i] != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(f.fns[i]()))
 			case f.kind == kindCounter:
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, int64(s.val.Load()))
 			default:
