@@ -34,6 +34,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/benchhist"
 	"repro/internal/clients/cartesian"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -86,14 +87,16 @@ func main() {
 
 // writeBenchRecord persists one experiment's benchmark record as
 // BENCH_<spec>.json: wall time plus the obs phase breakdown aggregated over
-// every analysis the experiment ran.
+// every analysis the experiment ran. The write is atomic (temp file +
+// rename) so a crashed or interrupted run never leaves a truncated record
+// for downstream tooling to trip over.
 func writeBenchRecord(dir string, rec *experiments.SpecResult) error {
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
 	}
 	path := filepath.Join(dir, "BENCH_"+rec.Spec+".json")
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := benchhist.WriteFileAtomic(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (wall %dms, %d phases)\n", path, rec.WallNs/1e6, len(rec.Phases))
@@ -109,6 +112,14 @@ type engineBenchRecord struct {
 	NsPerOp     int64  `json:"ns_per_op"`
 	BytesPerOp  int64  `json:"bytes_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// engineBenchFile is the versioned envelope written to -engine-out. The
+// schema_version field lets longitudinal tooling reject records from a
+// different layout rather than silently misreading them.
+type engineBenchFile struct {
+	SchemaVersion int                 `json:"schema_version"`
+	Records       []engineBenchRecord `json:"records"`
 }
 
 // runEngineBench benchmarks the intra-analysis engine at each requested
@@ -161,11 +172,14 @@ func runEngineBench(spec, outPath string) error {
 				rec.Workload, rec.Workers, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
 		}
 	}
-	data, err := json.MarshalIndent(recs, "", "  ")
+	data, err := json.MarshalIndent(engineBenchFile{
+		SchemaVersion: experiments.BenchSchemaVersion,
+		Records:       recs,
+	}, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+	if err := benchhist.WriteFileAtomic(outPath, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (%d records)\n", outPath, len(recs))

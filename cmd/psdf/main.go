@@ -8,6 +8,7 @@
 //	psdf [flags] program.mpl
 //	psdf lint [-format text|json|sarif] [-strict-bounds] program.mpl ...
 //	psdf trace [-top n] [-check] trace.json ...
+//	psdf bench record|diff|check|report [flags]
 //
 // The lint subcommand runs the coded diagnostic passes (message leaks,
 // deadlocks, tag mismatches, rank bounds, ⊤-blame, dead code) and exits
@@ -16,6 +17,13 @@
 // The trace subcommand summarizes a span trace written by `psdf-run
 // -analyze -trace` into a per-phase / per-configuration cost table, or
 // validates it with -check.
+//
+// The bench subcommand maintains the longitudinal regression history
+// (BENCH_HISTORY.jsonl): record appends a commit-anchored entry with
+// multi-sample timings and per-workload precision fingerprints, diff
+// statistically compares two entries (Mann–Whitney over timings, exact
+// equality over fingerprints), check is the CI gate (exit nonzero on
+// precision changes), and report renders the trajectory as markdown.
 //
 // Flags:
 //
@@ -52,6 +60,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		os.Exit(runTrace(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		os.Exit(runBench(os.Args[2:]))
 	}
 	var (
 		client   = flag.String("client", "cartesian", "client analysis: symbolic or cartesian")

@@ -1,0 +1,153 @@
+package benchhist
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitneyU runs the two-sided Mann–Whitney U test on two independent
+// samples and returns the p-value for the null hypothesis that the two
+// distributions are equal. This is the benchstat approach to timing
+// comparisons: rank-based, so a single outlier sample cannot fake (or mask)
+// a regression the way a mean-based test can.
+//
+// For small tie-free samples (n*m <= 1024) the exact U distribution is
+// computed by dynamic programming; larger or tied samples use the normal
+// approximation with tie correction and continuity correction. Degenerate
+// inputs (either sample empty, or all observations identical) return 1.
+func MannWhitneyU(x, y []float64) float64 {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		return 1
+	}
+
+	// Rank the pooled observations, averaging ranks across ties.
+	type obs struct {
+		v     float64
+		fromX bool
+	}
+	pool := make([]obs, 0, n+m)
+	for _, v := range x {
+		pool = append(pool, obs{v, true})
+	}
+	for _, v := range y {
+		pool = append(pool, obs{v, false})
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].v < pool[j].v })
+
+	ranks := make([]float64, n+m)
+	ties := false
+	var tieTerm float64 // sum of t^3 - t over tie groups, for the variance correction
+	for i := 0; i < len(pool); {
+		j := i
+		for j < len(pool) && pool[j].v == pool[i].v {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		if t := j - i; t > 1 {
+			ties = true
+			tieTerm += float64(t*t*t - t)
+		}
+		i = j
+	}
+
+	var rx float64 // rank sum of sample x
+	for i, o := range pool {
+		if o.fromX {
+			rx += ranks[i]
+		}
+	}
+	u1 := rx - float64(n*(n+1))/2
+	u2 := float64(n*m) - u1
+	u := math.Min(u1, u2)
+
+	if tieTerm >= float64((n+m)*(n+m)*(n+m)-(n+m)) && n+m > 1 {
+		return 1 // every observation identical: no evidence of difference
+	}
+	if !ties && n*m <= 1024 {
+		return exactMannWhitney(n, m, u)
+	}
+	return normalMannWhitney(n, m, u, tieTerm)
+}
+
+// exactMannWhitney computes the exact two-sided p-value 2 * P(U <= u). In
+// a tie-free pooled ranking, sorting the x-sample ascending turns U into a
+// non-decreasing sequence of per-observation counts c_i = #{y below x_i},
+// so the number of arrangements with U = k is the number of partitions of k
+// into at most n parts, each part at most m. f implements the standard
+// partition recurrence (either no part equals b, or one does and is
+// removed).
+func exactMannWhitney(n, m int, u float64) float64 {
+	uInt := int(math.Floor(u + 1e-9)) // tie-free U is integral
+	memo := map[[3]int]float64{}
+	var f func(a, b, k int) float64
+	f = func(a, b, k int) float64 {
+		if k < 0 {
+			return 0
+		}
+		if k == 0 {
+			return 1
+		}
+		if a == 0 || b == 0 {
+			return 0
+		}
+		key := [3]int{a, b, k}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		v := f(a, b-1, k) + f(a-1, b, k-b)
+		memo[key] = v
+		return v
+	}
+	var below float64
+	for k := 0; k <= uInt; k++ {
+		below += f(n, m, k)
+	}
+	total := 1.0 // C(n+m, n)
+	for i := 1; i <= n; i++ {
+		total = total * float64(m+i) / float64(i)
+	}
+	p := 2 * below / total
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// normalMannWhitney is the large-sample / tied-sample normal approximation
+// with tie and continuity corrections.
+func normalMannWhitney(n, m int, u, tieTerm float64) float64 {
+	nm := float64(n * m)
+	nTot := float64(n + m)
+	mu := nm / 2
+	variance := nm / 12 * (nTot + 1 - tieTerm/(nTot*(nTot-1)))
+	if variance <= 0 {
+		return 1
+	}
+	z := (u - mu + 0.5) / math.Sqrt(variance) // continuity correction toward the mean
+	if z > 0 {
+		z = 0 // u = min(u1,u2) <= mu; clamp rounding artifacts
+	}
+	return 2 * 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// MinSamplesForAlpha reports the smallest per-side sample count at which a
+// tie-free Mann–Whitney test can reach significance level alpha (the
+// extreme arrangement has p = 2/C(2k, k)). Used by the CLI to warn when
+// -sample is too small for the configured alpha.
+func MinSamplesForAlpha(alpha float64) int {
+	for k := 1; k <= 64; k++ {
+		// C(2k, k) via the multiplicative formula.
+		c := 1.0
+		for i := 1; i <= k; i++ {
+			c = c * float64(k+i) / float64(i)
+		}
+		if 2/c <= alpha {
+			return k
+		}
+	}
+	return 64
+}

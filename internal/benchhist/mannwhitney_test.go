@@ -1,0 +1,89 @@
+package benchhist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMannWhitneyExactKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y []float64
+		want float64 // scipy.stats.mannwhitneyu(x, y, method="exact").pvalue
+	}{
+		{"disjoint 3v3", []float64{1, 2, 3}, []float64{4, 5, 6}, 0.1},
+		{"disjoint 4v4", []float64{1, 2, 3, 4}, []float64{5, 6, 7, 8}, 2.0 / 70},
+		{"disjoint 5v5", []float64{1, 2, 3, 4, 5}, []float64{6, 7, 8, 9, 10}, 2.0 / 252},
+		{"interleaved", []float64{1, 3, 5, 7}, []float64{2, 4, 6, 8}, 48.0 / 70},
+		{"one crossover 4v4", []float64{1, 2, 3, 5}, []float64{4, 6, 7, 8}, 4.0 / 70},
+		{"asymmetric 3v5", []float64{1, 2, 3}, []float64{4, 5, 6, 7, 8}, 2.0 / 56},
+	}
+	for _, c := range cases {
+		got := MannWhitneyU(c.x, c.y)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: p = %v, want %v", c.name, got, c.want)
+		}
+		// The test is symmetric in its arguments.
+		if rev := MannWhitneyU(c.y, c.x); math.Abs(rev-got) > 1e-12 {
+			t.Errorf("%s: asymmetric p: %v vs %v", c.name, got, rev)
+		}
+	}
+}
+
+func TestMannWhitneyDegenerate(t *testing.T) {
+	if p := MannWhitneyU(nil, []float64{1, 2}); p != 1 {
+		t.Errorf("empty sample: p = %v, want 1", p)
+	}
+	if p := MannWhitneyU([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
+		t.Errorf("all identical: p = %v, want 1", p)
+	}
+	// Identical distributions should never look significant.
+	x := []float64{10, 11, 12, 13, 14}
+	if p := MannWhitneyU(x, x); p < 0.5 {
+		t.Errorf("self comparison: p = %v, want >= 0.5", p)
+	}
+}
+
+func TestMannWhitneyTiesUseNormalApprox(t *testing.T) {
+	// Heavily tied but clearly shifted samples: the tie-corrected normal
+	// approximation must still flag the separation.
+	x := []float64{1, 1, 1, 2, 2, 2, 2, 1, 1, 2}
+	y := []float64{9, 9, 9, 8, 8, 8, 8, 9, 9, 8}
+	p := MannWhitneyU(x, y)
+	if p >= 0.01 {
+		t.Errorf("shifted tied samples: p = %v, want < 0.01", p)
+	}
+	if p <= 0 || math.IsNaN(p) {
+		t.Errorf("p out of range: %v", p)
+	}
+}
+
+func TestMannWhitneyLargeSamplesNormalApprox(t *testing.T) {
+	// n*m > 1024 forces the normal path even without ties.
+	var x, y []float64
+	for i := 0; i < 40; i++ {
+		x = append(x, float64(i))
+		y = append(y, float64(i)+0.5) // tiny shift, interleaved
+	}
+	p := MannWhitneyU(x, y)
+	if p < 0.1 || p > 1 {
+		t.Errorf("interleaved large samples: p = %v, want unremarkable", p)
+	}
+	for i := range y {
+		y[i] += 1000
+	}
+	if p := MannWhitneyU(x, y); p >= 1e-6 {
+		t.Errorf("separated large samples: p = %v, want tiny", p)
+	}
+}
+
+func TestMinSamplesForAlpha(t *testing.T) {
+	// 2/C(2k,k) <= 0.05 first holds at k=4 (2/70 ~ 0.029).
+	if got := MinSamplesForAlpha(0.05); got != 4 {
+		t.Errorf("MinSamplesForAlpha(0.05) = %d, want 4", got)
+	}
+	// k=3 gives 2/20 = 0.1.
+	if got := MinSamplesForAlpha(0.1); got != 3 {
+		t.Errorf("MinSamplesForAlpha(0.1) = %d, want 3", got)
+	}
+}

@@ -1,0 +1,141 @@
+package benchhist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// WriteFileAtomic writes data to path via a temp file in the same directory
+// followed by a rename, so readers never observe a truncated file: an
+// interrupted write leaves either the old content or the new content,
+// nothing in between. The temp file is removed on any failure.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// Append adds one entry to the JSONL history at path, creating the file if
+// it does not exist. The write is atomic (temp file + rename over the whole
+// file), so a run interrupted mid-record can never leave a truncated or
+// half-appended history. Existing bytes are preserved verbatim — Append
+// does not re-encode (or even parse) earlier entries.
+func Append(path string, e *Entry) error {
+	if e.SchemaVersion == 0 {
+		e.SchemaVersion = SchemaVersion
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("encode history entry: %w", err)
+	}
+	existing, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.Write(existing)
+	if n := len(existing); n > 0 && existing[n-1] != '\n' {
+		// Repair a missing trailing newline rather than gluing two entries
+		// onto one line. Read rejects the earlier truncated entry either
+		// way; this keeps the new entry intact.
+		buf.WriteByte('\n')
+	}
+	buf.Write(line)
+	buf.WriteByte('\n')
+	return WriteFileAtomic(path, buf.Bytes(), 0o644)
+}
+
+// Read loads every entry from the JSONL history at path, strictly: a
+// missing or empty file, a malformed or truncated line, or an entry
+// carrying an unknown schema_version is an error naming the offending line.
+// Read never panics and always terminates — the file is consumed as one
+// buffered read split on newlines, not a byte-at-a-time loop.
+func Read(path string) ([]*Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("%s: history is empty (run `psdf bench record` first)", path)
+	}
+	var entries []*Entry
+	for i, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		e := &Entry{}
+		if err := json.Unmarshal(line, e); err != nil {
+			return nil, fmt.Errorf("%s:%d: malformed history entry (truncated write?): %v", path, i+1, err)
+		}
+		if e.SchemaVersion != SchemaVersion {
+			return nil, fmt.Errorf("%s:%d: unsupported schema_version %d (this build reads version %d)",
+				path, i+1, e.SchemaVersion, SchemaVersion)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// Select resolves an entry selector against the history, returning the
+// entry and its index. Selectors:
+//
+//	""            the latest entry
+//	"latest"      the latest entry
+//	"baseline"    the oldest entry
+//	an integer    0-based index from the start; negative counts from the
+//	              end (-1 = latest)
+//	anything else a commit-SHA prefix; the latest matching entry wins
+func Select(entries []*Entry, sel string) (*Entry, int, error) {
+	if len(entries) == 0 {
+		return nil, 0, fmt.Errorf("history has no entries")
+	}
+	switch sel {
+	case "", "latest":
+		return entries[len(entries)-1], len(entries) - 1, nil
+	case "baseline":
+		return entries[0], 0, nil
+	}
+	if n, err := strconv.Atoi(sel); err == nil {
+		if n < 0 {
+			n += len(entries)
+		}
+		if n < 0 || n >= len(entries) {
+			return nil, 0, fmt.Errorf("entry index %s out of range (history has %d entries)", sel, len(entries))
+		}
+		return entries[n], n, nil
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		if strings.HasPrefix(entries[i].Commit, sel) {
+			return entries[i], i, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("no entry with commit prefix %q among %d entries", sel, len(entries))
+}

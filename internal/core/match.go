@@ -66,6 +66,14 @@ type Matcher interface {
 // behind a mutex. The critical section is a map probe — the decision
 // procedure itself runs outside it.
 type MatchMemo struct {
+	// Disable turns the memo off: Lookup always misses (without counting)
+	// and Store drops the decision, so every query re-runs the decision
+	// procedure. Decisions are unchanged — the memo is transparent — but
+	// the hit/miss counters stay at zero. Set before the analysis starts;
+	// used by the bench-history precision fixtures to emulate a broken
+	// cache path.
+	Disable bool
+
 	mu      sync.Mutex
 	hits    int
 	misses  int
@@ -75,6 +83,9 @@ type MatchMemo struct {
 // Lookup returns the cached decision for key and whether one exists,
 // maintaining the hit/miss counters.
 func (m *MatchMemo) Lookup(key string) (res, ok bool) {
+	if m.Disable {
+		return false, false
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	res, ok = m.entries[key]
@@ -88,6 +99,9 @@ func (m *MatchMemo) Lookup(key string) (res, ok bool) {
 
 // Store records a decision for key.
 func (m *MatchMemo) Store(key string, res bool) {
+	if m.Disable {
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.entries == nil {

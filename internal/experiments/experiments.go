@@ -697,15 +697,21 @@ func SpecIDs() []string {
 	return ids
 }
 
+// BenchSchemaVersion versions the BENCH_<spec>.json record layout (and the
+// BENCH_engine_workers.json envelope). Bump on incompatible field changes
+// and document the new layout in EXPERIMENTS.md.
+const BenchSchemaVersion = 1
+
 // SpecResult is the stable benchmark record written as BENCH_<spec>.json:
 // wall time plus the obs phase breakdown aggregated over every analysis the
 // experiment ran.
 type SpecResult struct {
-	Spec   string          `json:"spec"`
-	Title  string          `json:"title"`
-	WallNs int64           `json:"wall_ns"`
-	Rows   int             `json:"rows"`
-	Phases obs.PhaseTotals `json:"phases"`
+	SchemaVersion int             `json:"schema_version"`
+	Spec          string          `json:"spec"`
+	Title         string          `json:"title"`
+	WallNs        int64           `json:"wall_ns"`
+	Rows          int             `json:"rows"`
+	Phases        obs.PhaseTotals `json:"phases"`
 }
 
 // RunSpec runs one experiment by ID with an aggregate tracer attached,
@@ -728,11 +734,12 @@ func runSpec(s Spec) (*Table, *SpecResult, error) {
 		return nil, nil, fmt.Errorf("%s: %w", s.ID, err)
 	}
 	return t, &SpecResult{
-		Spec:   s.ID,
-		Title:  t.Title,
-		WallNs: wall.Nanoseconds(),
-		Rows:   len(t.Rows),
-		Phases: tr.Totals(),
+		SchemaVersion: BenchSchemaVersion,
+		Spec:          s.ID,
+		Title:         t.Title,
+		WallNs:        wall.Nanoseconds(),
+		Rows:          len(t.Rows),
+		Phases:        tr.Totals(),
 	}, nil
 }
 

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/benchhist"
+)
+
+// TestFingerprintDeterministic is the foundation of the precision gate: two
+// captures of the same code must agree facet-for-facet, so any inter-commit
+// delta is a real behavioral change, never sampling noise.
+func TestFingerprintDeterministic(t *testing.T) {
+	a, err := CaptureFingerprints(FingerprintOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CaptureFingerprints(FingerprintOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("capture sizes differ: %d vs %d", len(a), len(b))
+	}
+	for name, fa := range a {
+		fb := b[name]
+		if fb == nil {
+			t.Errorf("%s: missing from second capture", name)
+			continue
+		}
+		if diffs := fa.DiffFields(fb); len(diffs) != 0 {
+			t.Errorf("%s: fingerprint not deterministic: %v", name, diffs)
+		}
+	}
+}
+
+// TestFingerprintShape sanity-checks that the captured facets carry real
+// signal on known workloads.
+func TestFingerprintShape(t *testing.T) {
+	fps, err := CaptureFingerprints(FingerprintOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig2 := fps["fig2_exchange"]
+	if fig2 == nil {
+		t.Fatal("fig2_exchange not fingerprinted")
+	}
+	if fig2.Matches != 2 || fig2.Tops != 0 {
+		t.Errorf("fig2: matches=%d tops=%d, want 2/0", fig2.Matches, fig2.Tops)
+	}
+	if fig2.Topology == "" {
+		t.Error("fig2: empty topology summary")
+	}
+	sq := fps["nascg_square"]
+	if sq == nil {
+		t.Fatal("nascg_square not fingerprinted")
+	}
+	if sq.HSMMatches == 0 {
+		t.Error("nascg_square: expected HSM-proved matches")
+	}
+	shift := fps["fig7_shift"]
+	if shift == nil {
+		t.Fatal("fig7_shift not fingerprinted")
+	}
+	if shift.Widenings == 0 {
+		t.Error("fig7_shift: expected parametric widening applications")
+	}
+	if shift.MemoHits == 0 {
+		t.Error("fig7_shift: expected match-memo hits")
+	}
+}
+
+// TestDegradedPrecisionMovesFingerprint is the acceptance fixture for the
+// regression gate: disabling the HSM prover cache path must change the
+// fingerprint (cache facets collapse), and the bench gate must fail on the
+// delta while identical captures pass.
+func TestDegradedPrecisionMovesFingerprint(t *testing.T) {
+	clean, err := CaptureFingerprints(FingerprintOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := CaptureFingerprints(FingerprintOptions{DisableHSMCaches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entry := func(fps map[string]*benchhist.Fingerprint) *benchhist.Entry {
+		return &benchhist.Entry{
+			SchemaVersion: benchhist.SchemaVersion,
+			Commit:        "test",
+			Specs:         map[string]*benchhist.SpecTiming{},
+			Fingerprints:  fps,
+		}
+	}
+
+	// Identical runs: no change, gate passes.
+	same := benchhist.Diff(entry(clean), entry(clean), benchhist.DefaultThresholds())
+	if same.PrecisionChanged() {
+		t.Fatalf("identical captures reported as changed: %+v", same.Fingerprints)
+	}
+	if fails, _ := same.Gate(false); len(fails) != 0 {
+		t.Fatalf("gate failed on identical captures: %v", fails)
+	}
+
+	// Degraded run: at least the cache-heavy workloads must move, and the
+	// gate must exit nonzero on the delta.
+	r := benchhist.Diff(entry(clean), entry(degraded), benchhist.DefaultThresholds())
+	if !r.PrecisionChanged() {
+		t.Fatal("disabling the prover cache did not move any fingerprint")
+	}
+	fails, _ := r.Gate(false)
+	if len(fails) == 0 {
+		t.Fatal("gate passed despite a precision-fingerprint change")
+	}
+	// The topology itself must NOT have changed — the cache is transparent
+	// to decisions; only the how-it-was-proved facets move.
+	for name, fc := range clean {
+		if fd := degraded[name]; fd != nil && fc.Topology != fd.Topology {
+			t.Errorf("%s: topology changed with cache disabled: %q vs %q", name, fc.Topology, fd.Topology)
+		}
+	}
+}
+
+// TestMaxVisitsDegradationForcesTops exercises the second degradation axis:
+// a starved revisit budget must surface as ⊤ configurations and PSDF-E005
+// lint findings on a looping workload.
+func TestMaxVisitsDegradationForcesTops(t *testing.T) {
+	w := bench.Fig5ExchangeRoot()
+	clean, err := CaptureFingerprint(w, FingerprintOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Tops != 0 {
+		t.Fatalf("clean capture has %d tops", clean.Tops)
+	}
+	starved, err := CaptureFingerprint(w, FingerprintOptions{MaxVisits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starved.Tops == 0 {
+		t.Fatal("MaxVisits=1 did not force any give-up")
+	}
+	if starved.LintFindings["PSDF-E005"] == 0 {
+		t.Errorf("starved capture has no PSDF-E005 lint findings: %v", starved.LintFindings)
+	}
+	if diffs := clean.DiffFields(starved); len(diffs) == 0 {
+		t.Error("starved fingerprint identical to clean one")
+	}
+}
+
+func TestRunSampled(t *testing.T) {
+	ss, err := RunSampled([]string{"fig2", "table1"}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 2 {
+		t.Fatalf("got %d specs, want 2", len(ss))
+	}
+	// Registry order is preserved regardless of request order.
+	if ss[0].ID != "fig2" || ss[1].ID != "table1" {
+		t.Errorf("spec order: %s, %s", ss[0].ID, ss[1].ID)
+	}
+	for _, s := range ss {
+		if len(s.WallNs) != 3 {
+			t.Errorf("%s: %d samples, want 3", s.ID, len(s.WallNs))
+		}
+		if s.Title == "" {
+			t.Errorf("%s: empty title", s.ID)
+		}
+		for _, w := range s.WallNs {
+			if w <= 0 {
+				t.Errorf("%s: non-positive wall sample %d", s.ID, w)
+			}
+		}
+	}
+	if ss[0].Phases == nil {
+		t.Error("fig2: no phase breakdown captured")
+	}
+	if _, err := RunSampled([]string{"nope"}, 1, 1); err == nil {
+		t.Error("unknown spec id accepted")
+	}
+}

@@ -544,3 +544,36 @@ func TestProverCacheKeyedByContext(t *testing.T) {
 		t.Errorf("CacheHits = %d, want 0 (different fingerprints)", p.CacheHits)
 	}
 }
+
+func TestProverDisableCache(t *testing.T) {
+	ctx := NewCtx()
+	p := NewProver(ctx)
+	p.DisableCache = true
+	a := Node(Run(sym.Const(2), sym.Const(3), sym.Const(4)), sym.Const(2), sym.Const(2))
+	b := Run(sym.Const(2), sym.Const(6), sym.Const(2))
+	if !p.SetEqual(a, b) {
+		t.Fatal("interleave set-equality failed")
+	}
+	// The repeat query must re-decide: no cache hits, another full proof.
+	proofs := p.Proofs
+	if !p.SetEqual(a, b) {
+		t.Fatal("repeat decision flipped with cache disabled")
+	}
+	if p.CacheHits != 0 {
+		t.Errorf("CacheHits = %d with DisableCache, want 0", p.CacheHits)
+	}
+	if p.Proofs != proofs+1 {
+		t.Errorf("Proofs %d -> %d, want +1 per re-decided query", proofs, p.Proofs)
+	}
+	// Re-enabling the cache starts cold (disabled queries were not stored).
+	p.DisableCache = false
+	if !p.SetEqual(a, b) {
+		t.Fatal("decision flipped after re-enabling cache")
+	}
+	if p.CacheHits != 0 {
+		t.Errorf("disabled-path queries leaked into the cache: hits = %d", p.CacheHits)
+	}
+	if !p.SetEqual(a, b) || p.CacheHits != 1 {
+		t.Errorf("cache did not resume: hits = %d, want 1", p.CacheHits)
+	}
+}

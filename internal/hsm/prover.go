@@ -44,6 +44,13 @@ type Prover struct {
 	// install-time snapshot). Both proofs and refutations are cached: the
 	// search is deterministic, so a failure at the same bounds repeats.
 	cache map[string]bool
+	// DisableCache turns the memo table off: every query re-runs
+	// normalization and the BFS, and CacheHits stays 0. The decisions are
+	// unchanged (the cache is transparent); only the work and the cache
+	// counters move. Used by the bench-history precision-fingerprint
+	// fixtures to emulate a broken cache path, and handy when profiling
+	// the raw search.
+	DisableCache bool
 	// Tracer, when non-nil, receives one obs.PhaseProver span per search
 	// that misses the memo (cache hits are free and not worth a span). The
 	// spans land on the dedicated prover lane (obs.ProverTid) under
@@ -85,6 +92,9 @@ func (p *Prover) cacheKey(rel, ka, kb string) string {
 // lookup consults the memo table, maintaining the decision counters so the
 // hit is indistinguishable from a re-run (minus the work).
 func (p *Prover) lookup(key string) (bool, bool) {
+	if p.DisableCache {
+		return false, false
+	}
 	res, ok := p.cache[key]
 	if ok {
 		p.CacheHits++
@@ -98,6 +108,9 @@ func (p *Prover) lookup(key string) (bool, bool) {
 }
 
 func (p *Prover) store(key string, res bool) {
+	if p.DisableCache {
+		return
+	}
 	if p.cache == nil {
 		p.cache = map[string]bool{}
 	}
