@@ -140,7 +140,9 @@ func benchRecord(args []string) int {
 		Fingerprints:  fps,
 	}
 	for _, s := range sampled {
-		entry.Specs[s.ID] = benchhist.NewSpecTiming(s.Title, s.WallNs, s.Phases)
+		st := benchhist.NewSpecTiming(s.Title, s.WallNs, s.Phases)
+		st.AllocsPerOp, st.BytesPerOp = s.AllocsPerOp, s.BytesPerOp
+		entry.Specs[s.ID] = st
 	}
 	if err := benchhist.Append(*history, entry); err != nil {
 		fmt.Fprintln(os.Stderr, "psdf bench record:", err)
@@ -150,11 +152,28 @@ func benchRecord(args []string) int {
 		*history, entry.ShortCommit(), len(entry.Specs), *samples, len(fps), time.Since(start).Round(time.Millisecond))
 	for _, s := range sampled {
 		st := entry.Specs[s.ID]
-		fmt.Printf("  %-14s median %12v  stddev %10v  (%d samples)\n",
+		allocs := ""
+		if st.HasAllocs() {
+			allocs = fmt.Sprintf("  %d allocs/op  %s/op", st.AllocsPerOp, humanBytes(st.BytesPerOp))
+		}
+		fmt.Printf("  %-14s median %12v  stddev %10v  (%d samples)%s\n",
 			s.ID, time.Duration(st.MedianNs).Round(time.Microsecond),
-			time.Duration(st.StddevNs).Round(time.Microsecond), len(st.WallNs))
+			time.Duration(st.StddevNs).Round(time.Microsecond), len(st.WallNs), allocs)
 	}
 	return 0
+}
+
+// humanBytes renders a byte count with a binary-prefix unit.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 func benchDiff(args []string) int {
@@ -208,21 +227,24 @@ func diffReport(history, oldSel, newSel string, th benchhist.Thresholds) (*bench
 func benchCheck(args []string) int {
 	fs := flag.NewFlagSet("bench check", flag.ExitOnError)
 	var (
-		history    = fs.String("history", "BENCH_HISTORY.jsonl", "history file to read")
-		baseline   = fs.String("baseline", "baseline", "baseline entry selector (default: the oldest entry)")
-		target     = fs.String("new", "latest", "entry under test")
-		alpha      = fs.Float64("alpha", 0.05, "Mann–Whitney significance level")
-		minDelta   = fs.Float64("min-delta", 0.05, "minimum |relative median change| to flag")
-		failOnTime = fs.Bool("fail-on-time", false, "fail (not just warn) on significant same-host slowdowns")
+		history      = fs.String("history", "BENCH_HISTORY.jsonl", "history file to read")
+		baseline     = fs.String("baseline", "baseline", "baseline entry selector (default: the oldest entry)")
+		target       = fs.String("new", "latest", "entry under test")
+		alpha        = fs.Float64("alpha", 0.05, "Mann–Whitney significance level")
+		minDelta     = fs.Float64("min-delta", 0.05, "minimum |relative median change| to flag")
+		failOnTime   = fs.Bool("fail-on-time", false, "fail (not just warn) on significant same-host slowdowns")
+		failOnAllocs = fs.Bool("fail-on-allocs", false, "fail (not just warn) on allocs/op regressions past -max-alloc-delta")
+		maxAlloc     = fs.Float64("max-alloc-delta", 0.20, "relative allocs/op growth past which a spec regresses")
 	)
 	_ = fs.Parse(args)
-	r, err := diffReport(*history, *baseline, *target, benchhist.Thresholds{Alpha: *alpha, MinDelta: *minDelta})
+	r, err := diffReport(*history, *baseline, *target,
+		benchhist.Thresholds{Alpha: *alpha, MinDelta: *minDelta, MaxAllocDelta: *maxAlloc})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "psdf bench check:", err)
 		return 1
 	}
 	fmt.Print(r)
-	failures, warnings := r.Gate(*failOnTime)
+	failures, warnings := r.GateWith(benchhist.GatePolicy{FailOnTime: *failOnTime, FailOnAllocs: *failOnAllocs})
 	for _, w := range warnings {
 		fmt.Printf("WARN: %s\n", w)
 	}
@@ -300,6 +322,39 @@ func trajectoryMarkdown(path string, entries []*benchhist.Entry) string {
 			}
 		}
 		b.WriteString("\n")
+	}
+
+	// Allocation trajectory, shown once any entry carries alloc data
+	// (entries recorded before the fields existed render as "-").
+	anyAllocs := false
+	for _, e := range entries {
+		for _, st := range e.Specs {
+			if st.HasAllocs() {
+				anyAllocs = true
+			}
+		}
+	}
+	if anyAllocs {
+		b.WriteString("\n## Allocation trajectory (allocs/op per entry)\n\n| spec |")
+		for i, e := range entries {
+			fmt.Fprintf(&b, " #%d `%s` |", i, e.ShortCommit())
+		}
+		b.WriteString("\n|---|")
+		for range entries {
+			b.WriteString("---:|")
+		}
+		b.WriteString("\n")
+		for _, id := range sorted {
+			fmt.Fprintf(&b, "| %s |", id)
+			for _, e := range entries {
+				if st := e.Specs[id]; st.HasAllocs() {
+					fmt.Fprintf(&b, " %d (%s) |", st.AllocsPerOp, humanBytes(st.BytesPerOp))
+				} else {
+					b.WriteString(" - |")
+				}
+			}
+			b.WriteString("\n")
+		}
 	}
 
 	b.WriteString("\n## Precision trajectory\n\n")

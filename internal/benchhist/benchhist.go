@@ -63,7 +63,20 @@ type SpecTiming struct {
 	// Phases is the engine phase breakdown (obs aggregate tracer totals)
 	// captured by the final sample.
 	Phases obs.PhaseTotals `json:"phases,omitempty"`
+	// AllocsPerOp and BytesPerOp are the mean heap allocations and
+	// allocated bytes per repetition, from runtime.MemStats deltas taken
+	// around each sample when the record ran serially (parallelism 1 —
+	// process-global deltas are meaningless with specs in flight
+	// concurrently). Zero means "not captured": older entries predate the
+	// fields and parallel records skip them, and since absent JSON fields
+	// read back as zero with exactly that meaning, the schema stays at
+	// version 1.
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
 }
+
+// HasAllocs reports whether this timing carries allocation measurements.
+func (st *SpecTiming) HasAllocs() bool { return st != nil && st.AllocsPerOp > 0 }
 
 // NewSpecTiming derives the summary statistics from raw samples.
 func NewSpecTiming(title string, wallNs []int64, phases obs.PhaseTotals) *SpecTiming {

@@ -18,10 +18,18 @@ type Thresholds struct {
 	// MinDelta is the minimum |relative median change| (e.g. 0.05 = 5%)
 	// for a significant delta to be reported as faster/slower.
 	MinDelta float64
+	// MaxAllocDelta is the relative allocs-per-op growth past which a spec
+	// counts as an allocation regression (0 selects the default 20%).
+	// Allocation counts are near-deterministic — no Mann–Whitney needed —
+	// so the threshold only absorbs GC-timing jitter in the MemStats
+	// deltas, not sampling noise.
+	MaxAllocDelta float64
 }
 
 // DefaultThresholds returns the standard gate configuration.
-func DefaultThresholds() Thresholds { return Thresholds{Alpha: 0.05, MinDelta: 0.05} }
+func DefaultThresholds() Thresholds {
+	return Thresholds{Alpha: 0.05, MinDelta: 0.05, MaxAllocDelta: 0.20}
+}
 
 // Verdict classifies one spec's timing comparison.
 type Verdict int
@@ -66,6 +74,10 @@ type SpecDiff struct {
 	// Delta is the relative median change, (new-old)/old.
 	Delta   float64
 	Verdict Verdict
+	// AllocDelta is the relative allocs-per-op change, (new-old)/old;
+	// valid only when HasAllocDelta (both entries carry allocation data).
+	AllocDelta    float64
+	HasAllocDelta bool
 }
 
 // FingerprintDiff is the precision comparison of one workload.
@@ -136,6 +148,10 @@ func Diff(old, new *Entry, th Thresholds) *Report {
 					d.Verdict = VerdictSlower
 				}
 			}
+			if o.HasAllocs() && n.HasAllocs() {
+				d.AllocDelta = float64(n.AllocsPerOp-o.AllocsPerOp) / float64(o.AllocsPerOp)
+				d.HasAllocDelta = true
+			}
 		}
 		r.Specs = append(r.Specs, d)
 	}
@@ -190,12 +206,33 @@ func (r *Report) Regressions() []SpecDiff {
 	return out
 }
 
-// Gate evaluates the CI policy over the report: precision-fingerprint
+// GatePolicy selects which regression classes fail the CI gate rather
+// than warn.
+type GatePolicy struct {
+	// FailOnTime promotes significant same-host slowdowns to failures.
+	FailOnTime bool
+	// FailOnAllocs promotes allocs-per-op growth past
+	// Thresholds.MaxAllocDelta to failures. Allocation counts are
+	// near-deterministic, so unlike wall time this gate does not require
+	// matching host fingerprints.
+	FailOnAllocs bool
+}
+
+// Gate evaluates the default CI policy (see GateWith) with only the
+// timing class toggled.
+func (r *Report) Gate(failOnTime bool) (failures, warnings []string) {
+	return r.GateWith(GatePolicy{FailOnTime: failOnTime})
+}
+
+// GateWith evaluates the CI policy over the report: precision-fingerprint
 // changes are always failures (they are deterministic, so any delta is a
 // real behavioral change); timing regressions are failures only when
-// failOnTime is set and the two entries share a host fingerprint —
-// otherwise they are warnings, the right default for noisy shared runners.
-func (r *Report) Gate(failOnTime bool) (failures, warnings []string) {
+// p.FailOnTime is set and the two entries share a host fingerprint —
+// otherwise they are warnings, the right default for noisy shared runners;
+// allocation regressions past Thresholds.MaxAllocDelta fail when
+// p.FailOnAllocs is set and warn otherwise.
+func (r *Report) GateWith(p GatePolicy) (failures, warnings []string) {
+	failOnTime := p.FailOnTime
 	for i := range r.Fingerprints {
 		fd := &r.Fingerprints[i]
 		switch {
@@ -220,6 +257,22 @@ func (r *Report) Gate(failOnTime bool) (failures, warnings []string) {
 			warnings = append(warnings, msg)
 		}
 	}
+	maxAlloc := r.Th.MaxAllocDelta
+	if maxAlloc <= 0 {
+		maxAlloc = DefaultThresholds().MaxAllocDelta
+	}
+	for _, d := range r.Specs {
+		if !d.HasAllocDelta || d.AllocDelta <= maxAlloc {
+			continue
+		}
+		msg := fmt.Sprintf("allocs: %s allocs/op grew %+.1f%% (%d -> %d, threshold %+.0f%%)",
+			d.Spec, 100*d.AllocDelta, d.Old.AllocsPerOp, d.New.AllocsPerOp, 100*maxAlloc)
+		if p.FailOnAllocs {
+			failures = append(failures, msg)
+		} else {
+			warnings = append(warnings, msg)
+		}
+	}
 	return failures, warnings
 }
 
@@ -232,7 +285,13 @@ func (r *Report) String() string {
 	if r.HostsDiffer {
 		fmt.Fprintf(&b, "  WARNING: hosts differ (%s vs %s); timing verdicts are advisory\n", r.Old.Host, r.New.Host)
 	}
-	fmt.Fprintf(&b, "  %-14s %14s %14s %9s %8s  %s\n", "spec", "old median", "new median", "delta", "p", "verdict")
+	showAllocs := r.hasAllocColumns()
+	if showAllocs {
+		fmt.Fprintf(&b, "  %-14s %14s %14s %9s %8s %12s %12s %9s  %s\n",
+			"spec", "old median", "new median", "delta", "p", "old al/op", "new al/op", "al delta", "verdict")
+	} else {
+		fmt.Fprintf(&b, "  %-14s %14s %14s %9s %8s  %s\n", "spec", "old median", "new median", "delta", "p", "verdict")
+	}
 	for _, d := range r.Specs {
 		oldM, newM, delta := "-", "-", "-"
 		if d.Old != nil {
@@ -244,7 +303,22 @@ func (r *Report) String() string {
 		if d.Old != nil && d.New != nil {
 			delta = fmt.Sprintf("%+.1f%%", 100*d.Delta)
 		}
-		fmt.Fprintf(&b, "  %-14s %14s %14s %9s %8.3f  %s\n", d.Spec, oldM, newM, delta, d.P, d.Verdict)
+		if showAllocs {
+			oldA, newA, deltaA := "-", "-", "-"
+			if d.Old.HasAllocs() {
+				oldA = fmt.Sprint(d.Old.AllocsPerOp)
+			}
+			if d.New.HasAllocs() {
+				newA = fmt.Sprint(d.New.AllocsPerOp)
+			}
+			if d.HasAllocDelta {
+				deltaA = fmt.Sprintf("%+.1f%%", 100*d.AllocDelta)
+			}
+			fmt.Fprintf(&b, "  %-14s %14s %14s %9s %8.3f %12s %12s %9s  %s\n",
+				d.Spec, oldM, newM, delta, d.P, oldA, newA, deltaA, d.Verdict)
+		} else {
+			fmt.Fprintf(&b, "  %-14s %14s %14s %9s %8.3f  %s\n", d.Spec, oldM, newM, delta, d.P, d.Verdict)
+		}
 	}
 	changed := false
 	for i := range r.Fingerprints {
@@ -285,8 +359,14 @@ func (r *Report) Markdown() string {
 	if r.HostsDiffer {
 		fmt.Fprintf(&b, "> **Warning:** hosts differ; timing verdicts are advisory.\n\n")
 	}
-	fmt.Fprintf(&b, "| spec | old median | new median | delta | p | verdict |\n")
-	fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---|\n")
+	showAllocs := r.hasAllocColumns()
+	if showAllocs {
+		fmt.Fprintf(&b, "| spec | old median | new median | delta | p | old allocs/op | new allocs/op | alloc delta | verdict |\n")
+		fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---:|---:|---:|---|\n")
+	} else {
+		fmt.Fprintf(&b, "| spec | old median | new median | delta | p | verdict |\n")
+		fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---|\n")
+	}
 	for _, d := range r.Specs {
 		oldM, newM, delta := "-", "-", "-"
 		if d.Old != nil {
@@ -298,7 +378,22 @@ func (r *Report) Markdown() string {
 		if d.Old != nil && d.New != nil {
 			delta = fmt.Sprintf("%+.1f%%", 100*d.Delta)
 		}
-		fmt.Fprintf(&b, "| %s | %s | %s | %s | %.3f | %s |\n", d.Spec, oldM, newM, delta, d.P, d.Verdict)
+		if showAllocs {
+			oldA, newA, deltaA := "-", "-", "-"
+			if d.Old.HasAllocs() {
+				oldA = fmt.Sprint(d.Old.AllocsPerOp)
+			}
+			if d.New.HasAllocs() {
+				newA = fmt.Sprint(d.New.AllocsPerOp)
+			}
+			if d.HasAllocDelta {
+				deltaA = fmt.Sprintf("%+.1f%%", 100*d.AllocDelta)
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %.3f | %s | %s | %s | %s |\n",
+				d.Spec, oldM, newM, delta, d.P, oldA, newA, deltaA, d.Verdict)
+		} else {
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %.3f | %s |\n", d.Spec, oldM, newM, delta, d.P, d.Verdict)
+		}
 	}
 	b.WriteString("\n### Precision fingerprints\n\n")
 	any := false
@@ -324,6 +419,18 @@ func (r *Report) Markdown() string {
 		fmt.Fprintf(&b, "Identical across all %d workloads.\n", len(r.Fingerprints))
 	}
 	return b.String()
+}
+
+// hasAllocColumns reports whether either side of any spec carries
+// allocation measurements, i.e. whether the rendered tables should grow
+// the allocs/op columns.
+func (r *Report) hasAllocColumns() bool {
+	for _, d := range r.Specs {
+		if d.Old.HasAllocs() || d.New.HasAllocs() {
+			return true
+		}
+	}
+	return false
 }
 
 func toFloats(xs []int64) []float64 {

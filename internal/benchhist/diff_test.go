@@ -202,3 +202,65 @@ func TestFingerprintEqualAndMemoHitRate(t *testing.T) {
 		t.Error("topology change not detected")
 	}
 }
+
+func TestGateAllocPolicy(t *testing.T) {
+	base := []int64{100, 101, 99, 102, 100}
+	oldE := entryWith("aaaa", map[string][]int64{"stencil": base, "engine": base, "fig2": base}, nil)
+	newE := entryWith("bbbb", map[string][]int64{"stencil": base, "engine": base, "fig2": base}, nil)
+	oldE.Specs["stencil"].AllocsPerOp, oldE.Specs["stencil"].BytesPerOp = 1000, 64000
+	newE.Specs["stencil"].AllocsPerOp, newE.Specs["stencil"].BytesPerOp = 1500, 96000 // +50%
+	oldE.Specs["engine"].AllocsPerOp = 2000
+	newE.Specs["engine"].AllocsPerOp = 2100 // +5%, inside the threshold
+	// fig2 carries no alloc data on either side: no delta, no gate entry.
+
+	r := Diff(oldE, newE, DefaultThresholds())
+	var stencil, engine, fig2 SpecDiff
+	for _, d := range r.Specs {
+		switch d.Spec {
+		case "stencil":
+			stencil = d
+		case "engine":
+			engine = d
+		case "fig2":
+			fig2 = d
+		}
+	}
+	if !stencil.HasAllocDelta || stencil.AllocDelta < 0.49 || stencil.AllocDelta > 0.51 {
+		t.Errorf("stencil alloc delta = %+v", stencil)
+	}
+	if !engine.HasAllocDelta {
+		t.Errorf("engine alloc delta missing: %+v", engine)
+	}
+	if fig2.HasAllocDelta {
+		t.Errorf("fig2 should have no alloc delta: %+v", fig2)
+	}
+
+	// Default policy: the regression warns but does not fail.
+	fails, warns := r.GateWith(GatePolicy{})
+	if len(fails) != 0 || len(warns) != 1 || !strings.Contains(warns[0], "stencil") {
+		t.Errorf("warn-only policy: failures %v, warnings %v", fails, warns)
+	}
+	// FailOnAllocs promotes it; the within-threshold engine stays silent.
+	fails, warns = r.GateWith(GatePolicy{FailOnAllocs: true})
+	if len(fails) != 1 || !strings.Contains(fails[0], "stencil") {
+		t.Errorf("fail-on-allocs policy: failures %v", fails)
+	}
+	if len(warns) != 0 {
+		t.Errorf("fail-on-allocs policy: unexpected warnings %v", warns)
+	}
+
+	// The rendered tables grow allocs columns once any side has data.
+	if out := r.String(); !strings.Contains(out, "al/op") || !strings.Contains(out, "+50.0%") {
+		t.Errorf("String() missing alloc columns:\n%s", out)
+	}
+	if md := r.Markdown(); !strings.Contains(md, "allocs/op") {
+		t.Errorf("Markdown() missing alloc columns:\n%s", md)
+	}
+
+	// Entries without alloc data keep the legacy narrow table.
+	r2 := Diff(entryWith("cccc", map[string][]int64{"s": base}, nil),
+		entryWith("dddd", map[string][]int64{"s": base}, nil), DefaultThresholds())
+	if out := r2.String(); strings.Contains(out, "al/op") {
+		t.Errorf("String() grew alloc columns without data:\n%s", out)
+	}
+}

@@ -1,0 +1,69 @@
+package cg
+
+import "sync"
+
+// Atom is a process-wide interned variable name. Graphs store atoms, not
+// strings, so the hot closure/entailment paths never hash or compare string
+// contents; the one string hash per name happens at the interner, once per
+// process. Atoms are dense (0, 1, 2, ...) in first-intern order, and
+// AtomZero — the distinguished ZeroVar — is always atom 0.
+type Atom uint32
+
+// atomTab is the process-wide symbol table. It only grows; names are never
+// removed, so a snapshot of the names slice taken under the read lock stays
+// valid forever (appends may move the backing array, but every atom already
+// interned indexes into the snapshot).
+var atomTab = struct {
+	sync.RWMutex
+	ids   map[string]Atom
+	names []string
+}{ids: map[string]Atom{}}
+
+// AtomZero is the interned ZeroVar ($0), fixed at atom 0 by init order.
+var AtomZero = Intern(ZeroVar)
+
+// Intern returns the atom for name, assigning the next dense id on first
+// sight. Safe for concurrent use.
+func Intern(name string) Atom {
+	atomTab.RLock()
+	a, ok := atomTab.ids[name]
+	atomTab.RUnlock()
+	if ok {
+		return a
+	}
+	atomTab.Lock()
+	defer atomTab.Unlock()
+	if a, ok := atomTab.ids[name]; ok {
+		return a
+	}
+	a = Atom(len(atomTab.names))
+	atomTab.names = append(atomTab.names, name)
+	atomTab.ids[name] = a
+	return a
+}
+
+// LookupAtom returns the atom for name without interning it, so read-only
+// queries against arbitrary strings do not grow the symbol table.
+func LookupAtom(name string) (Atom, bool) {
+	atomTab.RLock()
+	a, ok := atomTab.ids[name]
+	atomTab.RUnlock()
+	return a, ok
+}
+
+// String returns the interned name.
+func (a Atom) String() string {
+	atomTab.RLock()
+	n := atomTab.names[a]
+	atomTab.RUnlock()
+	return n
+}
+
+// atomNames returns a read snapshot of the name table. Every atom interned
+// before the call indexes validly into the returned slice.
+func atomNames() []string {
+	atomTab.RLock()
+	n := atomTab.names
+	atomTab.RUnlock()
+	return n
+}

@@ -76,3 +76,18 @@ func BenchmarkJoin(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCloneMutateArena measures the steady-state clone -> CoW
+// materialize -> release cycle: with the size-class arena, the matrix a
+// materialization needs comes back from the pool the previous release fed,
+// so the per-cycle allocation cost collapses to the Graph header.
+func BenchmarkCloneMutateArena(b *testing.B) {
+	g := buildGraph(60, ArrayBackend)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := g.Clone()
+		c.AddLE("v1", "v2", 1)
+		c.Release()
+	}
+}

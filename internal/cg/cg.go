@@ -8,14 +8,20 @@
 // profiled in the paper's Section IX:
 //
 //   - a full O(n^3) Floyd-Warshall pass (FullClose), and
-//   - an O(n^2) incremental update applied when a single constraint is
-//     added to an already-closed graph (AddLE).
+//   - a changed-frontier incremental update applied when a single
+//     constraint is added to an already-closed graph (AddLE): the affected
+//     sources (rows whose bound to the new edge's head tightened) are
+//     crossed only with the affected targets, so an insertion that changes
+//     little does O(changed) work instead of O(n^2).
 //
 // Both are instrumented (invocation counts, variable counts, wall time) so
 // the benchmark harness can regenerate the paper's profile. Two storage
-// backends are provided — a dense array matrix and a Go map — reproducing
-// the paper's observation that container-based storage is much slower than
-// arrays for this workload.
+// backends are provided — a single flat []int64 matrix and a Go map —
+// reproducing the paper's observation that container-based storage is much
+// slower than arrays for this workload. Variable names are interned
+// process-wide into dense Atom ids (see atom.go); per-graph state is a
+// compact slot table over atoms plus the matrix, both arena-pooled (see
+// store.go).
 package cg
 
 import (
@@ -23,7 +29,6 @@ import (
 	"math"
 	"sort"
 	"strings"
-	"sync/atomic"
 	"time"
 )
 
@@ -40,7 +45,7 @@ type Backend int
 
 // Available backends.
 const (
-	// ArrayBackend stores bounds in a dense [][]int64 matrix.
+	// ArrayBackend stores bounds in one flat stride-indexed []int64 matrix.
 	ArrayBackend Backend = iota
 	// MapBackend stores bounds in a Go map keyed by variable pair — the
 	// "STL container" analogue from the paper's Section IX discussion.
@@ -57,180 +62,6 @@ func (b Backend) String() string {
 	return fmt.Sprintf("backend(%d)", int(b))
 }
 
-// Stats accumulates closure instrumentation, shared across all graphs
-// created from the same Options so an entire analysis run can be profiled.
-// All counters are updated atomically, so one Stats may be shared across
-// graphs used by concurrent analyses (the AnalyzeAll worker pool); for
-// contention-free accounting, give each worker its own Stats and combine
-// them with Merge.
-type Stats struct {
-	fullClosures  atomic.Int64 // number of O(n^3) closure passes
-	fullVarsSum   atomic.Int64 // sum of variable counts over those passes
-	incrClosures  atomic.Int64 // number of O(n^2) incremental updates
-	incrVarsSum   atomic.Int64 // sum of variable counts over those updates
-	closureTimeNs atomic.Int64 // total wall time inside closure code
-	// State-maintenance accounting beyond closure: joins, widenings and
-	// graph copies, the other costs of keeping the dataflow state at each
-	// pCFG node consistent (the paper's Section IX "92.5%" covers all of
-	// this).
-	joins          atomic.Int64
-	joinVarsSum    atomic.Int64
-	maintainTimeNs atomic.Int64 // join + widen + materialization wall time
-	// Copy-on-write accounting: clones that stayed O(1) reference bumps and
-	// the shared matrices that were eventually materialized by a write.
-	clonesAvoided       atomic.Int64
-	cowMaterializations atomic.Int64
-	// Parallel-engine accounting: canonical-key serializations served from
-	// the per-state cache vs rebuilt, worklist pushes coalesced into an
-	// already-queued configuration (re-visits the scheduler saved), and
-	// configuration-table shard lock acquisitions that had to wait.
-	keyCacheHits    atomic.Int64
-	keyCacheMisses  atomic.Int64
-	schedCoalesced  atomic.Int64
-	shardContention atomic.Int64
-}
-
-// FullClosures returns the number of O(n^3) closure passes.
-func (s *Stats) FullClosures() int64 { return s.fullClosures.Load() }
-
-// IncrClosures returns the number of O(n^2) incremental updates.
-func (s *Stats) IncrClosures() int64 { return s.incrClosures.Load() }
-
-// Joins returns the number of join/widen operations.
-func (s *Stats) Joins() int64 { return s.joins.Load() }
-
-// ClonesAvoided returns how many Clone calls stayed O(1) reference bumps
-// instead of deep matrix copies.
-func (s *Stats) ClonesAvoided() int64 { return s.clonesAvoided.Load() }
-
-// CoWMaterializations returns how many shared matrices were deep-copied on
-// first write.
-func (s *Stats) CoWMaterializations() int64 { return s.cowMaterializations.Load() }
-
-// KeyCacheHits returns how many FullKey/ShapeKey requests were served from
-// the per-state key cache.
-func (s *Stats) KeyCacheHits() int64 { return s.keyCacheHits.Load() }
-
-// KeyCacheMisses returns how many FullKey/ShapeKey requests rebuilt the key.
-func (s *Stats) KeyCacheMisses() int64 { return s.keyCacheMisses.Load() }
-
-// KeyCacheHitRate returns the fraction of key requests served from cache.
-func (s *Stats) KeyCacheHitRate() float64 {
-	h, m := s.keyCacheHits.Load(), s.keyCacheMisses.Load()
-	if h+m == 0 {
-		return 0
-	}
-	return float64(h) / float64(h+m)
-}
-
-// SchedCoalesced returns how many worklist pushes were absorbed into an
-// already-queued configuration — re-visits the scheduler saved.
-func (s *Stats) SchedCoalesced() int64 { return s.schedCoalesced.Load() }
-
-// ShardContention returns how many shard lock acquisitions found the lock
-// already held (parallel engine only).
-func (s *Stats) ShardContention() int64 { return s.shardContention.Load() }
-
-// AddKeyCacheHits bumps the key-cache hit counter. Safe on a nil receiver.
-func (s *Stats) AddKeyCacheHits(n int64) {
-	if s != nil {
-		s.keyCacheHits.Add(n)
-	}
-}
-
-// AddKeyCacheMisses bumps the key-cache miss counter. Safe on a nil receiver.
-func (s *Stats) AddKeyCacheMisses(n int64) {
-	if s != nil {
-		s.keyCacheMisses.Add(n)
-	}
-}
-
-// AddSchedCoalesced bumps the coalesced-push counter. Safe on a nil receiver.
-func (s *Stats) AddSchedCoalesced(n int64) {
-	if s != nil {
-		s.schedCoalesced.Add(n)
-	}
-}
-
-// AddShardContention bumps the shard-contention counter. Safe on a nil
-// receiver.
-func (s *Stats) AddShardContention(n int64) {
-	if s != nil {
-		s.shardContention.Add(n)
-	}
-}
-
-// ClosureTime returns total wall time inside closure code.
-func (s *Stats) ClosureTime() time.Duration { return time.Duration(s.closureTimeNs.Load()) }
-
-// MaintainTime returns join + widen + materialization wall time.
-func (s *Stats) MaintainTime() time.Duration { return time.Duration(s.maintainTimeNs.Load()) }
-
-// AvgJoinVars returns the mean variable count per join/widen.
-func (s *Stats) AvgJoinVars() float64 {
-	if s.joins.Load() == 0 {
-		return 0
-	}
-	return float64(s.joinVarsSum.Load()) / float64(s.joins.Load())
-}
-
-// MaintenanceTime returns all time spent keeping dataflow state consistent
-// (closure plus join/widen/materialization).
-func (s *Stats) MaintenanceTime() time.Duration { return s.ClosureTime() + s.MaintainTime() }
-
-// AvgFullVars returns the mean variable count per full closure.
-func (s *Stats) AvgFullVars() float64 {
-	if s.fullClosures.Load() == 0 {
-		return 0
-	}
-	return float64(s.fullVarsSum.Load()) / float64(s.fullClosures.Load())
-}
-
-// AvgIncrVars returns the mean variable count per incremental update.
-func (s *Stats) AvgIncrVars() float64 {
-	if s.incrClosures.Load() == 0 {
-		return 0
-	}
-	return float64(s.incrVarsSum.Load()) / float64(s.incrClosures.Load())
-}
-
-// Merge folds the counters of o into s (the sharded-and-merged pattern for
-// per-worker stats).
-func (s *Stats) Merge(o *Stats) {
-	s.fullClosures.Add(o.fullClosures.Load())
-	s.fullVarsSum.Add(o.fullVarsSum.Load())
-	s.incrClosures.Add(o.incrClosures.Load())
-	s.incrVarsSum.Add(o.incrVarsSum.Load())
-	s.closureTimeNs.Add(o.closureTimeNs.Load())
-	s.joins.Add(o.joins.Load())
-	s.joinVarsSum.Add(o.joinVarsSum.Load())
-	s.maintainTimeNs.Add(o.maintainTimeNs.Load())
-	s.clonesAvoided.Add(o.clonesAvoided.Load())
-	s.cowMaterializations.Add(o.cowMaterializations.Load())
-	s.keyCacheHits.Add(o.keyCacheHits.Load())
-	s.keyCacheMisses.Add(o.keyCacheMisses.Load())
-	s.schedCoalesced.Add(o.schedCoalesced.Load())
-	s.shardContention.Add(o.shardContention.Load())
-}
-
-// Reset zeroes the counters.
-func (s *Stats) Reset() {
-	s.fullClosures.Store(0)
-	s.fullVarsSum.Store(0)
-	s.incrClosures.Store(0)
-	s.incrVarsSum.Store(0)
-	s.closureTimeNs.Store(0)
-	s.joins.Store(0)
-	s.joinVarsSum.Store(0)
-	s.maintainTimeNs.Store(0)
-	s.clonesAvoided.Store(0)
-	s.cowMaterializations.Store(0)
-	s.keyCacheHits.Store(0)
-	s.keyCacheMisses.Store(0)
-	s.schedCoalesced.Store(0)
-	s.shardContention.Store(0)
-}
-
 // Options configures graph construction.
 type Options struct {
 	Backend Backend
@@ -241,19 +72,19 @@ type Options struct {
 // value is not usable; call New.
 //
 // Graphs are copy-on-write: Clone is an O(1) reference bump that shares the
-// variable table and the closed matrix with the original, and the first
+// slot table and the closed matrix with the original, and the first
 // mutating operation on either graph (AddLE, Forget, Drop, Shift, Rename,
 // FullClose) materializes a private copy. Shared storage is never written,
 // so any number of clones may be read concurrently; each individual graph
 // is still single-writer, as before.
+//
+// A graph whose lifetime is over may be returned to the storage arena with
+// Release; this is an optimization, not an obligation — an unreleased graph
+// is simply collected by the GC.
 type Graph struct {
 	opts       Options
-	names      []string
-	ids        map[string]int
-	dense      [][]int64       // ArrayBackend
-	sparse     map[int64]int64 // MapBackend; missing key = Inf
+	s          *store
 	consistent bool
-	cow        *cowRef // sharing record for names/ids/dense/sparse
 	// ver counts content mutations of this graph struct. Callers that cache
 	// renderings derived from the graph (core.State's canonical keys) pair
 	// it with the graph's identity to detect staleness. Clone copies the
@@ -262,146 +93,109 @@ type Graph struct {
 	ver uint64
 }
 
-// cowRef counts the graphs sharing one storage generation. The count is
-// atomic so clones handed to different analysis goroutines (the AnalyzeAll
-// driver) materialize safely.
-type cowRef struct{ refs atomic.Int32 }
-
-func newCowRef() *cowRef {
-	c := &cowRef{}
-	c.refs.Store(1)
-	return c
-}
-
-func pairKey(i, j int) int64 { return int64(i)<<32 | int64(j) }
-
 // New returns an empty, consistent graph containing only ZeroVar.
 func New(opts Options) *Graph {
-	g := &Graph{opts: opts, ids: map[string]int{}, consistent: true, cow: newCowRef()}
+	g := &Graph{opts: opts, consistent: true}
 	if opts.Backend == MapBackend {
-		g.sparse = map[int64]int64{}
+		g.s = newSparse()
+	} else {
+		g.s = acquireFlat(1, opts.Stats)
 	}
-	g.intern(ZeroVar)
+	g.s.addSlot(AtomZero, opts.Stats)
 	return g
 }
 
 // NewDefault returns a graph with the array backend and no shared stats.
 func NewDefault() *Graph { return New(Options{}) }
 
+// Release returns the graph's storage to the size-class arena once the last
+// graph sharing it is released. The graph must not be used afterwards
+// (every operation will panic loudly rather than corrupt a recycled
+// arena). Release is idempotent and safe on nil.
+func (g *Graph) Release() {
+	if g == nil || g.s == nil {
+		return
+	}
+	g.s.release()
+	g.s = nil
+}
+
 // materialize gives g private storage before a mutation. A graph whose
-// storage is unshared mutates in place; a shared one deep-copies the
-// variable table and matrix first (the deferred cost of an earlier O(1)
-// Clone).
+// storage is unshared mutates in place; a shared one copies the slot table
+// and matrix first (the deferred cost of an earlier O(1) Clone) — for the
+// array backend that copy is a single memcpy of the active rows into an
+// arena-pooled matrix.
 func (g *Graph) materialize() {
 	// Every content mutation passes through here before writing, so this is
 	// the one place (plus the AddLE/MarkInconsistent early-outs that flip
 	// consistency without touching storage) that advances the version.
 	g.ver++
-	if g.cow.refs.Load() == 1 {
+	s := g.s
+	if s.refs.Load() == 1 {
 		return
 	}
 	start := time.Now()
-	names := append(make([]string, 0, len(g.names)), g.names...)
-	ids := make(map[string]int, len(g.ids))
-	for k, v := range g.ids {
-		ids[k] = v
-	}
-	if g.opts.Backend == ArrayBackend {
-		dense := make([][]int64, len(g.dense))
-		for i, row := range g.dense {
-			dense[i] = append(make([]int64, 0, len(row)), row...)
+	n := len(s.atoms)
+	var ns *store
+	if s.mat != nil {
+		ns = acquireFlat(n, g.opts.Stats)
+		if ns.stride == s.stride {
+			copy(ns.mat, s.mat[:n*s.stride])
+		} else {
+			for i := 0; i < n; i++ {
+				copy(ns.mat[i*ns.stride:i*ns.stride+n], s.mat[i*s.stride:i*s.stride+n])
+			}
 		}
-		g.dense = dense
 	} else {
-		sparse := make(map[int64]int64, len(g.sparse))
-		for k, v := range g.sparse {
-			sparse[k] = v
+		ns = newSparse()
+		for k, v := range s.sparse {
+			ns.sparse[k] = v
 		}
-		g.sparse = sparse
 	}
-	g.names, g.ids = names, ids
-	g.cow.refs.Add(-1)
-	g.cow = newCowRef()
+	ns.atoms = append(ns.atoms[:0], s.atoms...)
+	g.s = ns
+	// Copy strictly before dropping the old reference: the decrement may
+	// recycle the shared arena into the pool.
+	s.release()
 	if st := g.opts.Stats; st != nil {
 		st.cowMaterializations.Add(1)
 		st.maintainTimeNs.Add(int64(time.Since(start)))
 	}
 }
 
-// intern returns the id for name, adding the variable if needed.
-func (g *Graph) intern(name string) int {
-	if id, ok := g.ids[name]; ok {
-		return id
+// slotIntern returns the slot for atom a, adding the variable if needed.
+func (g *Graph) slotIntern(a Atom) int {
+	if i := g.s.slot(a); i >= 0 {
+		return i
 	}
 	g.materialize()
-	id := len(g.names)
-	g.names = append(g.names, name)
-	g.ids[name] = id
-	if g.opts.Backend == ArrayBackend {
-		for i := range g.dense {
-			g.dense[i] = append(g.dense[i], Inf)
-		}
-		row := make([]int64, id+1)
-		for j := range row {
-			row[j] = Inf
-		}
-		g.dense = append(g.dense, row)
-		g.dense[id][id] = 0
-	}
-	return id
-}
-
-func (g *Graph) get(i, j int) int64 {
-	if i == j {
-		if g.opts.Backend == ArrayBackend {
-			return g.dense[i][j]
-		}
-		if v, ok := g.sparse[pairKey(i, j)]; ok {
-			return v
-		}
-		return 0
-	}
-	if g.opts.Backend == ArrayBackend {
-		return g.dense[i][j]
-	}
-	if v, ok := g.sparse[pairKey(i, j)]; ok {
-		return v
-	}
-	return Inf
-}
-
-func (g *Graph) set(i, j int, v int64) {
-	if g.opts.Backend == ArrayBackend {
-		g.dense[i][j] = v
-		return
-	}
-	if v >= Inf && i != j {
-		delete(g.sparse, pairKey(i, j))
-		return
-	}
-	g.sparse[pairKey(i, j)] = v
+	return g.s.addSlot(a, g.opts.Stats)
 }
 
 // NumVars returns the number of interned variables (including ZeroVar).
-func (g *Graph) NumVars() int { return len(g.names) }
+func (g *Graph) NumVars() int { return len(g.s.atoms) }
 
 // Vars returns all variable names except ZeroVar, sorted.
 func (g *Graph) Vars() []string {
-	out := make([]string, 0, len(g.names)-1)
-	for _, n := range g.names {
-		if n != ZeroVar {
-			out = append(out, n)
+	names := atomNames()
+	out := make([]string, 0, len(g.s.atoms)-1)
+	for _, a := range g.s.atoms {
+		if a != AtomZero {
+			out = append(out, names[a])
 		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// HasVar reports whether name has been interned.
+// HasVar reports whether name has been interned into this graph.
 func (g *Graph) HasVar(name string) bool {
-	_, ok := g.ids[name]
-	return ok
+	a, ok := LookupAtom(name)
+	return ok && g.s.slot(a) >= 0
 }
+
+// HasVarA reports whether atom a has a slot in this graph.
+func (g *Graph) HasVarA(a Atom) bool { return g.s.slot(a) >= 0 }
 
 // Consistent reports whether the constraints are satisfiable.
 func (g *Graph) Consistent() bool { return g.consistent }
@@ -421,16 +215,24 @@ func (g *Graph) Version() uint64 { return g.ver }
 func (g *Graph) StatsHandle() *Stats { return g.opts.Stats }
 
 // AddVar ensures name is present (unconstrained if new).
-func (g *Graph) AddVar(name string) { g.intern(name) }
+func (g *Graph) AddVar(name string) { g.slotIntern(Intern(name)) }
+
+// AddVarA ensures atom a is present (unconstrained if new).
+func (g *Graph) AddVarA(a Atom) { g.slotIntern(a) }
 
 // AddLE adds the constraint x <= y + c (x - y <= c), maintaining closure
-// with the O(n^2) incremental algorithm. Either side may be ZeroVar.
-// Returns false if the constraint makes the graph inconsistent.
+// with the changed-frontier incremental algorithm. Either side may be
+// ZeroVar. Returns false if the constraint makes the graph inconsistent.
 func (g *Graph) AddLE(x, y string, c int64) bool {
+	return g.AddLEA(Intern(x), Intern(y), c)
+}
+
+// AddLEA is AddLE over interned atoms — the allocation-free hot path.
+func (g *Graph) AddLEA(x, y Atom, c int64) bool {
 	if !g.consistent {
 		return false
 	}
-	i, j := g.intern(x), g.intern(y)
+	i, j := g.slotIntern(x), g.slotIntern(y)
 	if i == j {
 		if c < 0 {
 			g.consistent = false
@@ -438,87 +240,214 @@ func (g *Graph) AddLE(x, y string, c int64) bool {
 		}
 		return g.consistent
 	}
-	if g.get(i, j) <= c {
+	if g.s.get(i, j) <= c {
 		return true // already entailed
 	}
 	// Inconsistency: existing bound j - i <= d with c + d < 0.
-	if d := g.get(j, i); d < Inf && c+d < 0 {
+	if d := g.s.get(j, i); d < Inf && c+d < 0 {
 		g.consistent = false
 		g.ver++
 		return false
 	}
 	g.materialize()
-	g.set(i, j, c)
+	g.s.set(i, j, c)
 	g.incrementalClose(i, j)
 	return g.consistent
 }
 
 // AddEq adds x = y + c.
 func (g *Graph) AddEq(x, y string, c int64) bool {
-	return g.AddLE(x, y, c) && g.AddLE(y, x, -c)
+	return g.AddEqA(Intern(x), Intern(y), c)
+}
+
+// AddEqA adds x = y + c over interned atoms.
+func (g *Graph) AddEqA(x, y Atom, c int64) bool {
+	return g.AddLEA(x, y, c) && g.AddLEA(y, x, -c)
 }
 
 // SetConst adds x = c.
-func (g *Graph) SetConst(x string, c int64) bool { return g.AddEq(x, ZeroVar, c) }
+func (g *Graph) SetConst(x string, c int64) bool { return g.AddEqA(Intern(x), AtomZero, c) }
 
-// incrementalClose restores closure after tightening edge (i,j): for every
-// pair (a,b), a->i->j->b may now be shorter. O(n^2).
+// SetConstA adds x = c over an interned atom.
+func (g *Graph) SetConstA(x Atom, c int64) bool { return g.AddEqA(x, AtomZero, c) }
+
+// incrementalClose restores closure after tightening edge (i,j) with the
+// changed-edge frontier: first the column of j is updated, collecting the
+// affected sources (rows a whose a->i->j path beats the old a->j bound);
+// then the row of i symmetrically, collecting affected targets; finally
+// only sources × targets are crossed. On a closed matrix any pair (a,b) not
+// in that cross product already satisfies d(a,b) <= d(a,i)+w+d(j,b), so the
+// pruned pass restores full closure while touching only what changed.
 func (g *Graph) incrementalClose(i, j int) {
 	start := time.Now()
-	n := len(g.names)
-	w := g.get(i, j)
-	for a := 0; a < n; a++ {
-		dai := g.get(a, i)
-		if dai >= Inf {
-			continue
-		}
-		through := dai + w
-		for b := 0; b < n; b++ {
-			djb := g.get(j, b)
-			if djb >= Inf {
+	s := g.s
+	n := len(s.atoms)
+	w := s.get(i, j)
+	srcs, tgts := s.srcs[:0], s.tgts[:0]
+	if s.mat != nil {
+		mat, stride := s.mat, s.stride
+		for a := 0; a < n; a++ {
+			if a == i {
 				continue
 			}
-			cand := through + djb
-			if cand < g.get(a, b) {
-				g.set(a, b, cand)
-				if a == b && cand < 0 {
+			dai := mat[a*stride+i]
+			if dai >= Inf {
+				continue
+			}
+			if v := dai + w; v < mat[a*stride+j] {
+				mat[a*stride+j] = v
+				if a == j && v < 0 {
 					g.consistent = false
+				}
+				srcs = append(srcs, int32(a))
+			}
+		}
+		rowI := mat[i*stride : i*stride+n]
+		rowJ := mat[j*stride : j*stride+n]
+		if g.consistent {
+			for b := 0; b < n; b++ {
+				if b == j {
+					continue
+				}
+				djb := rowJ[b]
+				if djb >= Inf {
+					continue
+				}
+				if v := w + djb; v < rowI[b] {
+					rowI[b] = v
+					if b == i && v < 0 {
+						g.consistent = false
+					}
+					tgts = append(tgts, int32(b))
+				}
+			}
+		}
+		if g.consistent {
+			for _, a32 := range srcs {
+				a := int(a32)
+				through := mat[a*stride+i] + w
+				rowA := mat[a*stride : a*stride+n]
+				for _, b32 := range tgts {
+					b := int(b32)
+					if v := through + rowJ[b]; v < rowA[b] {
+						rowA[b] = v
+						if a == b && v < 0 {
+							g.consistent = false
+						}
+					}
+				}
+			}
+		}
+	} else {
+		for a := 0; a < n; a++ {
+			if a == i {
+				continue
+			}
+			dai := s.get(a, i)
+			if dai >= Inf {
+				continue
+			}
+			if v := dai + w; v < s.get(a, j) {
+				s.set(a, j, v)
+				if a == j && v < 0 {
+					g.consistent = false
+				}
+				srcs = append(srcs, int32(a))
+			}
+		}
+		if g.consistent {
+			for b := 0; b < n; b++ {
+				if b == j {
+					continue
+				}
+				djb := s.get(j, b)
+				if djb >= Inf {
+					continue
+				}
+				if v := w + djb; v < s.get(i, b) {
+					s.set(i, b, v)
+					if b == i && v < 0 {
+						g.consistent = false
+					}
+					tgts = append(tgts, int32(b))
+				}
+			}
+		}
+		if g.consistent {
+			for _, a32 := range srcs {
+				a := int(a32)
+				through := s.get(a, i) + w
+				for _, b32 := range tgts {
+					b := int(b32)
+					if v := through + s.get(j, b); v < s.get(a, b) {
+						s.set(a, b, v)
+						if a == b && v < 0 {
+							g.consistent = false
+						}
+					}
 				}
 			}
 		}
 	}
+	s.srcs, s.tgts = srcs, tgts
 	if st := g.opts.Stats; st != nil {
 		st.incrClosures.Add(1)
 		st.incrVarsSum.Add(int64(n))
+		st.fullClosuresAvoided.Add(1)
 		st.closureTimeNs.Add(int64(time.Since(start)))
 	}
 }
 
 // FullClose recomputes the transitive closure with Floyd-Warshall, O(n^3).
-// Needed after bulk edits (Join, Widen do not require it; Forget uses it).
+// Needed after bulk edits (Join, Widen, Forget and Drop all preserve
+// closure and do not require it).
 func (g *Graph) FullClose() {
 	start := time.Now()
 	g.materialize()
-	n := len(g.names)
-	for k := 0; k < n; k++ {
-		for a := 0; a < n; a++ {
-			dak := g.get(a, k)
-			if dak >= Inf {
-				continue
-			}
-			for b := 0; b < n; b++ {
-				dkb := g.get(k, b)
-				if dkb >= Inf {
+	s := g.s
+	n := len(s.atoms)
+	if s.mat != nil {
+		mat, stride := s.mat, s.stride
+		for k := 0; k < n; k++ {
+			rowK := mat[k*stride : k*stride+n]
+			for a := 0; a < n; a++ {
+				dak := mat[a*stride+k]
+				if dak >= Inf {
 					continue
 				}
-				if cand := dak + dkb; cand < g.get(a, b) {
-					g.set(a, b, cand)
+				rowA := mat[a*stride : a*stride+n]
+				for b := 0; b < n; b++ {
+					dkb := rowK[b]
+					if dkb >= Inf {
+						continue
+					}
+					if v := dak + dkb; v < rowA[b] {
+						rowA[b] = v
+					}
+				}
+			}
+		}
+	} else {
+		for k := 0; k < n; k++ {
+			for a := 0; a < n; a++ {
+				dak := s.get(a, k)
+				if dak >= Inf {
+					continue
+				}
+				for b := 0; b < n; b++ {
+					dkb := s.get(k, b)
+					if dkb >= Inf {
+						continue
+					}
+					if v := dak + dkb; v < s.get(a, b) {
+						s.set(a, b, v)
+					}
 				}
 			}
 		}
 	}
 	for a := 0; a < n; a++ {
-		if g.get(a, a) < 0 {
+		if s.get(a, a) < 0 {
 			g.consistent = false
 		}
 	}
@@ -532,12 +461,22 @@ func (g *Graph) FullClose() {
 // DiffBound returns the tightest known bound on x - y, with ok=false when
 // unconstrained or either variable is unknown.
 func (g *Graph) DiffBound(x, y string) (int64, bool) {
-	i, okx := g.ids[x]
-	j, oky := g.ids[y]
+	ax, okx := LookupAtom(x)
+	ay, oky := LookupAtom(y)
 	if !okx || !oky {
 		return 0, false
 	}
-	b := g.get(i, j)
+	return g.DiffBoundA(ax, ay)
+}
+
+// DiffBoundA is DiffBound over interned atoms.
+func (g *Graph) DiffBoundA(x, y Atom) (int64, bool) {
+	i := g.s.slot(x)
+	j := g.s.slot(y)
+	if i < 0 || j < 0 {
+		return 0, false
+	}
+	b := g.s.get(i, j)
 	if b >= Inf {
 		return 0, false
 	}
@@ -557,13 +496,34 @@ func (g *Graph) Entails(x, y string, c int64) bool {
 	return ok && b <= c
 }
 
+// EntailsA is Entails over interned atoms.
+func (g *Graph) EntailsA(x, y Atom, c int64) bool {
+	if !g.consistent {
+		return true
+	}
+	if x == y {
+		return c >= 0
+	}
+	b, ok := g.DiffBoundA(x, y)
+	return ok && b <= c
+}
+
 // EntailsLT reports whether the graph implies x < y + c.
 func (g *Graph) EntailsLT(x, y string, c int64) bool { return g.Entails(x, y, c-1) }
 
 // ConstVal returns the exact known value of x, if the graph pins it.
 func (g *Graph) ConstVal(x string) (int64, bool) {
-	hi, ok1 := g.DiffBound(x, ZeroVar)
-	lo, ok2 := g.DiffBound(ZeroVar, x)
+	a, ok := LookupAtom(x)
+	if !ok {
+		return 0, false
+	}
+	return g.ConstValA(a)
+}
+
+// ConstValA is ConstVal over an interned atom.
+func (g *Graph) ConstValA(x Atom) (int64, bool) {
+	hi, ok1 := g.DiffBoundA(x, AtomZero)
+	lo, ok2 := g.DiffBoundA(AtomZero, x)
 	if ok1 && ok2 && hi == -lo {
 		return hi, true
 	}
@@ -574,22 +534,36 @@ func (g *Graph) ConstVal(x string) (int64, bool) {
 // entailing x = y + c, including (ZeroVar, v) when x has a known constant
 // value. x itself is excluded. Results are sorted by variable name.
 func (g *Graph) EqualWitnesses(x string) []Witness {
-	i, ok := g.ids[x]
+	a, ok := LookupAtom(x)
 	if !ok || !g.consistent {
 		return nil
 	}
+	i := g.s.slot(a)
+	if i < 0 {
+		return nil
+	}
+	names := atomNames()
 	var out []Witness
-	for j, name := range g.names {
+	for j := range g.s.atoms {
 		if j == i {
 			continue
 		}
-		up := g.get(i, j)
-		down := g.get(j, i)
+		up := g.s.get(i, j)
+		down := g.s.get(j, i)
 		if up < Inf && down < Inf && up == -down {
-			out = append(out, Witness{Var: name, C: up})
+			// Insertion sort by name as witnesses arrive: the lists are
+			// tiny and this avoids sort.Slice's closure + reflect.Swapper
+			// allocations on a very hot path (bound enrichment).
+			w := Witness{Var: names[g.s.atoms[j]], C: up}
+			pos := len(out)
+			for pos > 0 && out[pos-1].Var > w.Var {
+				pos--
+			}
+			out = append(out, Witness{})
+			copy(out[pos+1:], out[pos:])
+			out[pos] = w
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Var < out[b].Var })
 	return out
 }
 
@@ -600,111 +574,188 @@ type Witness struct {
 }
 
 // ForEachBound calls fn for every finite off-diagonal bound x - y <= c in
-// the closed graph, in deterministic (interning) order.
+// the closed graph, in deterministic (slot) order.
 func (g *Graph) ForEachBound(fn func(x, y string, c int64)) {
-	n := len(g.names)
+	names := atomNames()
+	atoms := g.s.atoms
+	g.ForEachBoundA(func(i, j int32, c int64) {
+		fn(names[atoms[i]], names[atoms[j]], c)
+	})
+}
+
+// ForEachBoundA calls fn for every finite off-diagonal bound, identifying
+// variables by slot index (g.s.atoms maps slots to atoms); the string-free
+// variant used by bulk copies.
+func (g *Graph) ForEachBoundA(fn func(i, j int32, c int64)) {
+	s := g.s
+	n := len(s.atoms)
+	if s.mat != nil {
+		for i := 0; i < n; i++ {
+			row := s.mat[i*s.stride : i*s.stride+n]
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if b := row[j]; b < Inf {
+					fn(int32(i), int32(j), b)
+				}
+			}
+		}
+		return
+	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
-			if b := g.get(i, j); b < Inf {
-				fn(g.names[i], g.names[j], b)
+			if b := s.get(i, j); b < Inf {
+				fn(int32(i), int32(j), b)
 			}
 		}
 	}
 }
+
+// AtomAt returns the atom occupying slot i (for ForEachBoundA callers).
+func (g *Graph) AtomAt(i int32) Atom { return g.s.atoms[i] }
 
 // Forget removes all constraints mentioning x while preserving everything
 // entailed between other variables (the graph is already closed, so simply
-// resetting x's row and column is a sound projection).
+// resetting x's row and column is a sound projection that needs no
+// re-closure).
 func (g *Graph) Forget(x string) {
-	i, ok := g.ids[x]
-	if !ok {
+	if a, ok := LookupAtom(x); ok {
+		g.ForgetA(a)
+	}
+}
+
+// ForgetA is Forget over an interned atom.
+func (g *Graph) ForgetA(x Atom) {
+	i := g.s.slot(x)
+	if i < 0 {
 		return
 	}
 	g.materialize()
-	n := len(g.names)
-	for a := 0; a < n; a++ {
-		if a != i {
-			g.set(i, a, Inf)
-			g.set(a, i, Inf)
+	s := g.s
+	n := len(s.atoms)
+	if s.mat != nil {
+		row := s.mat[i*s.stride : i*s.stride+n]
+		for a := range row {
+			row[a] = Inf
 		}
+		for a := 0; a < n; a++ {
+			s.mat[a*s.stride+i] = Inf
+		}
+		row[i] = 0
+	} else {
+		for a := 0; a < n; a++ {
+			if a != i {
+				s.set(i, a, Inf)
+				s.set(a, i, Inf)
+			}
+		}
+		s.set(i, i, 0)
 	}
-	g.set(i, i, 0)
+	if st := g.opts.Stats; st != nil {
+		st.fullClosuresAvoided.Add(1)
+	}
 }
 
 // Drop removes variable x entirely from the graph (Forget plus deletion of
-// the slot). All other constraints are preserved.
+// the slot, filled by swapping in the last slot). All other constraints are
+// preserved without re-closure.
 func (g *Graph) Drop(x string) {
-	i, ok := g.ids[x]
-	if !ok || x == ZeroVar {
+	if a, ok := LookupAtom(x); ok {
+		g.DropA(a)
+	}
+}
+
+// DropA is Drop over an interned atom.
+func (g *Graph) DropA(x Atom) {
+	if x == AtomZero {
 		return
 	}
-	g.Forget(x) // materializes
-	last := len(g.names) - 1
-	if g.opts.Backend == ArrayBackend {
+	if g.s.slot(x) < 0 {
+		return
+	}
+	g.ForgetA(x) // materializes
+	s := g.s
+	i := s.slot(x)
+	last := len(s.atoms) - 1
+	if s.mat != nil {
 		if i != last {
-			lastName := g.names[last]
-			for a := 0; a < len(g.names); a++ {
-				g.dense[a][i] = g.dense[a][last]
-				g.dense[i][a] = g.dense[last][a]
+			for a := 0; a <= last; a++ {
+				s.mat[a*s.stride+i] = s.mat[a*s.stride+last]
+				s.mat[i*s.stride+a] = s.mat[last*s.stride+a]
 			}
-			g.dense[i][i] = g.dense[last][last]
-			g.names[i] = lastName
-			g.ids[lastName] = i
-		}
-		g.dense = g.dense[:last]
-		for a := range g.dense {
-			g.dense[a] = g.dense[a][:last]
+			s.mat[i*s.stride+i] = s.mat[last*s.stride+last]
+			s.atoms[i] = s.atoms[last]
 		}
 	} else {
-		delete(g.sparse, pairKey(i, i))
+		delete(s.sparse, pairKey(i, i))
 		if i != last {
-			lastName := g.names[last]
-			for a := 0; a < len(g.names); a++ {
-				if v, ok := g.sparse[pairKey(a, last)]; ok {
-					delete(g.sparse, pairKey(a, last))
+			for a := 0; a <= last; a++ {
+				if v, ok := s.sparse[pairKey(a, last)]; ok {
+					delete(s.sparse, pairKey(a, last))
 					if a == last {
-						g.sparse[pairKey(i, i)] = v
+						s.sparse[pairKey(i, i)] = v
 					} else {
-						g.sparse[pairKey(a, i)] = v
+						s.sparse[pairKey(a, i)] = v
 					}
 				}
-				if v, ok := g.sparse[pairKey(last, a)]; ok {
-					delete(g.sparse, pairKey(last, a))
+				if v, ok := s.sparse[pairKey(last, a)]; ok {
+					delete(s.sparse, pairKey(last, a))
 					if a != last {
-						g.sparse[pairKey(i, a)] = v
+						s.sparse[pairKey(i, a)] = v
 					}
 				}
 			}
-			g.names[i] = lastName
-			g.ids[lastName] = i
+			s.atoms[i] = s.atoms[last]
 		}
 	}
-	g.names = g.names[:last]
-	delete(g.ids, x)
+	s.atoms = s.atoms[:last]
+	if st := g.opts.Stats; st != nil {
+		st.fullClosuresAvoided.Add(1)
+	}
 }
 
 // Shift applies the invertible assignment x := x + k: every bound involving
 // x moves by k. Closure is preserved.
-func (g *Graph) Shift(x string, k int64) {
-	i, ok := g.ids[x]
-	if !ok {
-		g.intern(x)
+func (g *Graph) Shift(x string, k int64) { g.ShiftA(Intern(x), k) }
+
+// ShiftA is Shift over an interned atom.
+func (g *Graph) ShiftA(x Atom, k int64) {
+	i := g.s.slot(x)
+	if i < 0 {
+		g.slotIntern(x)
 		return
 	}
 	g.materialize()
-	n := len(g.names)
-	for a := 0; a < n; a++ {
-		if a == i {
-			continue
+	s := g.s
+	n := len(s.atoms)
+	if s.mat != nil {
+		row := s.mat[i*s.stride : i*s.stride+n]
+		for a := 0; a < n; a++ {
+			if a == i {
+				continue
+			}
+			if b := row[a]; b < Inf {
+				row[a] = b + k
+			}
+			if b := s.mat[a*s.stride+i]; b < Inf {
+				s.mat[a*s.stride+i] = b - k
+			}
 		}
-		if b := g.get(i, a); b < Inf {
-			g.set(i, a, b+k)
-		}
-		if b := g.get(a, i); b < Inf {
-			g.set(a, i, b-k)
+	} else {
+		for a := 0; a < n; a++ {
+			if a == i {
+				continue
+			}
+			if b := s.get(i, a); b < Inf {
+				s.set(i, a, b+k)
+			}
+			if b := s.get(a, i); b < Inf {
+				s.set(a, i, b-k)
+			}
 		}
 	}
 }
@@ -714,47 +765,60 @@ func (g *Graph) Rename(old, new string) {
 	if old == new {
 		return
 	}
-	i, ok := g.ids[old]
-	if !ok {
+	a, ok := LookupAtom(old)
+	if !ok || g.s.slot(a) < 0 {
 		return
 	}
-	if _, exists := g.ids[new]; exists {
-		panic(fmt.Sprintf("cg: Rename target %q already exists", new))
+	g.RenameA(a, Intern(new))
+}
+
+// RenameA is Rename over interned atoms.
+func (g *Graph) RenameA(old, new Atom) {
+	if old == new {
+		return
+	}
+	i := g.s.slot(old)
+	if i < 0 {
+		return
+	}
+	if g.s.slot(new) >= 0 {
+		panic(fmt.Sprintf("cg: Rename target %q already exists", new.String()))
 	}
 	g.materialize()
-	delete(g.ids, old)
-	g.ids[new] = i
-	g.names[i] = new
+	g.s.atoms[i] = new
 }
 
 // Clone returns a logical copy sharing Options (and therefore Stats).
-// Cloning is O(1): the variable table and matrix storage are shared
+// Cloning is O(1): the slot table and matrix storage are shared
 // copy-on-write between the original and the clone, and the first mutating
 // operation on either side materializes a private copy (see materialize).
 func (g *Graph) Clone() *Graph {
-	g.cow.refs.Add(1)
+	g.s.refs.Add(1)
 	if st := g.opts.Stats; st != nil {
 		st.clonesAvoided.Add(1)
 	}
-	return &Graph{
-		opts:       g.opts,
-		names:      g.names,
-		ids:        g.ids,
-		dense:      g.dense,
-		sparse:     g.sparse,
-		consistent: g.consistent,
-		cow:        g.cow,
-	}
+	return &Graph{opts: g.opts, s: g.s, consistent: g.consistent, ver: g.ver}
 }
 
 // alignVars makes both graphs contain the union of their variables.
 func alignVars(a, b *Graph) {
-	for _, n := range a.names {
-		b.intern(n)
+	for _, at := range a.s.atoms {
+		b.slotIntern(at)
 	}
-	for _, n := range b.names {
-		a.intern(n)
+	for _, at := range b.s.atoms {
+		a.slotIntern(at)
 	}
+}
+
+// slotMap fills dst with, for each slot of a, the corresponding slot in b
+// (both graphs must already contain the same variables, e.g. after
+// alignVars).
+func slotMap(a, b *Graph, dst []int32) []int32 {
+	dst = dst[:0]
+	for _, at := range a.s.atoms {
+		dst = append(dst, int32(b.s.slot(at)))
+	}
+	return dst
 }
 
 // Join returns the least upper bound (convex hull) of a and b: pointwise
@@ -771,25 +835,27 @@ func Join(a, b *Graph) *Graph {
 	defer func() {
 		if st := a.opts.Stats; st != nil {
 			st.joins.Add(1)
-			st.joinVarsSum.Add(int64(len(a.names)))
+			st.joinVarsSum.Add(int64(len(a.s.atoms)))
 			st.maintainTimeNs.Add(int64(time.Since(start)))
 		}
 	}()
 	ra, rb := a.Clone(), b.Clone()
 	alignVars(ra, rb)
 	ra.materialize()
-	n := len(ra.names)
+	n := len(ra.s.atoms)
+	ra.s.srcs = slotMap(ra, rb, ra.s.srcs)
+	other := ra.s.srcs
 	for i := 0; i < n; i++ {
-		ji := rb.ids[ra.names[i]]
+		ji := int(other[i])
 		for j := 0; j < n; j++ {
-			jj := rb.ids[ra.names[j]]
-			va := ra.get(i, j)
-			vb := rb.get(ji, jj)
+			va := ra.s.get(i, j)
+			vb := rb.s.get(ji, int(other[j]))
 			if vb > va {
-				ra.set(i, j, vb)
+				ra.s.set(i, j, vb)
 			}
 		}
 	}
+	rb.Release()
 	// Pointwise max of closed matrices is closed; no re-closure needed.
 	return ra
 }
@@ -808,26 +874,28 @@ func Widen(a, b *Graph) *Graph {
 	defer func() {
 		if st := a.opts.Stats; st != nil {
 			st.joins.Add(1)
-			st.joinVarsSum.Add(int64(len(a.names)))
+			st.joinVarsSum.Add(int64(len(a.s.atoms)))
 			st.maintainTimeNs.Add(int64(time.Since(start)))
 		}
 	}()
 	ra, rb := a.Clone(), b.Clone()
 	alignVars(ra, rb)
 	ra.materialize()
-	n := len(ra.names)
+	n := len(ra.s.atoms)
+	ra.s.srcs = slotMap(ra, rb, ra.s.srcs)
+	other := ra.s.srcs
 	for i := 0; i < n; i++ {
-		ji := rb.ids[ra.names[i]]
+		ji := int(other[i])
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
-			jj := rb.ids[ra.names[j]]
-			if rb.get(ji, jj) > ra.get(i, j) {
-				ra.set(i, j, Inf)
+			if rb.s.get(ji, int(other[j])) > ra.s.get(i, j) {
+				ra.s.set(i, j, Inf)
 			}
 		}
 	}
+	rb.Release()
 	return ra
 }
 
@@ -840,18 +908,23 @@ func Leq(a, b *Graph) bool {
 	if !b.consistent {
 		return false
 	}
-	for i, ni := range b.names {
-		for j, nj := range b.names {
+	bs := b.s
+	n := len(bs.atoms)
+	for i := 0; i < n; i++ {
+		ia := a.s.slot(bs.atoms[i])
+		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
-			vb := b.get(i, j)
+			vb := bs.get(i, j)
 			if vb >= Inf {
 				continue
 			}
-			ia, oki := a.ids[ni]
-			ja, okj := a.ids[nj]
-			if !oki || !okj || a.get(ia, ja) > vb {
+			if ia < 0 {
+				return false
+			}
+			ja := a.s.slot(bs.atoms[j])
+			if ja < 0 || a.s.get(ia, ja) > vb {
 				return false
 			}
 		}
@@ -868,24 +941,26 @@ func (g *Graph) String() string {
 	if !g.consistent {
 		return "inconsistent"
 	}
+	names := atomNames()
+	atoms := g.s.atoms
 	var parts []string
-	n := len(g.names)
+	n := len(atoms)
 	done := map[[2]int]bool{}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j || done[[2]int{i, j}] {
 				continue
 			}
-			up := g.get(i, j)
+			up := g.s.get(i, j)
 			if up >= Inf {
 				continue
 			}
-			down := g.get(j, i)
+			down := g.s.get(j, i)
 			if down < Inf && down == -up {
 				done[[2]int{j, i}] = true
-				parts = append(parts, renderEq(g.names[i], g.names[j], up))
+				parts = append(parts, renderEq(names[atoms[i]], names[atoms[j]], up))
 			} else {
-				parts = append(parts, renderLE(g.names[i], g.names[j], up))
+				parts = append(parts, renderLE(names[atoms[i]], names[atoms[j]], up))
 			}
 		}
 	}

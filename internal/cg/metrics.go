@@ -16,6 +16,9 @@ func (s *Stats) RegisterMetrics(reg *obs.Registry, job string) {
 	}
 	counter("psdf_cg_full_closures_total", "full transitive-closure recomputations", s.FullClosures)
 	counter("psdf_cg_incr_closures_total", "incremental closure maintenance updates", s.IncrClosures)
+	counter("psdf_cg_full_closures_avoided_total", "closure-preserving updates that skipped an O(n^3) pass", s.FullClosuresAvoided)
+	counter("psdf_cg_arena_hits_total", "matrix acquisitions served from the size-class arena pool", s.ArenaHits)
+	counter("psdf_cg_arena_misses_total", "matrix acquisitions that had to allocate", s.ArenaMisses)
 	counter("psdf_cg_joins_total", "constraint-graph join operations", s.Joins)
 	counter("psdf_cg_clones_avoided_total", "state clones avoided by copy-on-write", s.ClonesAvoided)
 	counter("psdf_cg_cow_materializations_total", "copy-on-write materializations (shared storage actually copied)", s.CoWMaterializations)

@@ -215,6 +215,20 @@ func (st *State) Clone() *State {
 	return ns
 }
 
+// Release returns the state's constraint-graph storage to the cg arena
+// pool. Call only when the state is provably dead — a discarded step
+// snapshot, a superseded table entry, a failed match attempt; the graph
+// must not be touched afterwards. Storage still shared with live clones
+// stays alive (cg reference counting), so Release is always safe on a
+// state nothing else aliases. Safe on nil and on graphless ⊤ states.
+func (st *State) Release() {
+	if st == nil || st.G == nil {
+		return
+	}
+	st.G.Release()
+	st.G = nil
+}
+
 // ownMatches materializes a private copy of the match list (deep: elements
 // included) if it is still shared with a clone. Must be called before any
 // write to st.Matches or a *Match reached through it.
@@ -387,7 +401,11 @@ func (st *State) MergeSets(a, b *ProcSet, merged procset.Set) {
 			g2.Rename(v, target)
 		}
 	}
+	old := st.G
 	st.G = cg.Join(g1, g2)
+	g1.Release()
+	g2.Release()
+	old.Release()
 	a.Range = merged
 	// Range atoms referencing b's variables must be rewritten before b's
 	// namespace disappears; Enrich already ran during merge checks.
@@ -449,6 +467,32 @@ func anonRangeKey(s procset.Set) string {
 
 // sortCanonical orders sets by (CFG node, blocked, anonymized range).
 func (st *State) sortCanonical() {
+	// Fast path: strictly increasing node IDs determine the order on
+	// their own — no ties, nothing to sort. This is the overwhelmingly
+	// common case (sortCanonical runs on every step and every key-cache
+	// miss), and it skips both the sort machinery and the per-comparison
+	// anonymized range keys below.
+	inOrder := true
+	for i := 1; i < len(st.Sets); i++ {
+		if st.Sets[i-1].Node.ID >= st.Sets[i].Node.ID {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		return
+	}
+	// Ties on node ID need the anonymized range key, which runs a regexp
+	// replace — compute each at most once, not once per comparison.
+	keys := make(map[*ProcSet]string, len(st.Sets))
+	rangeKey := func(p *ProcSet) string {
+		k, ok := keys[p]
+		if !ok {
+			k = anonRangeKey(p.Range)
+			keys[p] = k
+		}
+		return k
+	}
 	sort.SliceStable(st.Sets, func(i, j int) bool {
 		a, b := st.Sets[i], st.Sets[j]
 		if a.Node.ID != b.Node.ID {
@@ -457,7 +501,7 @@ func (st *State) sortCanonical() {
 		if a.Blocked != b.Blocked {
 			return !a.Blocked
 		}
-		return anonRangeKey(a.Range) < anonRangeKey(b.Range)
+		return rangeKey(a) < rangeKey(b)
 	})
 }
 

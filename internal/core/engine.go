@@ -627,6 +627,7 @@ type succ struct {
 func (e *engine) insert(fromKey string, st *State, action string, tid int) {
 	if !st.Top && len(st.Sets) == 0 {
 		// Unreachable configuration (inconsistent constraints): drop.
+		st.Release()
 		return
 	}
 	st.CanonicalizeParams()
@@ -658,17 +659,29 @@ func (e *engine) reviseEntry(entry *tableEntry, st *State, key string, tid int) 
 	entry.visits++
 	if entry.visits > e.opts.maxVisits() {
 		if !entry.st.Top {
+			old := entry.st
 			entry.st = &State{Top: true, TopWhy: "widening did not converge at " + key,
-				TopNode: firstActiveNode(entry.st), TopKey: key}
+				TopNode: firstActiveNode(old), TopKey: key}
+			old.Release()
+			st.Release()
 			return true
 		}
+		st.Release()
 		return false
 	}
 	if entry.st.Top {
+		if e.parallel {
+			// Revision churn against an already-⊤ entry must not consume
+			// the starvation budget (see the no-change case below).
+			entry.visits--
+		}
+		st.Release()
 		return false
 	}
 	if st.Top {
+		old := entry.st
 		entry.st = st
+		old.Release()
 		return true
 	}
 	before := entry.st.FullKey()
@@ -684,7 +697,10 @@ func (e *engine) reviseEntry(entry *tableEntry, st *State, key string, tid int) 
 		if widened.TopKey == "" {
 			widened.TopKey = key
 		}
+		old := entry.st
 		entry.st = widened
+		old.Release()
+		st.Release()
 		return true
 	}
 	remap := widened.CanonicalizeParams()
@@ -693,10 +709,27 @@ func (e *engine) reviseEntry(entry *tableEntry, st *State, key string, tid int) 
 	}
 	if widened.FullKey() != before {
 		e.widenings.Add(1)
+		old := entry.st
 		entry.st = widened
+		old.Release()
+		st.Release()
 		e.tracef("widen  %-40s %s", key, widened)
 		return true
 	}
+	if e.parallel {
+		// The incoming state was absorbed without changing the entry: in the
+		// parallel engine this is revision churn — a re-step of a stale
+		// snapshot whose successors the join ladder already holds. Such
+		// no-change revisions must not consume the MaxVisits starvation
+		// budget, or an unlucky interleaving could widen (or give up) a
+		// configuration that never gained information. Only revisions taken
+		// on fresh information count toward the ladder. The sequential
+		// engine keeps the historical counting so its fingerprints are
+		// byte-identical.
+		entry.visits--
+	}
+	widened.Release()
+	st.Release()
 	return false
 }
 
@@ -848,8 +881,11 @@ func (e *engine) combineRetry(entry *tableEntry, nw *State, retries int) *State 
 			return &State{Top: true, TopWhy: "widening failed: no common bound expressions: " + strings.Join(detail, "; "),
 				TopNode: blame}
 		}
-		// Retry after parametric generalization.
-		return e.combineRetry(entry, nw2, retries-1)
+		// Retry after parametric generalization. nw2 is an intermediate
+		// trial state; the recursion only reads it.
+		res := e.combineRetry(entry, nw2, retries-1)
+		nw2.Release()
+		return res
 	}
 
 	out := old.Clone()
@@ -873,11 +909,15 @@ func (e *engine) combineRetry(entry *tableEntry, nw *State, retries int) *State 
 		}
 		return a.RecvNode < b.RecvNode
 	})
+	cloned := out.G
 	if entry.visits <= e.opts.joinVisits() {
 		out.G = cg.Join(old.G, nw.G)
 	} else {
 		out.G = cg.Widen(old.G, nw.G)
 	}
+	// The clone's graph was only a placeholder; return its reference to the
+	// arena now that the join/widen result replaced it.
+	cloned.Release()
 	if nw.nextID > out.nextID {
 		out.nextID = nw.nextID
 	}
@@ -911,6 +951,7 @@ func (e *engine) parametricWiden(entry *tableEntry, old, nw *State) (*State, boo
 			if !e.sameFailure(old, trial) {
 				return trial, true
 			}
+			trial.Release()
 		}
 	}
 	// An incoming state from a lineage that never saw the parameter (e.g.
@@ -934,6 +975,7 @@ func (e *engine) parametricWiden(entry *tableEntry, old, nw *State) (*State, boo
 				if !e.sameFailure(old, trial) {
 					return trial, true
 				}
+				trial.Release()
 			}
 		}
 	}
@@ -948,20 +990,24 @@ func (e *engine) parametricWiden(entry *tableEntry, old, nw *State) (*State, boo
 	for tries := 0; tries < 6; tries++ {
 		oldPrim, newPrim, ok := firstFailingBound(old, trial)
 		if !ok {
+			trial.Release()
 			return nil, false
 		}
 		if tries > 0 && sym.Equal(oldPrim, prevOld) && sym.Equal(newPrim, prevNew) {
 			// The anchor did not help this bound; give up.
+			trial.Release()
 			return nil, false
 		}
 		prevOld, prevNew = oldPrim, newPrim
 		vOld, cOld, ok1 := splitVarPlusConst(oldPrim)
 		vNew, cNew, ok2 := splitVarPlusConst(newPrim)
 		if !ok1 || !ok2 {
+			trial.Release()
 			return nil, false
 		}
 		if entry.paramMints >= 8 {
 			// Parameter anchoring is not converging for this key.
+			trial.Release()
 			return nil, false
 		}
 		entry.paramMints++
@@ -975,6 +1021,7 @@ func (e *engine) parametricWiden(entry *tableEntry, old, nw *State) (*State, boo
 			return trial, true
 		}
 	}
+	trial.Release()
 	return nil, false
 }
 
@@ -1341,9 +1388,13 @@ func (e *engine) forkOnBoundCmp(ns *State, ps *ProcSet, pivot sym.Expr, depth in
 		var out []succ
 		if nsA.G.Consistent() {
 			out = append(out, e.branchSetDepth(nsA, nsA.Set(ps.ID), depth-1)...)
+		} else {
+			nsA.Release()
 		}
 		if nsB.G.Consistent() {
 			out = append(out, e.branchSetDepth(nsB, nsB.Set(ps.ID), depth-1)...)
+		} else {
+			nsB.Release()
 		}
 		if len(out) > 0 {
 			return out, true
@@ -1439,9 +1490,11 @@ func (e *engine) tryPendingMatches(st *State) ([]succ, bool) {
 			nr := ns.Set(r.ID)
 			pm, ok := ns.MatchPending(nr, src, idx)
 			if !ok {
+				ns.Release()
 				continue
 			}
 			if e.fifoConflict(ns, idx, pm) {
+				ns.Release()
 				continue
 			}
 			recvNode := nr.Node
@@ -1519,6 +1572,7 @@ func (e *engine) tryMatches(st *State) ([]succ, bool) {
 			if out, ok := e.applyPairMatch(ns, ns.Set(sender.ID), ns.Set(receiver.ID)); ok {
 				return out, true
 			}
+			ns.Release()
 		}
 	}
 	// sendrecv pair exchange between two distinct sets.
@@ -1534,6 +1588,7 @@ func (e *engine) tryMatches(st *State) ([]succ, bool) {
 			if out, ok := e.applySendRecvPair(ns, ns.Set(a.ID), ns.Set(b.ID)); ok {
 				return out, true
 			}
+			ns.Release()
 		}
 	}
 	return nil, false
@@ -1734,6 +1789,9 @@ func (e *engine) tryEmptinessSplit(st *State, depth, tid int, key string) ([]suc
 		e.normalize(nonEmpty)
 		out := []succ{{emptySt, fmt.Sprintf("assume %s empty", ps.Range)}}
 		out = append(out, e.stepBlocked(nonEmpty, depth-1, tid, key)...)
+		// stepBlocked clones for every successor it returns; the inline
+		// continuation state itself is dead.
+		nonEmpty.Release()
 		return out, true
 	}
 	return nil, false

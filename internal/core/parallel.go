@@ -86,6 +86,7 @@ func (e *engine) processPar(id uint64, tid int) {
 		e.steps.Add(-1)
 		e.budgetHit.Store(true)
 		e.sched.stop()
+		snap.Release()
 		return
 	}
 	var tops []succ
@@ -96,6 +97,9 @@ func (e *engine) processPar(id uint64, tid int) {
 		}
 		e.insertPar(fromKey, sa.st, sa.action, tid)
 	}
+	// step always clones before returning successors, so the private
+	// snapshot is dead here and its graph storage can go back to the arena.
+	snap.Release()
 	// Record this step's give-up verdict on the entry, replacing the
 	// previous step's. The scheduler runs at most one step per id at a
 	// time, so verdict writes for an id are ordered; a revision that races
@@ -114,6 +118,7 @@ func (e *engine) processPar(id uint64, tid int) {
 // lock.
 func (e *engine) insertPar(fromKey string, st *State, action string, tid int) {
 	if !st.Top && len(st.Sets) == 0 {
+		st.Release()
 		return
 	}
 	st.CanonicalizeParams()

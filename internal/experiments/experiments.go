@@ -354,18 +354,28 @@ func storage(tr *obs.Tracer) (*Table, error) {
 		work = append(work, edge{fmt.Sprintf("v%d", a), fmt.Sprintf("v%d", b), c})
 	}
 	const reps = 5
-	run := func(backend cg.Backend) time.Duration {
+	run := func(name string, backend cg.Backend) time.Duration {
+		key := "storage/" + name
+		asp := tr.Begin(0, 0, obs.PhaseAnalyze, key)
 		start := time.Now()
 		for r := 0; r < reps; r++ {
+			// Each repetition is one closure-maintenance "step": build the
+			// ~60-variable graph edge by edge, every AddLE restoring
+			// closure incrementally.
+			ssp := tr.Begin(0, 0, obs.PhaseStep, key)
 			g := cg.New(cg.Options{Backend: backend})
 			for _, w := range work {
 				g.AddLE(w.x, w.y, w.c)
 			}
+			ssp.End()
+			g.Release()
 		}
-		return time.Since(start)
+		wall := time.Since(start)
+		asp.End()
+		return wall
 	}
-	tArr := run(cg.ArrayBackend)
-	tMap := run(cg.MapBackend)
+	tArr := run("array", cg.ArrayBackend)
+	tMap := run("map", cg.MapBackend)
 	ratio := 0.0
 	if tArr > 0 {
 		ratio = float64(tMap) / float64(tArr)
@@ -712,6 +722,13 @@ type SpecResult struct {
 	WallNs        int64           `json:"wall_ns"`
 	Rows          int             `json:"rows"`
 	Phases        obs.PhaseTotals `json:"phases"`
+	// Allocs and AllocBytes are the heap allocation count and allocated
+	// bytes of this run, from runtime.MemStats deltas. Only populated when
+	// the caller ran the spec serially (RunSampled with parallelism 1);
+	// process-global deltas are meaningless with specs in flight
+	// concurrently, so parallel runs leave them zero.
+	Allocs     int64 `json:"allocs,omitempty"`
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
 }
 
 // RunSpec runs one experiment by ID with an aggregate tracer attached,

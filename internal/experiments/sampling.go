@@ -29,6 +29,12 @@ type SampledSpec struct {
 	// representative breakdown is enough: phase shares are stable across
 	// repetitions; the wall-clock samples carry the variance).
 	Phases obs.PhaseTotals
+	// AllocsPerOp and BytesPerOp are the mean heap allocations and
+	// allocated bytes per repetition, from runtime.MemStats deltas around
+	// each sample. Only populated for serial records (parallelism 1);
+	// zero otherwise.
+	AllocsPerOp int64
+	BytesPerOp  int64
 }
 
 // RunSampled runs the selected specs (nil or empty = the whole registry)
@@ -49,6 +55,12 @@ func RunSampled(ids []string, samples, parallelism int) ([]*SampledSpec, error) 
 	for i, s := range selected {
 		out[i] = &SampledSpec{ID: s.ID}
 	}
+	// Per-spec allocation accumulators: sum of per-sample MemStats deltas
+	// and the number of samples that carried one (retried samples lose
+	// their measurement, so the mean divides by the measured count).
+	allocSum := make([]int64, len(selected))
+	byteSum := make([]int64, len(selected))
+	allocN := make([]int64, len(selected))
 	for rep := 0; rep < samples; rep++ {
 		recs, errs := runSpecsOnce(selected, parallelism)
 		for i, err := range errs {
@@ -66,6 +78,17 @@ func RunSampled(ids []string, samples, parallelism int) ([]*SampledSpec, error) 
 			out[i].Title = recs[i].Title
 			out[i].WallNs = append(out[i].WallNs, recs[i].WallNs)
 			out[i].Phases = recs[i].Phases
+			if recs[i].Allocs > 0 {
+				allocSum[i] += recs[i].Allocs
+				byteSum[i] += recs[i].AllocBytes
+				allocN[i]++
+			}
+		}
+	}
+	for i := range out {
+		if allocN[i] > 0 {
+			out[i].AllocsPerOp = allocSum[i] / allocN[i]
+			out[i].BytesPerOp = byteSum[i] / allocN[i]
 		}
 	}
 	return out, nil
@@ -110,6 +133,7 @@ func runSpecsOnce(selected []Spec, parallelism int) ([]*SpecResult, []error) {
 	if parallelism < 1 {
 		parallelism = 1
 	}
+	serial := parallelism == 1
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(parallelism)
@@ -117,7 +141,20 @@ func runSpecsOnce(selected []Spec, parallelism int) ([]*SpecResult, []error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				_, recs[i], errs[i] = runSpec(selected[i])
+				if serial {
+					// MemStats deltas are process-global, so they are only
+					// attributable to a spec when nothing else runs.
+					var m0, m1 runtime.MemStats
+					runtime.ReadMemStats(&m0)
+					_, recs[i], errs[i] = runSpec(selected[i])
+					runtime.ReadMemStats(&m1)
+					if recs[i] != nil {
+						recs[i].Allocs = int64(m1.Mallocs - m0.Mallocs)
+						recs[i].AllocBytes = int64(m1.TotalAlloc - m0.TotalAlloc)
+					}
+				} else {
+					_, recs[i], errs[i] = runSpec(selected[i])
+				}
 			}
 		}()
 	}

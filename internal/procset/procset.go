@@ -7,7 +7,6 @@ package procset
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/cg"
@@ -38,18 +37,27 @@ func NewBound(atoms ...sym.Expr) Bound {
 const maxAtoms = 8
 
 // Insert returns a bound extended with another equivalent expression.
+// Atoms stay sorted by key, so membership and position come from one pass
+// of allocation-free key comparisons instead of rendered key strings.
 func (b Bound) Insert(e sym.Expr) Bound {
-	k := e.Key()
-	for _, a := range b.atoms {
-		if a.Key() == k {
+	pos := len(b.atoms)
+	for i, a := range b.atoms {
+		c := a.CompareKey(e)
+		if c == 0 {
 			return b
+		}
+		if c > 0 {
+			pos = i
+			break
 		}
 	}
 	if len(b.atoms) >= maxAtoms {
 		return b
 	}
-	atoms := append(append([]sym.Expr(nil), b.atoms...), e)
-	sort.Slice(atoms, func(i, j int) bool { return atoms[i].Key() < atoms[j].Key() })
+	atoms := make([]sym.Expr, 0, len(b.atoms)+1)
+	atoms = append(atoms, b.atoms[:pos]...)
+	atoms = append(atoms, e)
+	atoms = append(atoms, b.atoms[pos:]...)
 	return Bound{atoms: atoms}
 }
 
@@ -132,14 +140,13 @@ func (b Bound) DropUses(name string) Bound {
 // Intersect keeps atoms present in both bounds (by key) — the paper's
 // widening of bounds. The result may be invalid (no common atom).
 func (b Bound) Intersect(o Bound) Bound {
-	keys := map[string]bool{}
-	for _, a := range o.atoms {
-		keys[a.Key()] = true
-	}
 	out := Bound{}
 	for _, a := range b.atoms {
-		if keys[a.Key()] {
-			out = out.Insert(a)
+		for _, oa := range o.atoms {
+			if a.CompareKey(oa) == 0 {
+				out = out.Insert(a)
+				break
+			}
 		}
 	}
 	return out
@@ -473,7 +480,7 @@ func (s Set) String() string {
 	if !s.IsValid() {
 		return "[invalid]"
 	}
-	if len(s.LB.atoms) == 1 && len(s.UB.atoms) == 1 && s.LB.atoms[0].Key() == s.UB.atoms[0].Key() {
+	if len(s.LB.atoms) == 1 && len(s.UB.atoms) == 1 && s.LB.atoms[0].CompareKey(s.UB.atoms[0]) == 0 {
 		return fmt.Sprintf("[%s]", s.LB)
 	}
 	return fmt.Sprintf("[%s..%s]", s.LB, s.UB)

@@ -7,10 +7,12 @@
 package sym
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // term is a single monomial: coefficient times a product of variables.
@@ -43,9 +45,22 @@ func Const(c int64) Expr {
 	return Expr{terms: []term{{coef: c}}}
 }
 
+// varCache interns the Expr for each variable name. Var is the hottest
+// constructor (bound enrichment and substitution mint the same handful of
+// names over and over), and since Exprs are immutable — every operation
+// that changes a coefficient copies the terms first, and vars slices are
+// shared freely already (Neg, scaleTerms) — handing out one shared Expr
+// per name is safe.
+var varCache sync.Map // string -> Expr
+
 // Var returns the polynomial consisting of the single variable name.
 func Var(name string) Expr {
-	return Expr{terms: []term{{coef: 1, vars: []string{name}}}}
+	if e, ok := varCache.Load(name); ok {
+		return e.(Expr)
+	}
+	e := Expr{terms: []term{{coef: 1, vars: []string{name}}}}
+	varCache.Store(name, e)
+	return e
 }
 
 // VarPlus returns name + c, the paper's "var + c" message-expression form.
@@ -287,6 +302,42 @@ func (e Expr) Key() string {
 		}
 	}
 	return b.String()
+}
+
+// appendKey renders e.Key() into dst byte-for-byte (the canonical
+// "coef*var*var|..." form) without the string conversion.
+func (e Expr) appendKey(dst []byte) []byte {
+	if len(e.terms) == 0 {
+		return append(dst, '0')
+	}
+	for i, t := range e.terms {
+		if i > 0 {
+			dst = append(dst, '|')
+		}
+		dst = strconv.AppendInt(dst, t.coef, 10)
+		for _, v := range t.vars {
+			dst = append(dst, '*')
+			dst = append(dst, v...)
+		}
+	}
+	return dst
+}
+
+// keyScratch recycles the render buffer CompareKey works in.
+var keyScratch = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
+
+// CompareKey orders e and o exactly as strings.Compare(e.Key(), o.Key())
+// would, without materializing the key strings — the comparison the bound
+// atom-set operations run in their inner loops.
+func (e Expr) CompareKey(o Expr) int {
+	bp := keyScratch.Get().(*[]byte)
+	buf := e.appendKey((*bp)[:0])
+	n := len(buf)
+	buf = o.appendKey(buf)
+	c := bytes.Compare(buf[:n], buf[n:])
+	*bp = buf[:0]
+	keyScratch.Put(bp)
+	return c
 }
 
 // Vars returns the sorted set of distinct variables appearing in e.

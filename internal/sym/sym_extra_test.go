@@ -1,0 +1,53 @@
+package sym
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestCompareKeyMatchesStringCompare pins CompareKey to the exact order of
+// strings.Compare over rendered keys, across randomized polynomials
+// (including negative coefficients, multi-variable monomials and zero).
+func TestCompareKeyMatchesStringCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	names := []string{"i", "j", "np", "wp0", "ps12", "$0", "x"}
+	randExpr := func() Expr {
+		e := Expr{}
+		for n := rng.Intn(4); n >= 0; n-- {
+			tm := Const(int64(rng.Intn(41) - 20))
+			for v := rng.Intn(3); v > 0; v-- {
+				tm = Mul(tm, Var(names[rng.Intn(len(names))]))
+			}
+			e = Add(e, tm)
+		}
+		return e
+	}
+	for iter := 0; iter < 5000; iter++ {
+		a, b := randExpr(), randExpr()
+		want := strings.Compare(a.Key(), b.Key())
+		if got := a.CompareKey(b); got != want {
+			t.Fatalf("CompareKey(%q, %q) = %d, want %d", a.Key(), b.Key(), got, want)
+		}
+		if a.CompareKey(a) != 0 || b.CompareKey(b) != 0 {
+			t.Fatalf("CompareKey not reflexive for %q / %q", a.Key(), b.Key())
+		}
+	}
+}
+
+// TestVarCacheImmutability guards the interned Var exprs: operations on a
+// cached Var must never mutate the shared value.
+func TestVarCacheImmutability(t *testing.T) {
+	a := Var("cachedvar")
+	_ = AddConst(a, 5)
+	_ = Neg(a)
+	_ = Scale(a, 3)
+	_ = Subst(a, "cachedvar", Const(9))
+	b := Var("cachedvar")
+	if b.Key() != "1*cachedvar" {
+		t.Fatalf("cached Var mutated: key %q", b.Key())
+	}
+	if !Equal(a, b) {
+		t.Fatalf("cached Var not equal to itself after ops")
+	}
+}
