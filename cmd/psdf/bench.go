@@ -7,6 +7,7 @@ import (
 	"os/exec"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -92,6 +93,8 @@ func benchRecord(args []string) int {
 		commit   = fs.String("commit", "", "commit SHA to anchor the entry to (default: git rev-parse HEAD)")
 		note     = fs.String("note", "", "free-form annotation stored on the entry")
 		expList  = fs.String("exp", "", "comma-separated spec ids to record (default: all)")
+		scalingW = fs.String("scaling-workers", "2,4,8", "comma-separated worker counts for the engine scaling capture (empty = skip)")
+		scalingR = fs.Int("scaling-reps", 3, "repetitions per (workload, workers) scaling point; best-of wins")
 	)
 	_ = fs.Parse(args)
 	if fs.NArg() != 0 {
@@ -128,6 +131,18 @@ func benchRecord(args []string) int {
 		fmt.Fprintln(os.Stderr, "psdf bench record:", err)
 		return 1
 	}
+	var scaling map[string]*benchhist.WorkerScaling
+	if *scalingW != "" {
+		counts, err := parseWorkerCounts(*scalingW)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psdf bench record:", err)
+			return 2
+		}
+		if scaling, err = experiments.MeasureWorkerScaling(counts, *scalingR); err != nil {
+			fmt.Fprintln(os.Stderr, "psdf bench record:", err)
+			return 1
+		}
+	}
 
 	entry := &benchhist.Entry{
 		SchemaVersion: benchhist.SchemaVersion,
@@ -138,6 +153,7 @@ func benchRecord(args []string) int {
 		Samples:       *samples,
 		Specs:         map[string]*benchhist.SpecTiming{},
 		Fingerprints:  fps,
+		Scaling:       scaling,
 	}
 	for _, s := range sampled {
 		st := benchhist.NewSpecTiming(s.Title, s.WallNs, s.Phases)
@@ -160,7 +176,40 @@ func benchRecord(args []string) int {
 			s.ID, time.Duration(st.MedianNs).Round(time.Microsecond),
 			time.Duration(st.StddevNs).Round(time.Microsecond), len(st.WallNs), allocs)
 	}
+	for _, name := range sortedScalingNames(scaling) {
+		ws := scaling[name]
+		w := ws.MaxWorkers()
+		fmt.Printf("  scaling %-14s %12v at 1 worker, %v at %d (%.2fx)\n",
+			name, time.Duration(ws.NsPerOp[1]).Round(time.Microsecond),
+			time.Duration(ws.NsPerOp[w]).Round(time.Microsecond), w, ws.Speedup[w])
+	}
 	return 0
+}
+
+// parseWorkerCounts parses a "2,4,8"-style worker-count list.
+func parseWorkerCounts(spec string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -scaling-workers entry %q", f)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+func sortedScalingNames(scaling map[string]*benchhist.WorkerScaling) []string {
+	names := make([]string, 0, len(scaling))
+	for n := range scaling {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // humanBytes renders a byte count with a binary-prefix unit.
@@ -235,6 +284,7 @@ func benchCheck(args []string) int {
 		failOnTime   = fs.Bool("fail-on-time", false, "fail (not just warn) on significant same-host slowdowns")
 		failOnAllocs = fs.Bool("fail-on-allocs", false, "fail (not just warn) on allocs/op regressions past -max-alloc-delta")
 		maxAlloc     = fs.Float64("max-alloc-delta", 0.20, "relative allocs/op growth past which a spec regresses")
+		minSpeedup   = fs.Float64("min-speedup", 0, "warn when the entry under test's engine speedup at its highest recorded worker count falls below this ratio (0 = off)")
 	)
 	_ = fs.Parse(args)
 	r, err := diffReport(*history, *baseline, *target,
@@ -245,6 +295,24 @@ func benchCheck(args []string) int {
 	}
 	fmt.Print(r)
 	failures, warnings := r.GateWith(benchhist.GatePolicy{FailOnTime: *failOnTime, FailOnAllocs: *failOnAllocs})
+	if *minSpeedup > 0 {
+		// Warn-level by design: the ratio depends on the host, so a drop is
+		// a prompt to look, never a red build.
+		entries, err := benchhist.Read(*history)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psdf bench check:", err)
+			return 1
+		}
+		newE, _, err := benchhist.Select(entries, *target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psdf bench check:", err)
+			return 1
+		}
+		if len(newE.Scaling) == 0 {
+			warnings = append(warnings, fmt.Sprintf("-min-speedup %.2f set but entry %s carries no scaling capture", *minSpeedup, newE.ShortCommit()))
+		}
+		warnings = append(warnings, newE.MinSpeedupWarnings(*minSpeedup)...)
+	}
 	for _, w := range warnings {
 		fmt.Printf("WARN: %s\n", w)
 	}

@@ -1,0 +1,80 @@
+package benchhist
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestWorkerScalingRoundTrip(t *testing.T) {
+	e := &Entry{
+		SchemaVersion: SchemaVersion,
+		Scaling: map[string]*WorkerScaling{
+			"fig7_shift": {
+				NsPerOp: map[int]int64{1: 4_000_000, 8: 1_000_000},
+				Speedup: map[int]float64{8: 4.0},
+			},
+		},
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Entry
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	ws := back.Scaling["fig7_shift"]
+	if ws == nil || ws.NsPerOp[8] != 1_000_000 || ws.Speedup[8] != 4.0 {
+		t.Fatalf("scaling did not round-trip: %+v", back.Scaling)
+	}
+	if got := ws.MaxWorkers(); got != 8 {
+		t.Fatalf("MaxWorkers = %d, want 8", got)
+	}
+}
+
+func TestWorkerScalingOmittedWhenAbsent(t *testing.T) {
+	data, err := json.Marshal(&Entry{SchemaVersion: SchemaVersion})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if string(data) != "" && jsonHasKey(data, "scaling") {
+		t.Fatalf("empty scaling serialized: %s", data)
+	}
+	var back Entry
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Scaling != nil {
+		t.Fatalf("absent scaling read back non-nil: %+v", back.Scaling)
+	}
+}
+
+func jsonHasKey(data []byte, key string) bool {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}
+
+func TestMinSpeedupWarnings(t *testing.T) {
+	e := &Entry{Scaling: map[string]*WorkerScaling{
+		"slow": {NsPerOp: map[int]int64{1: 100, 8: 50}, Speedup: map[int]float64{8: 2.0}},
+		"fast": {NsPerOp: map[int]int64{1: 100, 8: 20}, Speedup: map[int]float64{8: 5.0}},
+		"solo": {NsPerOp: map[int]int64{1: 100}},
+	}}
+	warns := e.MinSpeedupWarnings(3.0)
+	if len(warns) != 1 {
+		t.Fatalf("warnings = %v, want exactly one (for slow)", warns)
+	}
+	if want := "scaling slow: 2.00x at 8 workers, below -min-speedup 3.00x"; warns[0] != want {
+		t.Fatalf("warning = %q, want %q", warns[0], want)
+	}
+	if got := e.MinSpeedupWarnings(0); got != nil {
+		t.Fatalf("disabled threshold produced warnings: %v", got)
+	}
+	if got := (&Entry{}).MinSpeedupWarnings(3.0); got != nil {
+		t.Fatalf("entry without scaling produced warnings: %v", got)
+	}
+}

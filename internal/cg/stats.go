@@ -45,6 +45,12 @@ type Stats struct {
 	keyCacheMisses  atomic.Int64
 	schedCoalesced  atomic.Int64
 	shardContention atomic.Int64
+	// Sharded-scheduler accounting: pops a worker stole from another
+	// worker's home shard, and lock acquisitions saved by committing a
+	// step's same-shard revisions (table writes and scheduler pushes) in
+	// one critical section instead of one per successor.
+	schedSteals  atomic.Int64
+	batchedSaved atomic.Int64
 }
 
 // FullClosures returns the number of O(n^3) closure passes.
@@ -98,6 +104,15 @@ func (s *Stats) SchedCoalesced() int64 { return s.schedCoalesced.Load() }
 // already held (parallel engine only).
 func (s *Stats) ShardContention() int64 { return s.shardContention.Load() }
 
+// SchedSteals returns how many scheduler pops were served from a shard
+// other than the popping worker's home shard (work stealing).
+func (s *Stats) SchedSteals() int64 { return s.schedSteals.Load() }
+
+// BatchedSaved returns how many lock acquisitions the batched shard-commit
+// path saved by folding a step's same-shard revisions into one critical
+// section.
+func (s *Stats) BatchedSaved() int64 { return s.batchedSaved.Load() }
+
 // AddKeyCacheHits bumps the key-cache hit counter. Safe on a nil receiver.
 func (s *Stats) AddKeyCacheHits(n int64) {
 	if s != nil {
@@ -124,6 +139,21 @@ func (s *Stats) AddSchedCoalesced(n int64) {
 func (s *Stats) AddShardContention(n int64) {
 	if s != nil {
 		s.shardContention.Add(n)
+	}
+}
+
+// AddSchedSteals bumps the work-stealing counter. Safe on a nil receiver.
+func (s *Stats) AddSchedSteals(n int64) {
+	if s != nil {
+		s.schedSteals.Add(n)
+	}
+}
+
+// AddBatchedSaved bumps the batched-commit savings counter. Safe on a nil
+// receiver.
+func (s *Stats) AddBatchedSaved(n int64) {
+	if s != nil {
+		s.batchedSaved.Add(n)
 	}
 }
 
@@ -181,6 +211,8 @@ func (s *Stats) Merge(o *Stats) {
 	s.keyCacheMisses.Add(o.keyCacheMisses.Load())
 	s.schedCoalesced.Add(o.schedCoalesced.Load())
 	s.shardContention.Add(o.shardContention.Load())
+	s.schedSteals.Add(o.schedSteals.Load())
+	s.batchedSaved.Add(o.batchedSaved.Load())
 }
 
 // Reset zeroes the counters.
@@ -202,4 +234,6 @@ func (s *Stats) Reset() {
 	s.keyCacheMisses.Store(0)
 	s.schedCoalesced.Store(0)
 	s.shardContention.Store(0)
+	s.schedSteals.Store(0)
+	s.batchedSaved.Store(0)
 }

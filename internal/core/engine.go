@@ -92,7 +92,17 @@ type Options struct {
 	// jobs share one tracer or registry (AnalyzeAll assigns input position
 	// + 1 when zero).
 	TracePID int
+	// onRevision, when non-nil, observes every canonicalized successor
+	// state the sequential engine delivers to the configuration table,
+	// keyed by shape. Recording hook for the arrival-order permutation
+	// suite (installed via WithRevisionHook in tests).
+	onRevision func(key string, st *State)
 }
+
+// parallelJoinVisits is the join→widen rung the parallel engine defaults
+// to (Options.JoinVisits overrides it). See the resolution in Analyze for
+// why coalesced delivery makes the sequential default an over-delay.
+const parallelJoinVisits = 3
 
 func (o *Options) joinVisits() int {
 	if o.JoinVisits <= 0 {
@@ -255,9 +265,25 @@ func (r *Result) TopReasons() []string {
 }
 
 type tableEntry struct {
-	st         *State
-	visits     int
+	st *State
+	// rev is the entry's revision-chain length: how many state-changing
+	// revisions (combines whose result differed from the previous entry
+	// state) have been committed. It is a property of the joined abstract
+	// state itself, not of message traffic — re-deliveries and stale
+	// re-steps whose information the entry already holds do not advance
+	// it — so the join→widen ladder and the give-up threshold keyed off it
+	// fire identically for any revision arrival order.
+	rev        int
 	widenParam string
+	// seen records the full keys of every state delivered to (or committed
+	// on) this entry. The entry only ascends, so each of those states stays
+	// below it forever: a re-delivery with a key in this set — the parallel
+	// engine's stale-re-step churn — is dropped before the combine runs.
+	// Beyond saving the combine, this keeps the widen rung reductive on
+	// duplicates (cg.Widen against an already-absorbed state is not a
+	// representation no-op, so without the filter duplicate traffic could
+	// advance the revision chain).
+	seen map[string]struct{}
 	// paramMints counts fresh widening parameters anchored at this key; a
 	// key that keeps needing new parameters is not converging.
 	paramMints int
@@ -333,6 +359,37 @@ func Analyze(g *cfg.Graph, opts Options) (*Result, error) {
 	schedule, err := opts.schedule()
 	if err != nil {
 		return nil, err
+	}
+	if opts.Schedule == "" && opts.workers() > 1 {
+		// State-derived revision counters make every schedule
+		// equivalence-safe (the converged result is interleaving- and
+		// order-independent by construction), so the parallel engine is free
+		// to default to the depth-first order: it reaches each
+		// configuration's widest pending state soonest, which shortens the
+		// realized revision chains and lets the coalescing scheduler absorb
+		// the most stale traffic. Sequential runs keep FIFO — the classic
+		// worklist order the paper's step counts are quoted against.
+		schedule = ScheduleLIFO
+	}
+	if opts.JoinVisits == 0 && opts.workers() > 1 {
+		// The parallel engine's revision chains are built from coalesced
+		// deliveries: one revision reaching a table entry is the join of
+		// every successor produced since the entry was last stepped, so a
+		// single chain link carries what the sequential engine spreads over
+		// roughly frontier-width many links. Counting the sequential default
+		// of 12 links before the widen rung therefore over-delays widening
+		// by about that factor; three coalesced joins carry the same
+		// information. Two is too few: on the stencil workloads the
+		// parametric range widening (atom-intersection failure minting a
+		// fresh bound parameter) can then fire before enough lineages have
+		// joined, and while the rung itself is order-independent, the chain
+		// *content* at rung time is not — a 300-iteration race-detector
+		// sweep showed rare spurious ⊤ verdicts at 2 and none at 3. The
+		// rung is still a pure function of the joined states (arrival order
+		// cannot move it), and the equivalence and arrival-order stress
+		// suites hold the converged results byte-identical to the
+		// sequential engine's across every workload and worker count.
+		opts.JoinVisits = parallelJoinVisits
 	}
 	e := &engine{
 		g:       g,
@@ -632,6 +689,9 @@ func (e *engine) insert(fromKey string, st *State, action string, tid int) {
 	}
 	st.CanonicalizeParams()
 	key := st.ShapeKey()
+	if e.opts.onRevision != nil {
+		e.opts.onRevision(key, st.Clone())
+	}
 	sp := e.span(tid, obs.PhaseInsert, key)
 	defer sp.End()
 	e.recordEdge(fromKey, key, action)
@@ -651,30 +711,21 @@ func (e *engine) insert(fromKey string, st *State, action string, tid int) {
 
 // reviseEntry merges incoming state st into an existing table entry,
 // advancing the join→widen ladder, and reports whether the entry changed
-// and must be rescheduled. In the parallel engine the caller holds the
-// entry's shard lock; concurrent snapshot holders of the previous entry
-// state are protected by copy-on-write (the revision never writes storage
-// shared with a clone in place).
+// and must be rescheduled. The ladder is driven by entry.rev, which counts
+// state-changing revisions only: a revision whose combine result equals
+// the current entry state (a re-delivery, or a re-step of a stale
+// snapshot whose successors the entry already absorbed) leaves the ladder
+// untouched. That makes join→widen escalation and the give-up threshold a
+// pure function of the sequence of distinct entry states — identical for
+// any revision arrival order — so the sequential and parallel engines
+// share one counting rule with no interleaving-dependent carve-outs. In
+// the parallel engine the caller holds the entry's shard lock; concurrent
+// snapshot holders of the previous entry state are protected by
+// copy-on-write (the revision never writes storage shared with a clone in
+// place).
 func (e *engine) reviseEntry(entry *tableEntry, st *State, key string, tid int) bool {
-	entry.visits++
-	if entry.visits > e.opts.maxVisits() {
-		if !entry.st.Top {
-			old := entry.st
-			entry.st = &State{Top: true, TopWhy: "widening did not converge at " + key,
-				TopNode: firstActiveNode(old), TopKey: key}
-			old.Release()
-			st.Release()
-			return true
-		}
-		st.Release()
-		return false
-	}
 	if entry.st.Top {
-		if e.parallel {
-			// Revision churn against an already-⊤ entry must not consume
-			// the starvation budget (see the no-change case below).
-			entry.visits--
-		}
+		// ⊤ absorbs every revision; nothing to count, nothing to reschedule.
 		st.Release()
 		return false
 	}
@@ -684,10 +735,24 @@ func (e *engine) reviseEntry(entry *tableEntry, st *State, key string, tid int) 
 		old.Release()
 		return true
 	}
+	fk := st.FullKey()
 	before := entry.st.FullKey()
+	if _, dup := entry.seen[fk]; dup || fk == before {
+		// fk == before matters when the entry was just created and seen is
+		// still empty: combining a state with itself is not a representation
+		// no-op (multi-atom bounds normalize under G), so without the check
+		// a self-delivery would advance the revision chain.
+		st.Release()
+		return false
+	}
+	if entry.seen == nil {
+		entry.seen = make(map[string]struct{}, 8)
+	}
+	entry.seen[fk] = struct{}{}
+	entry.seen[before] = struct{}{}
 	st.AlignTo(entry.st)
 	combinePhase := obs.PhaseJoin
-	if entry.visits > e.opts.joinVisits() {
+	if entry.rev >= e.opts.joinVisits() {
 		combinePhase = obs.PhaseWiden
 	}
 	csp := e.span(tid, combinePhase, key)
@@ -704,33 +769,41 @@ func (e *engine) reviseEntry(entry *tableEntry, st *State, key string, tid int) 
 		return true
 	}
 	remap := widened.CanonicalizeParams()
+	after := widened.FullKey()
+	if after == before {
+		// Absorbed without change: the ladder does not advance, and the
+		// canonicalization remap is dropped along with the discarded trial
+		// state. Applying the remap here would orphan the widening
+		// parameter — the remap describes renames inside widened, while
+		// entry.st keeps its current names.
+		widened.Release()
+		st.Release()
+		return false
+	}
+	// A state-changing revision: the remap must follow the committed state,
+	// and the revision chain grows. A chain that outruns MaxVisits is not
+	// converging — give up deterministically, on the chain length alone.
 	if to, ok := remap[entry.widenParam]; ok {
 		entry.widenParam = to
 	}
-	if widened.FullKey() != before {
-		e.widenings.Add(1)
+	entry.rev++
+	if entry.rev > e.opts.maxVisits() {
 		old := entry.st
-		entry.st = widened
+		entry.st = &State{Top: true, TopWhy: "widening did not converge at " + key,
+			TopNode: firstActiveNode(old), TopKey: key}
 		old.Release()
+		widened.Release()
 		st.Release()
-		e.tracef("widen  %-40s %s", key, widened)
 		return true
 	}
-	if e.parallel {
-		// The incoming state was absorbed without changing the entry: in the
-		// parallel engine this is revision churn — a re-step of a stale
-		// snapshot whose successors the join ladder already holds. Such
-		// no-change revisions must not consume the MaxVisits starvation
-		// budget, or an unlucky interleaving could widen (or give up) a
-		// configuration that never gained information. Only revisions taken
-		// on fresh information count toward the ladder. The sequential
-		// engine keeps the historical counting so its fingerprints are
-		// byte-identical.
-		entry.visits--
-	}
-	widened.Release()
+	e.widenings.Add(1)
+	entry.seen[after] = struct{}{}
+	old := entry.st
+	entry.st = widened
+	old.Release()
 	st.Release()
-	return false
+	e.tracef("widen  %-40s %s", key, widened)
+	return true
 }
 
 func (e *engine) push(id uint64) {
@@ -910,10 +983,19 @@ func (e *engine) combineRetry(entry *tableEntry, nw *State, retries int) *State 
 		return a.RecvNode < b.RecvNode
 	})
 	cloned := out.G
-	if entry.visits <= e.opts.joinVisits() {
+	if entry.rev < e.opts.joinVisits() {
 		out.G = cg.Join(old.G, nw.G)
 	} else {
-		out.G = cg.Widen(old.G, nw.G)
+		// Textbook widening form: old ∇ (old ⊔ nw), never old ∇ nw. Widening
+		// directly against the incoming graph drops every bound of old the
+		// newcomer happens not to entail — so a stale or narrow delivery
+		// (routine under parallel re-step churn) could erase constraints a
+		// join would have kept, making the widened state depend on which
+		// revision reached the widen rung first. Widening against the join
+		// only discards bounds the newcomer genuinely outgrew.
+		joined := cg.Join(old.G, nw.G)
+		out.G = cg.Widen(old.G, joined)
+		joined.Release()
 	}
 	// The clone's graph was only a placeholder; return its reference to the
 	// arena now that the join/widen result replaced it.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/obs"
@@ -19,21 +20,29 @@ import (
 // are therefore deferred — recorded per-entry (tableEntry.stuckTops) and
 // overwritten by each re-step — and committed only at convergence, from
 // the final entry versions (engine.commitStuckTops). Combined with the
-// deterministic finish() post-pass and parameter canonicalization (helper
-// names are assigned by appearance order inside each state, not globally),
-// the converged Finals, Tops and Matches are independent of worker
-// interleaving.
+// state-derived revision counters driving the join→widen ladder
+// (tableEntry.rev — arrival order cannot shift when widening or give-up
+// fires), the deterministic finish() post-pass and parameter
+// canonicalization (helper names are assigned by appearance order inside
+// each state, not globally), the converged Finals, Tops and Matches are
+// independent of worker interleaving.
+//
+// Successor commits are batched per shard: a step canonicalizes and
+// interns all of its successors outside any lock, then revises the
+// same-shard ones inside one table-shard critical section and hands the
+// changed ids to the matching scheduler shard in one push critical
+// section (processPar → commitBatch → scheduler.pushShard).
 
 // runParallel spawns the worker pool and blocks until the fixpoint is
 // reached (scheduler pending count hits zero) or the step budget aborts
 // the run.
 func (e *engine) runParallel(init *State, schedule string) {
 	e.parallel = true
-	e.sched = newScheduler(newQueue(schedule, e.in), e.stats())
+	e.sched = newScheduler(schedule, e.in, len(e.shards), e.stats())
 	if reg := e.opts.Metrics; reg != nil {
-		// Live scheduler gauges, evaluated under the scheduler mutex at
-		// render time (for the -http metrics listener; they settle to the
-		// final values once the run converges).
+		// Live scheduler gauges, evaluated at render time (for the -http
+		// metrics listener; they settle to the final values once the run
+		// converges).
 		job := obs.Labels("job", fmt.Sprintf("%d", e.opts.TracePID))
 		sched := e.sched
 		reg.GaugeFuncVec("psdf_sched_queue_depth", "configurations currently queued", job,
@@ -42,16 +51,34 @@ func (e *engine) runParallel(init *State, schedule string) {
 			func() float64 { return float64(sched.livePending()) })
 	}
 	e.insertPar("", init, "start", 0)
+	// Oversubscribing the machine buys nothing — extra workers just churn
+	// through park/wake cycles on the scheduler condvar — so the pool is
+	// clamped to GOMAXPROCS. The floor of 2 keeps a parallel request
+	// genuinely concurrent even on a single-core host: the equivalence and
+	// race suites rely on real interleavings, and the coalescing behavior
+	// (the source of the single-core speedup) is identical from 2 workers
+	// up — revision counters are state-derived, so the worker count cannot
+	// move the result.
+	workers := e.opts.workers()
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		if max < 2 {
+			max = 2
+		}
+		workers = max
+	}
 	var wg sync.WaitGroup
-	for w := 0; w < e.opts.workers(); w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		// Worker lanes are tids 1..Workers; tid 0 is the driver goroutine
-		// (finish post-pass and the caller's analyze span).
-		go func(tid int) {
+		// (finish post-pass and the caller's analyze span). Home shards are
+		// spread evenly so workers drain disjoint queue slices until they
+		// have to steal.
+		home := w * len(e.shards) / workers
+		go func(tid, home int) {
 			defer wg.Done()
 			for {
 				dsp := e.span(tid, obs.PhaseDequeue, "")
-				id, ok := e.sched.pop()
+				id, ok := e.sched.pop(home)
 				dsp.End()
 				if !ok {
 					return
@@ -59,15 +86,25 @@ func (e *engine) runParallel(init *State, schedule string) {
 				e.processPar(id, tid)
 				e.sched.done(id)
 			}
-		}(w + 1)
+		}(w+1, home)
 	}
 	wg.Wait()
 }
 
+// prepSucc is a step successor prepared for a batched commit:
+// canonicalized, keyed and interned outside any lock.
+type prepSucc struct {
+	st     *State
+	action string
+	key    string
+	id     uint64
+}
+
 // processPar steps one configuration: snapshot the table state under its
 // shard lock, release the lock, run the (expensive) transfer/matching step
-// on the private snapshot, then merge the successors. Terminal entries
-// (Top or all-at-exit) are left for finish() to classify.
+// on the private snapshot, then commit the successors in per-shard
+// batches. Terminal entries (Top or all-at-exit) are left for finish() to
+// classify.
 func (e *engine) processPar(id uint64, tid int) {
 	fromKey := e.in.keyOf(id)
 	sp := e.span(tid, obs.PhaseStep, fromKey)
@@ -89,17 +126,38 @@ func (e *engine) processPar(id uint64, tid int) {
 		snap.Release()
 		return
 	}
+	// Prepare every successor outside the locks: drop unreachable ones,
+	// canonicalize, render the shape key, intern. Edges are collected and
+	// appended under one resMu acquisition instead of one per successor.
 	var tops []succ
+	var preps []prepSucc
+	var edges []PCFGEdge
 	for _, sa := range e.step(snap, tid, fromKey) {
 		if sa.st.Top {
 			tops = append(tops, sa)
 			continue
 		}
-		e.insertPar(fromKey, sa.st, sa.action, tid)
+		if len(sa.st.Sets) == 0 {
+			// Unreachable configuration (inconsistent constraints): drop.
+			sa.st.Release()
+			continue
+		}
+		sa.st.CanonicalizeParams()
+		key := sa.st.ShapeKey()
+		isp := e.span(tid, obs.PhaseInsert, key)
+		preps = append(preps, prepSucc{st: sa.st, action: sa.action, key: key, id: e.in.intern(key)})
+		edges = append(edges, PCFGEdge{From: fromKey, To: key, Action: sa.action})
+		isp.End()
 	}
 	// step always clones before returning successors, so the private
 	// snapshot is dead here and its graph storage can go back to the arena.
 	snap.Release()
+	if len(edges) > 0 {
+		e.resMu.Lock()
+		e.res.Edges = append(e.res.Edges, edges...)
+		e.resMu.Unlock()
+	}
+	e.commitBatch(preps, tid)
 	// Record this step's give-up verdict on the entry, replacing the
 	// previous step's. The scheduler runs at most one step per id at a
 	// time, so verdict writes for an id are ordered; a revision that races
@@ -112,10 +170,59 @@ func (e *engine) processPar(id uint64, tid int) {
 	sh.mu.Unlock()
 }
 
-// insertPar merges a successor configuration into the sharded table and
-// schedules it. Canonicalization and key rendering happen before the lock
-// is taken; only the table-entry revision itself runs under the shard
-// lock.
+// commitBatch merges a step's prepared successors into the table, one
+// critical section per touched shard, then schedules the configurations
+// that changed with one scheduler push per shard. Table shards and
+// scheduler shards share the id mask, so each commit group maps to
+// exactly one scheduler shard.
+func (e *engine) commitBatch(preps []prepSucc, tid int) {
+	if len(preps) == 0 {
+		return
+	}
+	done := make([]bool, len(preps))
+	var changed []uint64
+	for i := range preps {
+		if done[i] {
+			continue
+		}
+		si := preps[i].id & e.shardMask
+		changed = changed[:0]
+		csp := e.span(tid, obs.PhaseCommit, preps[i].key)
+		sh := e.lockShard(preps[i].id)
+		for j := i; j < len(preps); j++ {
+			if done[j] || preps[j].id&e.shardMask != si {
+				continue
+			}
+			done[j] = true
+			p := preps[j]
+			entry := sh.m[p.id]
+			if entry == nil {
+				sh.m[p.id] = &tableEntry{st: p.st}
+				changed = append(changed, p.id)
+				e.tracef("new    %-40s %s", p.key, p.st)
+				continue
+			}
+			if e.reviseEntry(entry, p.st, p.key, tid) {
+				changed = append(changed, p.id)
+			}
+		}
+		saved := 0
+		for j := i + 1; j < len(preps); j++ {
+			if done[j] && preps[j].id&e.shardMask == si {
+				saved++
+			}
+		}
+		sh.mu.Unlock()
+		csp.End()
+		if saved > 0 {
+			e.stats().AddBatchedSaved(int64(saved))
+		}
+		e.sched.pushShard(si, changed)
+	}
+}
+
+// insertPar merges a single configuration into the sharded table and
+// schedules it — the seed path (batched steps go through commitBatch).
 func (e *engine) insertPar(fromKey string, st *State, action string, tid int) {
 	if !st.Top && len(st.Sets) == 0 {
 		st.Release()

@@ -76,10 +76,15 @@ func (st *State) CanonicalizeParams() map[string]string {
 		mapping[v] = want
 	}
 	// Drop stale helper variables (present in G but unused by any bound).
+	dropped := false
 	for _, v := range st.G.Vars() {
 		if isHelperVar(v) && !seen[v] {
 			st.G.Drop(v)
+			dropped = true
 		}
+	}
+	if dropped {
+		st.dirtyKeys()
 	}
 	// Identity mapping: nothing to do.
 	identity := true
@@ -181,6 +186,56 @@ func (st *State) ResolveHelpers() {
 				break
 			}
 		}
+	}
+	// Project residual helpers out of the constraint graph. A helper that no
+	// bound references after resolution is a leftover existential witness of
+	// the particular join/widen pairing order that built the state; whether
+	// one was ever minted depends on that order, so keeping its constraints
+	// in G would make the rendered terminal state schedule-dependent. The
+	// graph is kept transitively closed, so dropping a row projects the
+	// variable out while preserving every consequence among the survivors.
+	used := map[string]bool{}
+	note := func(e sym.Expr) {
+		for _, v := range e.Vars() {
+			if isHelperVar(v) {
+				used[v] = true
+			}
+		}
+	}
+	scanSet := func(s procset.Set) {
+		for _, a := range s.LB.Atoms() {
+			note(a)
+		}
+		for _, a := range s.UB.Atoms() {
+			note(a)
+		}
+	}
+	for _, p := range st.Sets {
+		scanSet(p.Range)
+	}
+	for _, m := range st.Matches {
+		scanSet(m.Sender)
+		scanSet(m.Receiver)
+	}
+	for _, p := range st.Pending {
+		scanSet(p.Senders)
+		if p.Shape == PendFan {
+			scanSet(p.Dests)
+		}
+		note(p.Offset)
+		if p.ValOK {
+			note(p.Val)
+		}
+	}
+	dropped := false
+	for _, v := range st.G.Vars() {
+		if isHelperVar(v) && !used[v] {
+			st.G.Drop(v)
+			dropped = true
+		}
+	}
+	if dropped {
+		st.dirtyKeys()
 	}
 }
 

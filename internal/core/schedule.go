@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cg"
 )
@@ -121,131 +122,226 @@ const (
 	cfgRunningDirty
 )
 
-// scheduler coordinates the parallel worklist: it owns the queue, tracks
-// each configuration's scheduling state, and detects termination. The
+// schedShard is one slice of the sharded scheduler: its own queue, state
+// map and lock. Scheduler shards are aligned with the configuration-table
+// shards (same count, same mask), so a step's batched table commit for one
+// table shard feeds exactly one scheduler shard — one push critical
+// section per commit critical section.
+type schedShard struct {
+	mu    sync.Mutex
+	q     workQueue
+	state map[uint64]uint8
+}
+
+// scheduler coordinates the parallel worklist: sharded run queues, a
+// per-configuration state machine, and termination detection. The
 // invariant behind the termination detector: pending counts configurations
 // that are queued or running; a worker holds its pop "in flight" until it
 // calls done, so pending==0 means no configuration can ever become queued
-// again — the fixpoint is reached.
+// again — the fixpoint is reached. pending and queued are global atomics
+// so workers check for termination and emptiness without sweeping shards;
+// the per-shard mutexes only serialize same-shard queue and state-map
+// operations.
 type scheduler struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	q       workQueue
-	state   map[uint64]uint8
-	pending int
-	stopped bool
+	shards []schedShard
+	mask   uint64
+	// pending counts configurations queued or running; queued counts
+	// configurations sitting in some shard queue right now.
+	pending atomic.Int64
+	queued  atomic.Int64
+	stopped atomic.Bool
 	stats   *cg.Stats
-	// High-water marks for the observability gauges: deepest the queue got
-	// and most configurations simultaneously queued-or-running.
-	depthHW   int
-	pendingHW int
+	// High-water marks for the observability gauges: deepest the queues got
+	// (summed) and most configurations simultaneously queued-or-running.
+	depthHW   atomic.Int64
+	pendingHW atomic.Int64
+	// mu/cond only coordinate worker sleep when no work is visible;
+	// sleepers lets pushers skip the lock entirely while every worker is
+	// busy (the common case).
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sleepers atomic.Int64
 }
 
-func newScheduler(q workQueue, stats *cg.Stats) *scheduler {
-	s := &scheduler{q: q, state: make(map[uint64]uint8, 64), stats: stats}
+func newScheduler(schedule string, in *interner, nshards int, stats *cg.Stats) *scheduler {
+	s := &scheduler{shards: make([]schedShard, nshards), mask: uint64(nshards - 1), stats: stats}
+	for i := range s.shards {
+		s.shards[i].q = newQueue(schedule, in)
+		s.shards[i].state = make(map[uint64]uint8, 8)
+	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
 
-// push requests a (re)visit of id. Pushes onto an already-queued or
-// already-dirty configuration coalesce: the single upcoming visit will
-// observe the revised table entry, saving a full step. Pushes onto a
-// running configuration mark it dirty so it is requeued after its
-// in-flight step (which read a pre-revision snapshot) completes.
+// hwMax raises a high-water mark to v (lock-free monotonic max).
+func hwMax(hw *atomic.Int64, v int64) {
+	for {
+		cur := hw.Load()
+		if v <= cur || hw.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// push requests a (re)visit of one configuration.
 func (s *scheduler) push(id uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.stopped {
+	s.pushShard(id&s.mask, []uint64{id})
+}
+
+// pushShard requests (re)visits of a batch of configurations, all owned by
+// scheduler shard si, under one lock acquisition. Pushes onto an
+// already-queued or already-dirty configuration coalesce: the single
+// upcoming visit will observe the revised table entry, saving a full step.
+// Pushes onto a running configuration mark it dirty so it is requeued
+// after its in-flight step (which read a pre-revision snapshot) completes.
+func (s *scheduler) pushShard(si uint64, ids []uint64) {
+	if len(ids) == 0 || s.stopped.Load() {
 		return
 	}
-	switch s.state[id] {
-	case cfgIdle:
-		s.state[id] = cfgQueued
-		s.pending++
-		s.q.push(id)
-		if d := s.q.size(); d > s.depthHW {
-			s.depthHW = d
-		}
-		if s.pending > s.pendingHW {
-			s.pendingHW = s.pending
-		}
-		s.cond.Signal()
-	case cfgQueued, cfgRunningDirty:
-		s.stats.AddSchedCoalesced(1)
-	case cfgRunning:
-		s.state[id] = cfgRunningDirty
+	if len(ids) > 1 {
+		s.stats.AddBatchedSaved(int64(len(ids) - 1))
 	}
+	sh := &s.shards[si]
+	newly, coalesced := 0, int64(0)
+	sh.mu.Lock()
+	for _, id := range ids {
+		switch sh.state[id] {
+		case cfgIdle:
+			sh.state[id] = cfgQueued
+			sh.q.push(id)
+			newly++
+		case cfgQueued, cfgRunningDirty:
+			coalesced++
+		case cfgRunning:
+			sh.state[id] = cfgRunningDirty
+		}
+	}
+	sh.mu.Unlock()
+	if coalesced > 0 {
+		s.stats.AddSchedCoalesced(coalesced)
+	}
+	if newly == 0 {
+		return
+	}
+	hwMax(&s.pendingHW, s.pending.Add(int64(newly)))
+	hwMax(&s.depthHW, s.queued.Add(int64(newly)))
+	s.wake()
+}
+
+// wake releases sleeping workers after work became visible. The sleepers
+// fast path keeps pushes lock-free while all workers are busy; the
+// broadcast is taken under mu so a worker between its condition re-check
+// and cond.Wait cannot miss it (the pusher blocks on mu until the worker
+// is parked).
+func (s *scheduler) wake() {
+	if s.sleepers.Load() == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // pop blocks until a configuration is available, the fixpoint is reached,
 // or the scheduler is stopped. ok=false means the worker should exit.
-func (s *scheduler) pop() (uint64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// home is the worker's preferred shard; when it is empty the worker steals
+// from the other shards (scanning upward from home).
+func (s *scheduler) pop(home int) (uint64, bool) {
 	for {
-		if s.stopped {
+		if s.stopped.Load() {
 			return 0, false
 		}
-		if id, ok := s.q.pop(); ok {
-			s.state[id] = cfgRunning
+		if s.queued.Load() > 0 {
+			if id, ok := s.tryPop(home); ok {
+				return id, true
+			}
+			continue
+		}
+		if s.pending.Load() == 0 {
+			return 0, false
+		}
+		// Nothing queued but steps are in flight: park until a push (or the
+		// final done) broadcasts. The condition re-check after registering
+		// as a sleeper closes the race against a concurrent pusher: the
+		// pusher makes queued>0 visible before reading sleepers, so either
+		// it sees this sleeper and broadcasts under mu, or this load sees
+		// its work.
+		s.mu.Lock()
+		s.sleepers.Add(1)
+		for s.queued.Load() == 0 && s.pending.Load() > 0 && !s.stopped.Load() {
+			s.cond.Wait()
+		}
+		s.sleepers.Add(-1)
+		s.mu.Unlock()
+	}
+}
+
+// tryPop pops from the home shard, or failing that steals from the first
+// non-empty shard above it (wrapping).
+func (s *scheduler) tryPop(home int) (uint64, bool) {
+	n := len(s.shards)
+	for i := 0; i < n; i++ {
+		sh := &s.shards[(home+i)%n]
+		sh.mu.Lock()
+		id, ok := sh.q.pop()
+		if ok {
+			sh.state[id] = cfgRunning
+		}
+		sh.mu.Unlock()
+		if ok {
+			s.queued.Add(-1)
+			if i != 0 {
+				s.stats.AddSchedSteals(1)
+			}
 			return id, true
 		}
-		if s.pending == 0 {
-			return 0, false
+		if s.queued.Load() == 0 {
+			break
 		}
-		s.cond.Wait()
 	}
+	return 0, false
 }
 
 // done reports that the step for id finished. A dirty configuration is
 // requeued (its in-flight step used a stale snapshot); otherwise it goes
 // idle, and if it was the last pending configuration the fixpoint is
-// reached and all waiting workers are released.
+// reached and all parked workers are released.
 func (s *scheduler) done(id uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.state[id] == cfgRunningDirty && !s.stopped {
-		s.state[id] = cfgQueued
-		s.q.push(id)
-		if d := s.q.size(); d > s.depthHW {
-			s.depthHW = d
-		}
-		s.cond.Signal()
+	sh := &s.shards[id&s.mask]
+	sh.mu.Lock()
+	if sh.state[id] == cfgRunningDirty && !s.stopped.Load() {
+		sh.state[id] = cfgQueued
+		sh.q.push(id)
+		sh.mu.Unlock()
+		hwMax(&s.depthHW, s.queued.Add(1))
+		s.wake()
 		return
 	}
-	s.state[id] = cfgIdle
-	s.pending--
-	if s.pending == 0 {
+	sh.state[id] = cfgIdle
+	sh.mu.Unlock()
+	if s.pending.Add(-1) == 0 {
+		s.mu.Lock()
 		s.cond.Broadcast()
+		s.mu.Unlock()
 	}
 }
 
 // liveDepth reports how many configurations are queued right now (for the
 // live metrics gauge).
-func (s *scheduler) liveDepth() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.q.size()
-}
+func (s *scheduler) liveDepth() int { return int(s.queued.Load()) }
 
 // livePending reports how many configurations are queued or running.
-func (s *scheduler) livePending() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pending
-}
+func (s *scheduler) livePending() int { return int(s.pending.Load()) }
 
 // highWater reports the queue-depth and pending-count high-water marks.
 func (s *scheduler) highWater() (depth, pending int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.depthHW, s.pendingHW
+	return int(s.depthHW.Load()), int(s.pendingHW.Load())
 }
 
 // stop aborts the run (step budget exhausted): workers drain immediately.
 func (s *scheduler) stop() {
+	s.stopped.Store(true)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stopped = true
 	s.cond.Broadcast()
+	s.mu.Unlock()
 }

@@ -2,20 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"os"
 	"runtime"
 	"sync"
 
 	"repro/internal/obs"
 )
-
-// sampleRetries bounds how often one spec repetition is re-run after a
-// transient failure before RunSampled gives up. The multi-worker specs
-// (engine, parallel) can very rarely hit a spurious give-up in the
-// parallel worklist engine (widening-order sensitivity under unlucky
-// interleavings — see ROADMAP.md); a persistent failure still surfaces
-// after the retries, so a real regression cannot hide behind this.
-const sampleRetries = 2
 
 // SampledSpec is the multi-sample timing measurement of one experiment
 // spec: the raw wall-clock of each repetition plus the obs phase breakdown
@@ -64,16 +55,11 @@ func RunSampled(ids []string, samples, parallelism int) ([]*SampledSpec, error) 
 	for rep := 0; rep < samples; rep++ {
 		recs, errs := runSpecsOnce(selected, parallelism)
 		for i, err := range errs {
-			// Bounded retry for transient failures; every retry is loud so
-			// a flake never passes silently, and a persistent failure still
-			// aborts the record.
-			for attempt := 1; err != nil && attempt <= sampleRetries; attempt++ {
-				fmt.Fprintf(os.Stderr, "experiments: sample %d of %s failed (%v); retry %d/%d\n",
-					rep+1, selected[i].ID, err, attempt, sampleRetries)
-				_, recs[i], err = runSpec(selected[i])
-			}
+			// No retries: the parallel engine's widening ladder is driven by
+			// state-derived revision counters, so a spec failure is a real
+			// regression and must abort the record immediately.
 			if err != nil {
-				return nil, fmt.Errorf("sample %d: %w", rep+1, err)
+				return nil, fmt.Errorf("sample %d of %s: %w", rep+1, selected[i].ID, err)
 			}
 			out[i].Title = recs[i].Title
 			out[i].WallNs = append(out[i].WallNs, recs[i].WallNs)

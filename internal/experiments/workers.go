@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/benchhist"
+	"repro/internal/clients/cartesian"
+	"repro/internal/core"
+)
+
+// scalingWorkloads are the wide-frontier workloads the worker-scaling
+// measurement runs on — the same set as the `engine` experiment and the
+// psdf-bench -engine-workers sweep, so the three views of engine scaling
+// stay comparable.
+func scalingWorkloads() []*bench.Workload {
+	return []*bench.Workload{bench.Fig7Shift(), bench.Stencil1D(), bench.TransposeSquare(), bench.TransposeRect()}
+}
+
+// MeasureWorkerScaling runs the scaling workloads at workers=1 and each
+// requested worker count, reps times each, and returns per-workload
+// best-of-reps wall times plus speedup ratios against workers=1. Every run
+// must be clean and reproduce the sequential topology — a divergence is an
+// engine determinism bug, not a measurement artifact, and aborts the
+// record. Best-of is deliberate: the minimum over repetitions is the run
+// least perturbed by scheduling noise, which is what a ratio of two
+// measurements on the same host wants.
+func MeasureWorkerScaling(counts []int, reps int) (map[string]*benchhist.WorkerScaling, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	all := append([]int{1}, counts...)
+	seen := map[int]bool{}
+	var sweep []int
+	for _, w := range all {
+		if w < 1 {
+			return nil, fmt.Errorf("bad worker count %d", w)
+		}
+		if !seen[w] {
+			seen[w] = true
+			sweep = append(sweep, w)
+		}
+	}
+	sort.Ints(sweep)
+	out := map[string]*benchhist.WorkerScaling{}
+	for _, w := range scalingWorkloads() {
+		ws := &benchhist.WorkerScaling{NsPerOp: map[int]int64{}}
+		var baseline string
+		for _, workers := range sweep {
+			best := int64(0)
+			for rep := 0; rep < reps; rep++ {
+				_, g := w.Parse()
+				m := cartesian.New(core.ScanInvariants(g))
+				start := time.Now()
+				res, err := core.Analyze(g, core.Options{Matcher: m, Workers: workers})
+				el := time.Since(start).Nanoseconds()
+				if err != nil {
+					return nil, fmt.Errorf("scaling %s workers=%d: %w", w.Name, workers, err)
+				}
+				if !res.Clean() {
+					return nil, fmt.Errorf("scaling %s workers=%d: not clean: %v", w.Name, workers, res.TopReasons())
+				}
+				if workers == 1 && rep == 0 {
+					baseline = matchSummary(res)
+				} else if got := matchSummary(res); got != baseline {
+					return nil, fmt.Errorf("scaling %s workers=%d: topology diverged from sequential", w.Name, workers)
+				}
+				if best == 0 || el < best {
+					best = el
+				}
+			}
+			ws.NsPerOp[workers] = best
+		}
+		base := ws.NsPerOp[1]
+		for _, workers := range sweep {
+			if workers > 1 && ws.NsPerOp[workers] > 0 {
+				if ws.Speedup == nil {
+					ws.Speedup = map[int]float64{}
+				}
+				ws.Speedup[workers] = float64(base) / float64(ws.NsPerOp[workers])
+			}
+		}
+		out[w.Name] = ws
+	}
+	return out, nil
+}

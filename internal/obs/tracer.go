@@ -52,6 +52,11 @@ const (
 	PhaseJoin
 	// PhaseWiden is the same combine after the ladder switched to widening.
 	PhaseWiden
+	// PhaseCommit is the parallel engine's batched shard-commit critical
+	// section: one table-shard lock acquisition under which a whole step's
+	// successors for that shard are revised and their scheduler pushes
+	// collected. Join and widen spans nest inside it.
+	PhaseCommit
 	// PhaseGiveupCommit is the deferred give-up commit at convergence
 	// (commitStuckTops).
 	PhaseGiveupCommit
@@ -70,7 +75,7 @@ const (
 
 var phaseNames = [numPhases]string{
 	"dequeue", "step", "transfer", "match", "split", "insert",
-	"join", "widen", "giveup-commit", "finish", "prover", "analyze",
+	"join", "widen", "commit", "giveup-commit", "finish", "prover", "analyze",
 }
 
 func (p Phase) String() string {
