@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -95,6 +96,7 @@ func benchRecord(args []string) int {
 		expList  = fs.String("exp", "", "comma-separated spec ids to record (default: all)")
 		scalingW = fs.String("scaling-workers", "2,4,8", "comma-separated worker counts for the engine scaling capture (empty = skip)")
 		scalingR = fs.Int("scaling-reps", 3, "repetitions per (workload, workers) scaling point; best-of wins")
+		fuzzSum  = fs.String("fuzz-summary", "", "attach a differential-fuzz sweep summary JSON (from `psdf fuzz -summary-out`) to the entry")
 	)
 	_ = fs.Parse(args)
 	if fs.NArg() != 0 {
@@ -131,6 +133,23 @@ func benchRecord(args []string) int {
 		fmt.Fprintln(os.Stderr, "psdf bench record:", err)
 		return 1
 	}
+	var fuzz *benchhist.FuzzSweep
+	if *fuzzSum != "" {
+		data, err := os.ReadFile(*fuzzSum)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psdf bench record:", err)
+			return 2
+		}
+		fuzz = &benchhist.FuzzSweep{}
+		if err := json.Unmarshal(data, fuzz); err != nil {
+			fmt.Fprintf(os.Stderr, "psdf bench record: %s: %v\n", *fuzzSum, err)
+			return 2
+		}
+		if fuzz.Programs <= 0 {
+			fmt.Fprintf(os.Stderr, "psdf bench record: %s: summary records no programs\n", *fuzzSum)
+			return 2
+		}
+	}
 	var scaling map[string]*benchhist.WorkerScaling
 	if *scalingW != "" {
 		counts, err := parseWorkerCounts(*scalingW)
@@ -154,6 +173,7 @@ func benchRecord(args []string) int {
 		Specs:         map[string]*benchhist.SpecTiming{},
 		Fingerprints:  fps,
 		Scaling:       scaling,
+		Fuzz:          fuzz,
 	}
 	for _, s := range sampled {
 		st := benchhist.NewSpecTiming(s.Title, s.WallNs, s.Phases)
@@ -182,6 +202,11 @@ func benchRecord(args []string) int {
 		fmt.Printf("  scaling %-14s %12v at 1 worker, %v at %d (%.2fx)\n",
 			name, time.Duration(ws.NsPerOp[1]).Round(time.Microsecond),
 			time.Duration(ws.NsPerOp[w]).Round(time.Microsecond), w, ws.Speedup[w])
+	}
+	if fuzz != nil {
+		fmt.Printf("  fuzz sweep seed %d: %d programs, ok=%d precision=%d (%.1f%%) soundness=%d engine=%d error=%d\n",
+			fuzz.Seed, fuzz.Programs, fuzz.OK, fuzz.Precision, 100*fuzz.PrecisionRate(),
+			fuzz.Soundness, fuzz.Engine, fuzz.Errors)
 	}
 	return 0
 }
@@ -422,6 +447,31 @@ func trajectoryMarkdown(path string, entries []*benchhist.Entry) string {
 				}
 			}
 			b.WriteString("\n")
+		}
+	}
+
+	// Differential-fuzz trajectory, shown once any entry carries a sweep
+	// summary: the precision-loss rate over generated programs is the
+	// broad-coverage drift signal the curated fingerprints cannot see.
+	anyFuzz := false
+	for _, e := range entries {
+		if e.Fuzz != nil {
+			anyFuzz = true
+		}
+	}
+	if anyFuzz {
+		b.WriteString("\n## Differential-fuzz trajectory\n\n")
+		b.WriteString("| entry | seed | programs | ok | precision | rate | soundness | engine | error |\n")
+		b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		for i, e := range entries {
+			if e.Fuzz == nil {
+				fmt.Fprintf(&b, "| #%d `%s` | - | - | - | - | - | - | - | - |\n", i, e.ShortCommit())
+				continue
+			}
+			fz := e.Fuzz
+			fmt.Fprintf(&b, "| #%d `%s` | %d | %d | %d | %d | %.1f%% | %d | %d | %d |\n",
+				i, e.ShortCommit(), fz.Seed, fz.Programs, fz.OK, fz.Precision,
+				100*fz.PrecisionRate(), fz.Soundness, fz.Engine, fz.Errors)
 		}
 	}
 

@@ -9,10 +9,19 @@
 //	psdf lint [-format text|json|sarif] [-strict-bounds] program.mpl ...
 //	psdf trace [-top n] [-check] trace.json ...
 //	psdf bench record|diff|check|report [flags]
+//	psdf fuzz [-seed S] [-n N] [-np 2,3] [-shrink] [-out dir] [-gate class]
 //
 // The lint subcommand runs the coded diagnostic passes (message leaks,
 // deadlocks, tag mismatches, rank bounds, ⊤-blame, dead code) and exits
 // nonzero when error-severity findings exist.
+//
+// The fuzz subcommand is the differential-soundness sweep: it generates
+// deterministic random MPL programs, triages each against the
+// explicit-state oracle (sequential and parallel engines), optionally
+// minimizes divergences with a class-preserving delta-debugging shrinker,
+// and exits nonzero when any finding reaches the gate class. CI runs
+// `psdf fuzz -seed 1 -n 2000` as the acceptance gate: zero soundness or
+// engine findings allowed.
 //
 // The trace subcommand summarizes a span trace written by `psdf-run
 // -analyze -trace` into a per-phase / per-configuration cost table, or
@@ -63,6 +72,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		os.Exit(runBench(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fuzz" {
+		os.Exit(runFuzz(os.Args[2:]))
 	}
 	var (
 		client   = flag.String("client", "cartesian", "client analysis: symbolic or cartesian")

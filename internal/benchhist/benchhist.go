@@ -266,6 +266,34 @@ func (ws *WorkerScaling) MaxWorkers() int {
 	return max
 }
 
+// FuzzSweep summarizes one differential-fuzz sweep (`psdf fuzz`): the
+// fixed generation seed, the program count, and how many programs landed
+// in each divergence class. Soundness and engine divergences are CI-fatal
+// before an entry is ever recorded, so in practice the longitudinal signal
+// here is the precision-loss rate: a PR that makes the analysis give up
+// (⊤) or report spurious edges on more generated programs moves Precision
+// up even when every curated fingerprint is unchanged.
+type FuzzSweep struct {
+	Seed      int64 `json:"seed"`
+	Programs  int   `json:"programs"`
+	OK        int   `json:"ok"`
+	Skipped   int   `json:"skipped,omitempty"`
+	Precision int   `json:"precision"`
+	Errors    int   `json:"errors"`
+	Engine    int   `json:"engine"`
+	Soundness int   `json:"soundness"`
+}
+
+// PrecisionRate is the fraction of triaged (non-skipped) programs that
+// diverged as precision losses, in [0,1].
+func (fz *FuzzSweep) PrecisionRate() float64 {
+	triaged := fz.Programs - fz.Skipped
+	if triaged <= 0 {
+		return 0
+	}
+	return float64(fz.Precision) / float64(triaged)
+}
+
 // Entry is one recorded benchmark run: everything needed to compare it
 // against any other entry later — commit anchoring, host fingerprint,
 // per-spec timing samples, and per-workload precision fingerprints. One
@@ -286,6 +314,10 @@ type Entry struct {
 	// it (-scaling-workers ""), with exactly that meaning, so the schema
 	// stays at version 1.
 	Scaling map[string]*WorkerScaling `json:"scaling,omitempty"`
+	// Fuzz holds the differential-fuzz sweep summary when the record
+	// attached one (-fuzz-summary). Nil on entries recorded without a
+	// sweep, with exactly that meaning, so the schema stays at version 1.
+	Fuzz *FuzzSweep `json:"fuzz,omitempty"`
 }
 
 // MinSpeedupWarnings reports, for each workload in the entry's scaling

@@ -28,6 +28,43 @@ func testEntry(commit string, wall ...int64) *Entry {
 	}
 }
 
+// TestFuzzSweepRoundTrip: the fuzz summary survives the history and stays
+// schema-version-1-compatible — entries without one read back as nil
+// ("not captured"), and PrecisionRate excludes skipped programs.
+func TestFuzzSweepRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	plain := testEntry("aaaa1111")
+	withFuzz := testEntry("bbbb2222")
+	withFuzz.Fuzz = &FuzzSweep{
+		Seed: 1, Programs: 2000, OK: 1160, Skipped: 100,
+		Precision: 740, Errors: 0, Engine: 0, Soundness: 0,
+	}
+	if err := Append(path, plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, withFuzz); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].Fuzz != nil {
+		t.Errorf("entry without a sweep read back Fuzz = %+v, want nil", entries[0].Fuzz)
+	}
+	fz := entries[1].Fuzz
+	if fz == nil || fz.Programs != 2000 || fz.Precision != 740 || fz.Skipped != 100 {
+		t.Fatalf("fuzz summary did not round-trip: %+v", fz)
+	}
+	// 740 precision losses over 1900 triaged programs.
+	if got, want := fz.PrecisionRate(), 740.0/1900.0; got != want {
+		t.Errorf("PrecisionRate = %v, want %v", got, want)
+	}
+	if (&FuzzSweep{}).PrecisionRate() != 0 {
+		t.Error("empty sweep must have zero precision rate")
+	}
+}
+
 func TestAppendReadRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "hist.jsonl")
 	if err := Append(path, testEntry("aaaa1111")); err != nil {

@@ -738,6 +738,16 @@ func (st *State) AddMatch(sendNode, recvNode int, sender, receiver procset.Set) 
 		}
 		mS := m.Sender.Enrich(ctx)
 		mR := m.Receiver.Enrich(ctx)
+		// A contradictory witness class proves anything (both fold checks
+		// below pick atoms existentially), so folding through one can erase
+		// a genuinely different communication — the differential fuzzer
+		// caught a bounded gather losing its last sender this way after a
+		// graph widen staled a witness. Keep the record as an independent
+		// append instead; the combine path unions records soundly.
+		if ctx.ContradictorySet(mS) || ctx.ContradictorySet(mR) ||
+			ctx.ContradictorySet(sender) || ctx.ContradictorySet(receiver) {
+			continue
+		}
 		// Same-range re-match (loop fixpoint): keep as is.
 		if mS.SameRange(ctx, sender) == tri.True && mR.SameRange(ctx, receiver) == tri.True {
 			return

@@ -497,9 +497,26 @@ func (e *engine) finish() {
 	if e.budgetHit.Load() {
 		e.res.Tops = append(e.res.Tops, &State{Top: true, TopWhy: "step budget exhausted"})
 	}
+	// Certify each final before publishing it: every match witness class
+	// must be coherent (all atoms provably equal under the final G). A
+	// stale witness — enriched under a constraint that a later join/widen
+	// weakened — can survive to the terminal state without being provably
+	// contradictory, e.g. {np - 2, 2} under np >= 4, which is wrong for
+	// np >= 5. Downstream consumers pick atoms from the class arbitrarily,
+	// so an incoherent final silently misreports the topology; demote it
+	// to ⊤ instead (a sound over-approximation, reported as imprecision).
+	finals := e.res.Finals[:0]
 	for _, fin := range e.res.Finals {
 		fin.ResolveHelpers()
+		if why := incoherentMatch(fin); why != "" {
+			fin.Top = true
+			fin.TopWhy = "stale match witness survived widening: " + why
+			e.res.Tops = append(e.res.Tops, fin)
+			continue
+		}
+		finals = append(finals, fin)
 	}
+	e.res.Finals = finals
 	sort.Slice(e.res.Finals, func(i, j int) bool { return e.res.Finals[i].FullKey() < e.res.Finals[j].FullKey() })
 	sort.Slice(e.res.Tops, func(i, j int) bool { return e.res.Tops[i].TopWhy < e.res.Tops[j].TopWhy })
 	e.res.Configs = configs
@@ -586,6 +603,22 @@ func (e *engine) commitStuckTops() {
 			}
 		}
 	}
+}
+
+// incoherentMatch returns a description of the first match record of st
+// whose witness classes are not certified coherent under st's final
+// constraint graph, or "" if every record checks out. Emptiness is not an
+// excuse: proving a range empty through an incoherent class uses the same
+// unreliable atom-picking the check exists to reject.
+func incoherentMatch(st *State) string {
+	ctx := st.Ctx()
+	for _, m := range st.Matches {
+		if !ctx.CoherentSet(m.Sender) || !ctx.CoherentSet(m.Receiver) {
+			return fmt.Sprintf("match n%d->n%d %s -> %s", m.SendNode, m.RecvNode,
+				m.Sender.StringAll(), m.Receiver.StringAll())
+		}
+	}
+	return ""
 }
 
 // collectMatches unions match records over terminal configurations (finals
@@ -862,33 +895,70 @@ func (e *engine) combineRetry(entry *tableEntry, nw *State, retries int) *State 
 			failing = append(failing, i)
 		}
 	}
-	// Match widening: align by node pair.
-	oldM := map[nodePair]*Match{}
+	// Match widening: align by node pair. A state can carry SEVERAL records
+	// for one node pair — AddMatch appends a fresh record whenever the new
+	// ranges don't union cleanly with the existing ones — so the alignment
+	// groups records into per-pair lists. (A map keyed by the bare pair
+	// silently dropped all but one record here, erasing real communication
+	// from the joined state: a soundness hole the differential fuzzer
+	// caught on a bounded gather followed by a compute loop.) Each side's
+	// list is first re-normalized under the current context — unions that
+	// failed at AddMatch time often succeed once the graphs have joined —
+	// then joined element-wise; any residual shape mismatch is a widening
+	// failure like a non-intersecting bound, never a drop.
+	oldM := map[nodePair][]*Match{}
 	for _, m := range old.Matches {
-		oldM[nodePair{m.SendNode, m.RecvNode}] = m
+		k := nodePair{m.SendNode, m.RecvNode}
+		oldM[k] = normalizeMatches(old.Ctx(), append(oldM[k], m))
 	}
-	var matchFail []nodePair
-	mergedMatches := map[nodePair]*Match{}
+	nwM := map[nodePair][]*Match{}
+	var pairOrder []nodePair
 	for _, m := range nw.Matches {
 		k := nodePair{m.SendNode, m.RecvNode}
-		om := oldM[k]
-		if om == nil {
-			cm := *m
-			mergedMatches[k] = &cm
-			continue
+		if _, ok := nwM[k]; !ok {
+			pairOrder = append(pairOrder, k)
 		}
-		ws, ok1 := om.Sender.Widen(m.Sender)
-		wr, ok2 := om.Receiver.Widen(m.Receiver)
-		if ok1 && ok2 {
-			mergedMatches[k] = &Match{SendNode: k.s, RecvNode: k.r, Sender: ws, Receiver: wr}
-		} else {
-			matchFail = append(matchFail, k)
+		nwM[k] = normalizeMatches(nw.Ctx(), append(nwM[k], m))
+	}
+	for _, m := range old.Matches {
+		k := nodePair{m.SendNode, m.RecvNode}
+		if _, ok := nwM[k]; !ok && !containsKey(pairOrder, k) {
+			pairOrder = append(pairOrder, k)
 		}
 	}
-	for k, m := range oldM {
-		if _, present := mergedMatches[k]; !present && !containsKey(matchFail, k) {
-			cm := *m
-			mergedMatches[k] = &cm
+	var matchFail []nodePair
+	var mergedMatches []*Match
+	for _, k := range pairOrder {
+		om, nm := oldM[k], nwM[k]
+		switch {
+		case len(om) == 0 || len(nm) == 0:
+			// Present on one side only: keep those records verbatim (the
+			// join over-approximates both inputs).
+			for _, m := range append(om, nm...) {
+				cm := *m
+				mergedMatches = append(mergedMatches, &cm)
+			}
+		case len(om) == len(nm):
+			sortMatches(om)
+			sortMatches(nm)
+			merged := make([]*Match, 0, len(om))
+			ok := true
+			for i := range om {
+				ws, ok1 := om[i].Sender.Widen(nm[i].Sender)
+				wr, ok2 := om[i].Receiver.Widen(nm[i].Receiver)
+				if !ok1 || !ok2 {
+					ok = false
+					break
+				}
+				merged = append(merged, &Match{SendNode: k.s, RecvNode: k.r, Sender: ws, Receiver: wr})
+			}
+			if ok {
+				mergedMatches = append(mergedMatches, merged...)
+			} else {
+				matchFail = append(matchFail, k)
+			}
+		default:
+			matchFail = append(matchFail, k)
 		}
 	}
 
@@ -975,13 +1045,7 @@ func (e *engine) combineRetry(entry *tableEntry, nw *State, retries int) *State 
 	for _, m := range mergedMatches {
 		out.Matches = append(out.Matches, m)
 	}
-	sort.Slice(out.Matches, func(i, j int) bool {
-		a, b := out.Matches[i], out.Matches[j]
-		if a.SendNode != b.SendNode {
-			return a.SendNode < b.SendNode
-		}
-		return a.RecvNode < b.RecvNode
-	})
+	sortMatches(out.Matches)
 	cloned := out.G
 	if entry.rev < e.opts.joinVisits() {
 		out.G = cg.Join(old.G, nw.G)
@@ -1013,6 +1077,76 @@ func containsKey(ks []nodePair, k nodePair) bool {
 		}
 	}
 	return false
+}
+
+// sortMatches orders match records deterministically: by node pair, then by
+// rendered ranges (several records can legally share a pair).
+func sortMatches(ms []*Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].SendNode != ms[j].SendNode {
+			return ms[i].SendNode < ms[j].SendNode
+		}
+		if ms[i].RecvNode != ms[j].RecvNode {
+			return ms[i].RecvNode < ms[j].RecvNode
+		}
+		if s1, s2 := ms[i].Sender.String(), ms[j].Sender.String(); s1 != s2 {
+			return s1 < s2
+		}
+		return ms[i].Receiver.String() < ms[j].Receiver.String()
+	})
+}
+
+// normalizeMatches collapses same-pair records that union cleanly under ctx.
+// AddMatch appends a separate record when the union is not provable at record
+// time; once the constraint graphs have joined, those unions often become
+// provable, and collapsing them first keeps the element-wise widen in
+// combineRetry aligned. Records are copied before mutation; survivors keep
+// input order.
+func normalizeMatches(ctx procset.Ctx, ms []*Match) []*Match {
+	if len(ms) < 2 {
+		return ms
+	}
+	out := make([]*Match, len(ms))
+	for i, m := range ms {
+		cm := *m
+		out[i] = &cm
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(out) && !changed; i++ {
+			for j := i + 1; j < len(out) && !changed; j++ {
+				a, b := out[i], out[j]
+				// Same guard as AddMatch: a contradictory witness class
+				// proves anything, so folding through one may erase a
+				// genuinely distinct record.
+				if ctx.ContradictorySet(a.Sender) || ctx.ContradictorySet(a.Receiver) ||
+					ctx.ContradictorySet(b.Sender) || ctx.ContradictorySet(b.Receiver) {
+					continue
+				}
+				if a.Sender.SameRange(ctx, b.Sender) == tri.True && a.Receiver.SameRange(ctx, b.Receiver) == tri.True {
+					out = append(out[:j], out[j+1:]...)
+					changed = true
+					continue
+				}
+				if su, ok1 := a.Sender.UnionAdjacent(ctx, b.Sender); ok1 {
+					if ru, ok2 := a.Receiver.UnionAdjacent(ctx, b.Receiver); ok2 {
+						a.Sender, a.Receiver = su, ru
+						out = append(out[:j], out[j+1:]...)
+						changed = true
+						continue
+					}
+				}
+				if su, ok1 := b.Sender.UnionAdjacent(ctx, a.Sender); ok1 {
+					if ru, ok2 := b.Receiver.UnionAdjacent(ctx, a.Receiver); ok2 {
+						a.Sender, a.Receiver = su, ru
+						out = append(out[:j], out[j+1:]...)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return out
 }
 
 // parametricWiden introduces (or advances) the widening parameter for this

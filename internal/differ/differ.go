@@ -1,0 +1,493 @@
+// Package differ is the differential-soundness harness: it analyzes an MPL
+// program with the pCFG engine (sequentially and with the parallel worklist
+// engine) and concretizes the result against the explicit-state baseline
+// (internal/modelcheck) at small process counts. The paper's appendix
+// proves the baseline exact and interleaving-oblivious, so every
+// divergence is a genuine defect, classified as:
+//
+//   - ClassSoundness — the analysis misses a real communication edge or
+//     wrongly proves no configuration admits an np the program runs at;
+//     a soundness bug, the worst class.
+//   - ClassEngine — a parallel-engine configuration loses soundness the
+//     sequential engine keeps: it misses real communication without a
+//     covering ⊤, so the parallelization itself is broken. (Byte-level
+//     cross-engine equality is deliberately NOT policed here: the engines
+//     run different join→widen rungs, and coalesced delivery makes
+//     parallel precision interleaving-sensitive on arbitrary programs —
+//     only soundness is invariant. The core engine's equivalence suites
+//     keep the byte-level promise on the curated workloads.)
+//   - ClassPrecision — the analysis over-approximates: a spurious edge or
+//     rank, or a ⊤ give-up, on a program the oracle completes cleanly.
+//     Sound but imprecise; tracked longitudinally in the bench history.
+//
+// Programs the oracle cannot judge (deadlocks, runtime errors, failed
+// assumptions — expected for gen's deliberately-buggy mode) come back as
+// ClassSkipped; harness failures (parse/sem/analysis errors) as
+// ClassError.
+package differ
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/cfg"
+	"repro/internal/clients/cartesian"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/sim"
+	"repro/internal/validate"
+)
+
+// Class is the divergence triage verdict, ordered by severity: a larger
+// class is worse.
+type Class int
+
+// The verdict classes, least to most severe.
+const (
+	ClassOK        Class = iota
+	ClassSkipped         // no oracle verdict (deadlock, runtime error, failed assume)
+	ClassPrecision       // sound but imprecise: spurious edge/rank or ⊤
+	ClassError           // harness failure: parse/sem/analysis error
+	ClassEngine          // a parallel configuration lost soundness sequential keeps
+	ClassSoundness       // analysis misses real behavior
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassOK:
+		return "ok"
+	case ClassSkipped:
+		return "skipped"
+	case ClassPrecision:
+		return "precision"
+	case ClassError:
+		return "error"
+	case ClassEngine:
+		return "engine"
+	case ClassSoundness:
+		return "soundness"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ParseClass parses a Class name as rendered by String.
+func ParseClass(s string) (Class, error) {
+	for _, c := range []Class{ClassOK, ClassSkipped, ClassPrecision, ClassError, ClassEngine, ClassSoundness} {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return ClassOK, fmt.Errorf("differ: unknown class %q", s)
+}
+
+// Finding is the triage result for one program.
+type Finding struct {
+	Class Class
+	// NP is the process count the divergence was first observed at
+	// (0 when np-independent, e.g. engine divergence or a ⊤ give-up).
+	NP int
+	// Detail is a deterministic, human-readable description of the first
+	// (worst) divergence.
+	Detail string
+}
+
+func (f *Finding) String() string {
+	if f.NP > 0 {
+		return fmt.Sprintf("%s@np=%d: %s", f.Class, f.NP, f.Detail)
+	}
+	return fmt.Sprintf("%s: %s", f.Class, f.Detail)
+}
+
+// Options tunes one differential check.
+type Options struct {
+	// NPs are the oracle process counts (default 2..6). Counts below the
+	// program's assumed floor (its top-level "assume np >= k") are
+	// skipped automatically.
+	NPs []int
+	// Workers are the parallel-engine worker counts exercised (default
+	// {2, 8}): each is checked for run-to-run determinism, worker-count
+	// invariance, and oracle soundness. Empty slice with
+	// SkipEngineCompare unset still runs the default.
+	Workers []int
+	// SkipEngineCompare disables the parallel-engine runs entirely (the
+	// shrinker uses it when minimizing a pure-oracle divergence).
+	SkipEngineCompare bool
+	// Env provides concrete values for free symbols when simulating.
+	Env map[string]int64
+	// Core seeds the analysis options: tuning overrides (JoinVisits,
+	// MaxVisits, NonBlockingSends, ...) flow into every engine run.
+	// Matcher, Workers and Schedule are managed by the harness.
+	Core core.Options
+}
+
+func (o *Options) fill() {
+	if len(o.NPs) == 0 {
+		o.NPs = []int{2, 3, 4, 5, 6}
+	}
+	if len(o.Workers) == 0 {
+		o.Workers = []int{2, 8}
+	}
+}
+
+// Check parses, analyzes and oracle-checks one program, returning its
+// triage verdict. It never returns an error: harness failures are
+// ClassError findings so sweeps can account for them.
+func Check(src string, opts Options) *Finding {
+	opts.fill()
+	prog, err := parser.Parse("differ.mpl", src)
+	if err != nil {
+		return &Finding{Class: ClassError, Detail: fmt.Sprintf("parse: %v", err)}
+	}
+	if _, err := sem.Check(prog); err != nil {
+		return &Finding{Class: ClassError, Detail: fmt.Sprintf("sem: %v", err)}
+	}
+
+	analyze := func(workers int, schedule string) (*core.Result, error) {
+		g := cfg.Build(prog)
+		co := opts.Core
+		co.Matcher = cartesian.New(core.ScanInvariants(g))
+		co.Workers = workers
+		co.Schedule = schedule
+		res, err := core.Analyze(g, co)
+		return res, err
+	}
+
+	seq, err := analyze(1, "")
+	if err != nil {
+		return &Finding{Class: ClassError, Detail: fmt.Sprintf("sequential analysis: %v", err)}
+	}
+
+	worst := &Finding{Class: ClassOK, Detail: "exact at every checked np"}
+	record := func(f *Finding) {
+		if f.Class > worst.Class {
+			worst = f
+		}
+	}
+
+	// Parallel-engine runs. Byte-level cross-engine equality is a
+	// curated-workload property, not a general invariant: the sequential
+	// and parallel engines run different join→widen rungs by design (12
+	// fine-grained revision links vs 3 coalesced deliveries), and the
+	// *content* reaching the rung under real parallelism depends on how
+	// deliveries coalesce — so on arbitrary programs the engines (and even
+	// two runs of one parallel configuration) legally converge to
+	// different, separately sound fixpoints that differ in precision.
+	// Differential fuzzing confirmed this: cleanliness and topology both
+	// vary run-to-run on generated programs while every result stays
+	// sound. The unconditional cross-engine invariant is therefore
+	// soundness itself: ClassEngine fires when a parallel configuration
+	// misses real communication (without a covering ⊤) that the oracle
+	// observed — the parallelization broke soundness — and each parallel
+	// result is screened in the per-np pass below. Byte-level equivalence
+	// on the curated workloads stays policed by the core engine's own
+	// equivalence and arrival-order suites.
+	type parRun struct {
+		label string
+		res   *core.Result
+	}
+	var parallels []parRun
+	if !opts.SkipEngineCompare {
+		for _, w := range opts.Workers {
+			for _, sched := range []string{core.ScheduleFIFO, core.ScheduleLIFO} {
+				par, err := analyze(w, sched)
+				if err != nil {
+					record(&Finding{Class: ClassError,
+						Detail: fmt.Sprintf("parallel analysis (workers=%d %s): %v", w, sched, err)})
+					continue
+				}
+				parallels = append(parallels, parRun{fmt.Sprintf("workers=%d %s", w, sched), par})
+			}
+		}
+	}
+
+	// Oracle comparison at each admissible np. The sequential result is
+	// the reference for the full triage (it is deterministic, so precision
+	// rates stay reproducible); parallel results are screened for
+	// soundness only — their rung legally trades precision for convergence
+	// speed, so a ⊤ or a spurious pair there is tuning noise, but a missed
+	// real message without a covering ⊤ is an engine divergence.
+	g := cfg.Build(prog)
+	minNP := assumedMinNP(prog)
+	checked := 0
+	for _, np := range opts.NPs {
+		if np < minNP {
+			continue
+		}
+		f := checkAtNP(g, seq, np, opts.Env)
+		if f.Class == ClassSkipped {
+			record(f)
+			continue // oracle cannot judge this np for any engine
+		}
+		checked++
+		record(f)
+		for _, pr := range parallels {
+			if pf := checkAtNP(g, pr.res, np, opts.Env); pf.Class == ClassSoundness {
+				record(&Finding{Class: ClassEngine, NP: np,
+					Detail: fmt.Sprintf("parallel engine (%s) lost soundness: %s", pr.label, pf.Detail)})
+			}
+		}
+	}
+	if checked == 0 && worst.Class == ClassOK {
+		return &Finding{Class: ClassSkipped, Detail: "no np admitted an oracle run"}
+	}
+
+	// A ⊤ give-up on a program the oracle completed cleanly is precision
+	// loss even when some final concretizes exactly (the spurious-⊤ class
+	// PR 7's bug belonged to).
+	if checked > 0 && len(seq.Tops) > 0 {
+		record(&Finding{Class: ClassPrecision,
+			Detail: fmt.Sprintf("analysis gave up (⊤): %s", strings.Join(seq.TopReasons(), "; "))})
+	}
+	return worst
+}
+
+// checkAtNP compares the analysis result against the explicit-state
+// baseline at one concrete process count.
+func checkAtNP(g *cfg.Graph, res *core.Result, np int, env map[string]int64) *Finding {
+	simRes, err := sim.Run(g, np, sim.Options{Env: env})
+	if err != nil {
+		return &Finding{Class: ClassSkipped, NP: np, Detail: fmt.Sprintf("runtime error: %v", err)}
+	}
+	if len(simRes.Failures) > 0 {
+		return &Finding{Class: ClassSkipped, NP: np,
+			Detail: fmt.Sprintf("assumption failed at np=%d: %s", np, simRes.Failures[0].Cond)}
+	}
+	if simRes.Deadlocked {
+		return &Finding{Class: ClassSkipped, NP: np, Detail: fmt.Sprintf("deadlocks at np=%d", np)}
+	}
+	want := validate.FromSim(simRes.Events)
+
+	fullEnv := map[string]int64{"np": int64(np)}
+	for k, v := range env {
+		fullEnv[k] = v
+	}
+	consistent := 0
+	bestMissing, bestExtra := -1, -1
+	var bestDetail string
+	for _, fin := range res.Finals {
+		if !validate.ConsistentWithNP(fin, np, fullEnv) {
+			continue
+		}
+		consistent++
+		got := validate.FromState(fin, fullEnv)
+		missing, extra := pairSetDelta(got, want)
+		if len(missing) == 0 && len(extra) == 0 {
+			return &Finding{Class: ClassOK, NP: np}
+		}
+		// Track the final closest to the truth: fewest missing ranks, then
+		// fewest spurious ones.
+		if bestMissing < 0 || len(missing) < bestMissing ||
+			(len(missing) == bestMissing && len(extra) < bestExtra) {
+			bestMissing, bestExtra = len(missing), len(extra)
+			bestDetail = deltaDetail(missing, extra)
+		}
+	}
+	switch {
+	case consistent == 0 && len(res.Tops) > 0:
+		return &Finding{Class: ClassPrecision, NP: np,
+			Detail: fmt.Sprintf("gave up (⊤) and no final admits np=%d: %s", np, strings.Join(res.TopReasons(), "; "))}
+	case consistent == 0:
+		return &Finding{Class: ClassSoundness, NP: np,
+			Detail: fmt.Sprintf("no final configuration admits np=%d (oracle saw %d messages)", np, simRes.Steps)}
+	case bestMissing == 0:
+		return &Finding{Class: ClassPrecision, NP: np,
+			Detail: fmt.Sprintf("spurious communication at np=%d: %s", np, bestDetail)}
+	case len(res.Tops) > 0:
+		// The surviving finals miss real behavior, but the analysis also
+		// gave up on part of the state space: the ⊤ configurations cover
+		// the missing pairs, so the result is sound-but-imprecise, not a
+		// soundness hole.
+		return &Finding{Class: ClassPrecision, NP: np,
+			Detail: fmt.Sprintf("finals incomplete at np=%d (⊤ covers the rest): %s", np, bestDetail)}
+	default:
+		return &Finding{Class: ClassSoundness, NP: np,
+			Detail: fmt.Sprintf("analysis misses real communication at np=%d: %s", np, bestDetail)}
+	}
+}
+
+// pairSetDelta compares a concretized analysis topology against the
+// oracle's, returning the facts only the oracle saw (missing — a
+// soundness hole) and the facts only the analysis claims (extra — a
+// precision loss). Facts are rendered deterministically.
+func pairSetDelta(got, want *validate.PairSet) (missing, extra []string) {
+	edges := map[[2]int]bool{}
+	for e := range got.Senders {
+		edges[e] = true
+	}
+	for e := range want.Senders {
+		edges[e] = true
+	}
+	ordered := make([][2]int, 0, len(edges))
+	for e := range edges {
+		ordered = append(ordered, e)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i][0] != ordered[j][0] {
+			return ordered[i][0] < ordered[j][0]
+		}
+		return ordered[i][1] < ordered[j][1]
+	})
+	for _, e := range ordered {
+		for _, side := range []struct {
+			name      string
+			got, want map[int64]bool
+		}{
+			{"senders", got.Senders[e], want.Senders[e]},
+			{"receivers", got.Receivers[e], want.Receivers[e]},
+		} {
+			onlyWant := setMinus(side.want, side.got)
+			onlyGot := setMinus(side.got, side.want)
+			if len(onlyWant) > 0 {
+				missing = append(missing, fmt.Sprintf("n%d->n%d %s %v", e[0], e[1], side.name, onlyWant))
+			}
+			if len(onlyGot) > 0 {
+				extra = append(extra, fmt.Sprintf("n%d->n%d %s %v", e[0], e[1], side.name, onlyGot))
+			}
+		}
+	}
+	return missing, extra
+}
+
+func setMinus(a, b map[int64]bool) []int64 {
+	var out []int64
+	for v := range a {
+		if !b[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func deltaDetail(missing, extra []string) string {
+	var parts []string
+	if len(missing) > 0 {
+		parts = append(parts, "missing "+strings.Join(missing, ", "))
+	}
+	if len(extra) > 0 {
+		parts = append(parts, "spurious "+strings.Join(extra, ", "))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// assumedMinNP extracts the np floor from the program's top-level
+// "assume np >= k" / "assume np > k" statements, so the oracle only runs
+// process counts the program was written for.
+func assumedMinNP(prog *ast.Program) int {
+	min := 1
+	ast.WalkStmts(prog.Stmts, func(s ast.Stmt) bool {
+		a, ok := s.(*ast.Assume)
+		if !ok {
+			return true
+		}
+		if b, ok := a.Cond.(*ast.Binary); ok {
+			if id, ok := b.L.(*ast.Ident); ok && id.Name == "np" {
+				if lit, ok := b.R.(*ast.IntLit); ok {
+					switch b.Op {
+					case ast.Ge:
+						if int(lit.Value) > min {
+							min = int(lit.Value)
+						}
+					case ast.Gt:
+						if int(lit.Value)+1 > min {
+							min = int(lit.Value) + 1
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return min
+}
+
+// ---------------------------------------------------------------------------
+// Sweeps
+
+// SweepOptions configures a generated-program sweep.
+type SweepOptions struct {
+	// Seed is the base seed: program i is generated from the deterministic
+	// sub-seed Seed + i*1000003, so any single program is reproducible
+	// from (Seed, i) alone.
+	Seed int64
+	// N is how many programs to generate and check.
+	N int
+	// Gen configures the generator (zero value: defaults).
+	Gen gen.Config
+	// BuggyFraction is the fraction of programs generated with a deliberate
+	// defect (oracle-skipped; exercises the lint-facing surface). 0 = all
+	// safe.
+	BuggyFraction float64
+	// Differ configures each check.
+	Differ Options
+	// Progress, when non-nil, is called after each program with the index
+	// and its finding (the psdf fuzz CLI uses it for -v output).
+	Progress func(i int, p gen.Program, f *Finding)
+}
+
+// SweepFinding is one divergent program from a sweep.
+type SweepFinding struct {
+	Index   int
+	Seed    int64
+	Program gen.Program
+	Finding *Finding
+}
+
+// SweepResult aggregates a sweep.
+type SweepResult struct {
+	Programs int
+	Counts   map[Class]int
+	// Findings holds every program whose class is worse than ClassSkipped
+	// (precision, error, engine, soundness), in sweep order.
+	Findings []SweepFinding
+}
+
+// Count reports how many programs landed in class c.
+func (r *SweepResult) Count(c Class) int { return r.Counts[c] }
+
+// PrecisionRate is the fraction of oracle-checked (non-skipped) programs
+// with a precision-loss finding.
+func (r *SweepResult) PrecisionRate() float64 {
+	checked := r.Programs - r.Counts[ClassSkipped]
+	if checked <= 0 {
+		return 0
+	}
+	return float64(r.Counts[ClassPrecision]) / float64(checked)
+}
+
+// ProgramSeed returns the deterministic sub-seed of program i in a sweep
+// with base seed.
+func ProgramSeed(seed int64, i int) int64 { return seed + int64(i)*1000003 }
+
+// Sweep generates N programs and triages each one.
+func Sweep(opts SweepOptions) *SweepResult {
+	res := &SweepResult{Counts: map[Class]int{}}
+	for i := 0; i < opts.N; i++ {
+		r := rand.New(rand.NewSource(ProgramSeed(opts.Seed, i)))
+		cfg := opts.Gen
+		if opts.BuggyFraction > 0 && r.Float64() < opts.BuggyFraction {
+			bugs := gen.Bugs()
+			cfg.Bug = bugs[r.Intn(len(bugs))]
+		}
+		p := gen.New(r, cfg)
+		do := opts.Differ
+		do.Env = p.Env
+		f := Check(p.Src, do)
+		res.Programs++
+		res.Counts[f.Class]++
+		if f.Class > ClassSkipped {
+			res.Findings = append(res.Findings, SweepFinding{
+				Index: i, Seed: ProgramSeed(opts.Seed, i), Program: p, Finding: f,
+			})
+		}
+		if opts.Progress != nil {
+			opts.Progress(i, p, f)
+		}
+	}
+	return res
+}

@@ -1,0 +1,243 @@
+package differ
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// repoRoot walks up from the package directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestShrinkTuningOverride is the shrinker's end-to-end demo: a decorated
+// program that triages ok under default tuning is driven to a precision
+// divergence by starving the visit budget, and the shrinker must minimize
+// it to a small class-preserving repro.
+func TestShrinkTuningOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinker demo skipped in -short mode")
+	}
+	src := `
+assume np >= 4
+var t1
+t1 := 3 + 4
+print t1
+var t2
+for k1 := 1 to 3 do
+  t2 := t2 + k1
+end
+if id == 0 then
+  for i := 1 to np - 1 do
+    send t1 -> i
+    recv y <- i
+  end
+else
+  recv y <- 0
+  send y -> 0
+end
+assert np >= 2
+skip
+print t2 + 1
+`
+	if f := Check(src, Options{}); f.Class != ClassOK {
+		t.Fatalf("default tuning: class = %v, want ok (%s)", f.Class, f)
+	}
+	starved := Options{Core: core.Options{MaxVisits: 3}}
+	if f := Check(src, starved); f.Class != ClassPrecision {
+		t.Fatalf("starved tuning: class = %v, want precision (%s)", f.Class, f)
+	}
+	sr, err := Shrink(src, ShrinkOptions{Differ: starved})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Finding.Class != ClassPrecision {
+		t.Errorf("minimized finding class = %v, want precision (%s)", sr.Finding.Class, sr.Finding)
+	}
+	if orig := CountStmts(src); sr.Stmts >= orig {
+		t.Errorf("shrinker made no progress: %d statements, original %d", sr.Stmts, orig)
+	}
+	if sr.Stmts > 15 {
+		t.Errorf("minimized repro has %d statements, want <= 15:\n%s", sr.Stmts, sr.Src)
+	}
+	// The minimized program must still parse and reproduce on its own.
+	if f := Check(sr.Src, starved); f.Class != ClassPrecision {
+		t.Errorf("re-checked minimized repro: class = %v, want precision", f.Class)
+	}
+}
+
+// TestShrinkKeepPinsDetail: a Keep predicate that pins part of the finding
+// detail prevents ddmin slippage onto an easier same-class finding.
+func TestShrinkKeepPinsDetail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinker test skipped in -short mode")
+	}
+	// Generated program 520 of the seed-1 sweep: its divergence is the
+	// stale-match-witness demotion, a specific precision shape.
+	src := sweepProgram(t, 520001561)
+	want := "stale match witness"
+	f := Check(src, Options{})
+	if f.Class != ClassPrecision || !strings.Contains(f.Detail, want) {
+		t.Fatalf("seed program finding changed: %s", f)
+	}
+	sr, err := Shrink(src, ShrinkOptions{
+		Differ: Options{},
+		Keep: func(f *Finding) bool {
+			return f.Class == ClassPrecision && strings.Contains(f.Detail, want)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sr.Finding.Detail, want) {
+		t.Errorf("minimized finding lost the pinned detail: %s", sr.Finding)
+	}
+	if orig := CountStmts(src); sr.Stmts >= orig {
+		t.Errorf("shrinker made no progress: %d statements, original %d", sr.Stmts, orig)
+	}
+}
+
+// TestShrinkRejectsCleanPrograms: nothing to minimize on an ok program.
+func TestShrinkRejectsCleanPrograms(t *testing.T) {
+	src := "assume np >= 2\nskip\n"
+	if _, err := Shrink(src, ShrinkOptions{}); err == nil {
+		t.Fatal("Shrink accepted a clean program")
+	}
+}
+
+// sweepProgram regenerates the program a sweep would produce at sub-seed s.
+func sweepProgram(t *testing.T, s int64) string {
+	t.Helper()
+	res := Sweep(SweepOptions{Seed: s, N: 1})
+	if res.Programs != 1 {
+		t.Fatalf("sweep produced %d programs", res.Programs)
+	}
+	if len(res.Findings) == 1 {
+		return res.Findings[0].Program.Src
+	}
+	t.Fatalf("sub-seed %d no longer produces a finding", s)
+	return ""
+}
+
+// corpusSpec describes one regression repro regenerated from its sweep
+// sub-seed by TestRegenDiffbugsCorpus (run with PSDF_REGEN_CORPUS=1).
+type corpusSpec struct {
+	name string
+	seed int64
+	// keepDetail pins a substring of the finding detail during
+	// minimization so ddmin cannot slip onto an unrelated finding of the
+	// same class ("" = class-only preservation).
+	keepDetail string
+}
+
+var corpusSpecs = []corpusSpec{
+	// A stale equality witness (constant vs constant, {-28,0}) baked into
+	// a match bound by enrichment and orphaned by a graph join; the final
+	// must be demoted to ⊤, never reported as a clean wrong topology.
+	{"stale_witness_const", 520001561, "stale match witness"},
+	// Same bug shape with a parametric witness ({np - 2, 2}): coherent at
+	// np = 4 but wrong for np >= 5, so only the coherence certification
+	// catches it — Contradictory() alone cannot.
+	{"stale_witness_paramnp", 557001672, "stale match witness"},
+	// A widening mismatch on a decorated broadcast: stays a ⊤ precision
+	// loss; before the concretization fix the validator misread it as
+	// spurious negative ranks (a false soundness verdict).
+	{"widen_mismatch_broadcast", 181000514, "widening failed: no common bound expressions"},
+}
+
+// TestReplayDiffbugsCorpus replays every committed minimized repro in
+// testdata/diffbugs and asserts its triage class never regresses past the
+// recorded "# max-class:" ceiling. Soundness holes that were fixed must
+// stay fixed; a precision repro may improve to ok but never worsen.
+func TestReplayDiffbugsCorpus(t *testing.T) {
+	dir := filepath.Join(repoRoot(t), "testdata", "diffbugs")
+	files, err := filepath.Glob(filepath.Join(dir, "*.mpl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no corpus files in %s", dir)
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(b)
+			maxClass := ClassOK
+			found := false
+			for _, line := range strings.Split(src, "\n") {
+				if rest, ok := strings.CutPrefix(line, "# max-class: "); ok {
+					maxClass, err = ParseClass(strings.TrimSpace(rest))
+					if err != nil {
+						t.Fatal(err)
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s has no '# max-class:' header", path)
+			}
+			f := Check(src, Options{})
+			if f.Class > maxClass {
+				t.Errorf("class regressed to %v (max %v): %s", f.Class, maxClass, f)
+			}
+		})
+	}
+}
+
+// TestRegenDiffbugsCorpus rewrites testdata/diffbugs from the recorded
+// sweep sub-seeds, re-minimizing each repro against the current engine.
+// Guarded because it is slow and mutates the tree: run with
+// PSDF_REGEN_CORPUS=1 after an intentional engine change, then review the
+// diff like any other golden update.
+func TestRegenDiffbugsCorpus(t *testing.T) {
+	if os.Getenv("PSDF_REGEN_CORPUS") == "" {
+		t.Skip("set PSDF_REGEN_CORPUS=1 to regenerate testdata/diffbugs")
+	}
+	dir := filepath.Join(repoRoot(t), "testdata", "diffbugs")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range corpusSpecs {
+		src := sweepProgram(t, spec.seed)
+		orig := Check(src, Options{})
+		keep := func(f *Finding) bool {
+			return f.Class == orig.Class &&
+				(spec.keepDetail == "" || strings.Contains(f.Detail, spec.keepDetail))
+		}
+		sr, err := Shrink(src, ShrinkOptions{Differ: Options{}, Keep: keep})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.name, err)
+		}
+		header := fmt.Sprintf("# max-class: %s\n# origin: sweep sub-seed %d, minimized to %d statements (%d checks)\n# finding: %s\n",
+			sr.Finding.Class, spec.seed, sr.Stmts, sr.Checks, sr.Finding)
+		path := filepath.Join(dir, spec.name+".mpl")
+		if err := os.WriteFile(path, []byte(header+sr.Src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: %d statements, finding %s", spec.name, sr.Stmts, sr.Finding)
+	}
+}

@@ -1,0 +1,607 @@
+// Package gen is a seeded, grammar-driven generator of MPL programs for
+// the differential-soundness harness (internal/differ). It covers the full
+// language surface the analysis supports — rank and environment
+// conditionals, for/while loops, arithmetic destination and value
+// expressions, tagged multi-channel sends, and the shape families the
+// paper's workloads are built from (pairs, broadcast, gather, shift,
+// window shift, ring, pairwise exchange, root exchange) — behind two modes:
+//
+//   - deadlock-freedom-by-construction (the default): every emitted phase
+//     is a complete communication pattern whose sends and receives pair up
+//     on every np admitted by the program's assume, so the concrete
+//     simulator never deadlocks and modelcheck.Check is a total oracle;
+//   - deliberately-buggy (Config.Bug != BugNone): a safe program is
+//     generated and then broken in one classified way (message leak,
+//     stuck receive, tag mismatch, out-of-range rank) to exercise the
+//     lint passes and the differ's triage of non-clean programs.
+//
+// Generation is a pure function of the *rand.Rand stream and the Config,
+// so a (seed, config) pair is a complete reproducer for any program.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Family names one communication shape the generator can emit as a phase.
+type Family string
+
+// The shape families. All are deadlock-free by construction for every
+// np >= the program's assumed minimum.
+const (
+	// FamilyPairs: disjoint rank pairs exchange 1-2 tagged messages each,
+	// optionally with a reply leg (recv-then-reply, so blocking-send
+	// analyzable).
+	FamilyPairs Family = "pairs"
+	// FamilyBroadcast: rank 0 loop-sends to a contiguous subrange; the
+	// range's upper end may be the symbolic np-1.
+	FamilyBroadcast Family = "broadcast"
+	// FamilyGather: a contiguous subrange sends to rank 0, which
+	// loop-receives.
+	FamilyGather Family = "gather"
+	// FamilyShift: the paper's Fig 7 nearest-neighbor shift starting at a
+	// random rank (send / recv-then-send middles / final recv).
+	FamilyShift Family = "shift"
+	// FamilyWindow: an offset shift — ranks [a, a+w-1] send to id+k, the
+	// disjoint window [a+k, a+k+w-1] receives from id-k (arithmetic dest
+	// and source expressions).
+	FamilyWindow Family = "window"
+	// FamilyRing: a sendrecv ring — every rank in [0, np-1] exchanges with
+	// its cyclic neighbors via sendrecv role branches. Deadlock-free under
+	// the simulator's non-blocking sends, but the cyclic dependency is ⊤
+	// by design under the blocking analysis semantics, so it is not part
+	// of SafeFamilies(); request it explicitly to exercise the ⊤ paths.
+	FamilyRing Family = "ring"
+	// FamilyPairwise: disjoint rank pairs exchange simultaneously via
+	// sendrecv (the stencil building block).
+	FamilyPairwise Family = "pairwise"
+	// FamilyRootExchange: the mdcask pattern — rank 0 sends to and
+	// receives from every rank in [1, np-1] in a loop; the others
+	// recv-then-reply.
+	FamilyRootExchange Family = "rootx"
+)
+
+// SafeFamilies lists every family that is both deadlock-free by
+// construction and analyzable without a by-design ⊤ (FamilyRing is
+// excluded: cyclic sendrecv is inherently ⊤ under blocking semantics).
+func SafeFamilies() []Family {
+	return []Family{
+		FamilyPairs, FamilyBroadcast, FamilyGather, FamilyShift,
+		FamilyWindow, FamilyPairwise, FamilyRootExchange,
+	}
+}
+
+// minNP returns the smallest process count the family needs to be
+// well-formed.
+func (f Family) minNP() int {
+	switch f {
+	case FamilyPairs, FamilyPairwise:
+		return 2
+	case FamilyBroadcast, FamilyGather, FamilyRing, FamilyWindow:
+		return 3
+	case FamilyShift, FamilyRootExchange:
+		return 4
+	}
+	return 2
+}
+
+// BugKind classifies the deliberate defect injected in buggy mode.
+type BugKind string
+
+// The injectable defects. Each corresponds to a lint pass (PSDF-E001,
+// E002, E003, E004 respectively).
+const (
+	BugNone        BugKind = ""
+	BugLeak        BugKind = "leak"         // extra send nobody receives
+	BugStuckRecv   BugKind = "stuck-recv"   // extra receive nobody sends to
+	BugTagMismatch BugKind = "tag-mismatch" // matched channel, different tags
+	BugRankBounds  BugKind = "rank-bounds"  // send destination out of [0, np-1]
+)
+
+// Bugs lists the injectable defect kinds.
+func Bugs() []BugKind {
+	return []BugKind{BugLeak, BugStuckRecv, BugTagMismatch, BugRankBounds}
+}
+
+// Config sets the generator's size and shape knobs. The zero value is
+// usable: defaults are filled in by New.
+type Config struct {
+	// MinNP is the process-count floor the program assumes (assume np >=
+	// MinNP). It is raised to the largest floor any chosen family needs.
+	// Default 4.
+	MinNP int
+	// Phases is how many family instances to compose sequentially.
+	// Default: 1 or 2, chosen randomly.
+	Phases int
+	// Decor is the decoration budget: how many pure-compute statements
+	// (assignments, prints, asserts, loops, rank/env conditionals) to
+	// sprinkle between phases. Default 3. Set -1 for none.
+	Decor int
+	// Families restricts the shape families drawn from. Default:
+	// SafeFamilies().
+	Families []Family
+	// EnvSymbol, when set, introduces a free environment symbol "w"
+	// (assume-bounded to [1,3]) used by decorations; the concrete value
+	// the differ should simulate with is returned in Program.Env.
+	EnvSymbol bool
+	// Bug, when not BugNone, injects the given defect into the otherwise
+	// safe program.
+	Bug BugKind
+}
+
+// Program is one generated MPL program plus the metadata the differ needs
+// to oracle-check it.
+type Program struct {
+	// Src is the program text (always parseable and sem-checkable).
+	Src string
+	// Families lists the phases emitted, in order.
+	Families []Family
+	// MinNP is the assumed process-count floor: only simulate with
+	// np >= MinNP.
+	MinNP int
+	// Env holds concrete values for free symbols (empty unless
+	// Config.EnvSymbol).
+	Env map[string]int64
+	// Bug is the injected defect kind (BugNone for safe programs).
+	Bug BugKind
+}
+
+// New generates one program from the rand stream under cfg.
+func New(r *rand.Rand, cfg Config) Program {
+	if cfg.MinNP <= 0 {
+		cfg.MinNP = 4
+	}
+	if cfg.Phases <= 0 {
+		cfg.Phases = 1 + r.Intn(2)
+	}
+	if cfg.Decor == 0 {
+		cfg.Decor = 3
+	} else if cfg.Decor < 0 {
+		cfg.Decor = 0
+	}
+	if len(cfg.Families) == 0 {
+		cfg.Families = SafeFamilies()
+	}
+
+	b := &builder{r: r, cfg: cfg, env: map[string]int64{}}
+	var fams []Family
+	for i := 0; i < cfg.Phases; i++ {
+		f := cfg.Families[r.Intn(len(cfg.Families))]
+		fams = append(fams, f)
+		if m := f.minNP(); m > cfg.MinNP {
+			cfg.MinNP = m
+		}
+	}
+	b.cfg = cfg
+	b.np = cfg.MinNP
+
+	fmt.Fprintf(&b.out, "assume np >= %d\n", cfg.MinNP)
+	if cfg.EnvSymbol {
+		b.envSym = "w"
+		b.env["w"] = int64(1 + r.Intn(3))
+		b.out.WriteString("assume w >= 1\nassume w <= 3\n")
+	}
+	b.decorate()
+	for _, f := range fams {
+		b.emitFamily(f)
+		b.afterPhase = true
+		b.decorate()
+	}
+	if cfg.Bug != BugNone {
+		b.emitBug(cfg.Bug)
+	}
+
+	return Program{
+		Src:      b.out.String(),
+		Families: fams,
+		MinNP:    cfg.MinNP,
+		Env:      b.env,
+		Bug:      cfg.Bug,
+	}
+}
+
+// builder accumulates one program.
+type builder struct {
+	r      *rand.Rand
+	cfg    Config
+	out    strings.Builder
+	np     int // assumed floor; rank constants stay in [0, np-1]
+	temps  int // declared temp variables
+	tags   int // allocated tag names
+	envSym string
+	env    map[string]int64
+	// afterPhase flips once the first communication phase is emitted:
+	// from then on the process sets carry symbolic (np-relative) bounds,
+	// and splitting them on an absolute rank constant (id == 3 on
+	// [np-2..np-1]) is undecidable — an unconditional ⊤ — so rank-cond
+	// decorations are confined to the constant-bound prefix.
+	afterPhase bool
+	// lastChannel remembers a (sender, receiver, tagged) channel of the
+	// last phase so bug injection can break it.
+	lastSender, lastReceiver int
+	lastTagged               bool
+}
+
+func (b *builder) line(depth int, format string, args ...any) {
+	b.out.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(&b.out, format, args...)
+	b.out.WriteByte('\n')
+}
+
+// freshTemp declares and returns a new temp variable at depth.
+func (b *builder) freshTemp(depth int) string {
+	b.temps++
+	name := fmt.Sprintf("t%d", b.temps)
+	b.line(depth, "var %s", name)
+	return name
+}
+
+// freshTag returns a new message tag name.
+func (b *builder) freshTag() string {
+	b.tags++
+	return fmt.Sprintf("tag%d", b.tags)
+}
+
+// tagSuffix randomly attaches a fresh tag to a communication statement.
+func (b *builder) tagSuffix() string {
+	if b.r.Intn(2) == 0 {
+		return ""
+	}
+	return " : " + b.freshTag()
+}
+
+// intExpr builds a random integer-valued arithmetic expression of the
+// given depth over id, np, constants, the env symbol and a temp name.
+func (b *builder) intExpr(depth int, temp string) string {
+	if depth <= 0 {
+		switch b.r.Intn(5) {
+		case 0:
+			return "id"
+		case 1:
+			return "np"
+		case 2:
+			if temp != "" {
+				return temp
+			}
+			return fmt.Sprint(b.r.Intn(7))
+		case 3:
+			if b.envSym != "" {
+				return b.envSym
+			}
+			return fmt.Sprint(1 + b.r.Intn(5))
+		default:
+			return fmt.Sprint(b.r.Intn(9))
+		}
+	}
+	l := b.intExpr(depth-1, temp)
+	r := b.intExpr(depth-1, temp)
+	switch b.r.Intn(5) {
+	case 0:
+		return fmt.Sprintf("%s + %s", l, r)
+	case 1:
+		return fmt.Sprintf("%s - %s", l, r)
+	case 2:
+		return fmt.Sprintf("%s * %s", l, r)
+	case 3:
+		// Divisor/modulus are nonzero constants: the simulator errors on
+		// division by zero, so generated arithmetic stays total.
+		return fmt.Sprintf("%s / %d", l, 1+b.r.Intn(4))
+	default:
+		return fmt.Sprintf("%s %% %d", l, 1+b.r.Intn(4))
+	}
+}
+
+// rankCond builds an affine rank condition (the splittable fragment).
+func (b *builder) rankCond() string {
+	switch b.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("id == %d", b.r.Intn(b.np))
+	case 1:
+		return fmt.Sprintf("id >= %d", b.r.Intn(b.np))
+	case 2:
+		return fmt.Sprintf("id <= %d", b.r.Intn(b.np))
+	default:
+		return fmt.Sprintf("id <= np - %d", 1+b.r.Intn(2))
+	}
+}
+
+// envCond builds a condition over the environment symbol (id-independent,
+// so it never splits process sets).
+func (b *builder) envCond() string {
+	op := []string{"==", "<=", ">=", "!="}[b.r.Intn(4)]
+	return fmt.Sprintf("%s %s %d", b.envSym, op, 1+b.r.Intn(3))
+}
+
+// decorate emits up to the decoration budget of pure-compute statements:
+// no communication, so phases stay deadlock-free around them.
+func (b *builder) decorate() {
+	for i := 0; i < b.cfg.Decor; i++ {
+		if b.r.Intn(2) == 0 {
+			continue // spend the budget sparsely
+		}
+		b.decorStmt(0)
+	}
+}
+
+func (b *builder) decorStmt(depth int) {
+	switch b.r.Intn(7) {
+	case 0:
+		t := b.freshTemp(depth)
+		b.line(depth, "%s := %s", t, b.intExpr(1+b.r.Intn(2), ""))
+	case 1:
+		b.line(depth, "print %s", b.intExpr(1, ""))
+	case 2:
+		b.line(depth, "assert np >= %d", b.cfg.MinNP-b.r.Intn(2))
+	case 3:
+		t := b.freshTemp(depth)
+		lo := b.r.Intn(3)
+		b.line(depth, "for k%d := %d to %d do", b.temps, lo, lo+1+b.r.Intn(3))
+		b.line(depth+1, "%s := %s + k%d", t, t, b.temps)
+		b.line(depth, "end")
+	case 4:
+		t := b.freshTemp(depth)
+		b.line(depth, "%s := 0", t)
+		b.line(depth, "while %s < %d do", t, 1+b.r.Intn(4))
+		b.line(depth+1, "%s := %s + 1", t, t)
+		b.line(depth, "end")
+	case 5:
+		if depth == 0 && !b.afterPhase {
+			b.line(depth, "if %s then", b.rankCond())
+			b.decorStmt(depth + 1)
+			b.line(depth, "end")
+		} else {
+			b.line(depth, "skip")
+		}
+	default:
+		if b.envSym != "" && depth == 0 {
+			b.line(depth, "if %s then", b.envCond())
+			b.decorStmt(depth + 1)
+			b.line(depth, "end")
+		} else {
+			b.line(depth, "print %s", b.intExpr(1, ""))
+		}
+	}
+}
+
+// emitFamily writes one phase of the given family.
+func (b *builder) emitFamily(f Family) {
+	switch f {
+	case FamilyPairs:
+		b.emitPairs()
+	case FamilyBroadcast:
+		b.emitBroadcast()
+	case FamilyGather:
+		b.emitGather()
+	case FamilyShift:
+		b.emitShift()
+	case FamilyWindow:
+		b.emitWindow()
+	case FamilyRing:
+		b.emitRing()
+	case FamilyPairwise:
+		b.emitPairwise()
+	case FamilyRootExchange:
+		b.emitRootExchange()
+	default:
+		panic(fmt.Sprintf("gen: unknown family %q", f))
+	}
+}
+
+// emitPairs: disjoint rank pairs exchange tagged messages; roughly the
+// paper's point-to-point microbenchmark. Multi-channel: each pair may
+// exchange two messages with distinct tags, and may add a reply leg.
+func (b *builder) emitPairs() {
+	ranks := b.r.Perm(b.np)
+	nPairs := 1 + b.r.Intn(b.np/2)
+	for i := 0; i < nPairs; i++ {
+		s, d := ranks[2*i], ranks[2*i+1]
+		nMsgs := 1 + b.r.Intn(2)
+		reply := b.r.Intn(2) == 0
+		// Multi-channel: each message in the pair gets its own (possibly
+		// empty) tag, consistent between the two ends.
+		tags := make([]string, nMsgs)
+		for m := range tags {
+			tags[m] = b.tagSuffix()
+		}
+		b.line(0, "if id == %d then", s)
+		for m := 0; m < nMsgs; m++ {
+			b.line(1, "send %s -> %d%s", b.valueExpr(), d, tags[m])
+		}
+		if reply {
+			b.line(1, "recv rr <- %d", d)
+		}
+		b.line(0, "elif id == %d then", d)
+		for m := 0; m < nMsgs; m++ {
+			b.line(1, "recv y%d <- %d%s", m, s, tags[m])
+		}
+		if reply {
+			b.line(1, "send y0 -> %d", s)
+		}
+		b.line(0, "end")
+		b.lastSender, b.lastReceiver, b.lastTagged = s, d, tags[0] != ""
+	}
+}
+
+// valueExpr builds the payload of a send: arbitrary arithmetic is fine
+// here (payloads never steer matching).
+func (b *builder) valueExpr() string {
+	if b.r.Intn(3) == 0 {
+		return b.intExpr(1, "")
+	}
+	return fmt.Sprint(b.r.Intn(100))
+}
+
+// emitBroadcast: rank 0 loop-sends to [lo, hi]; hi is either a constant
+// below the floor or the symbolic np-1.
+func (b *builder) emitBroadcast() {
+	lo := 1 + b.r.Intn(b.np-2)
+	hi, hiCond := b.subrangeHi(lo)
+	tag := b.tagSuffix()
+	b.line(0, "if id == 0 then")
+	b.line(1, "for i := %d to %s do", lo, hi)
+	b.line(2, "send %s -> i%s", b.valueExpr(), tag)
+	b.line(1, "end")
+	b.line(0, "elif id >= %d then", lo)
+	if hiCond != "" {
+		b.line(1, "if %s then", hiCond)
+		b.line(2, "recv y <- 0%s", tag)
+		b.line(1, "end")
+	} else {
+		b.line(1, "recv y <- 0%s", tag)
+	}
+	b.line(0, "end")
+	b.lastSender, b.lastReceiver, b.lastTagged = 0, lo, tag != ""
+}
+
+// subrangeHi picks the upper end of a [lo, …] subrange: a constant (with
+// its receiver-side guard) or the symbolic np-1 (no guard needed beyond
+// id >= lo).
+func (b *builder) subrangeHi(lo int) (hi, guard string) {
+	if b.r.Intn(2) == 0 {
+		return "np - 1", ""
+	}
+	h := lo + b.r.Intn(b.np-lo)
+	return fmt.Sprint(h), fmt.Sprintf("id <= %d", h)
+}
+
+// emitGather: [lo, hi] send to rank 0, which loop-receives.
+func (b *builder) emitGather() {
+	lo := 1 + b.r.Intn(b.np-2)
+	hi, hiCond := b.subrangeHi(lo)
+	tag := b.tagSuffix()
+	b.line(0, "if id == 0 then")
+	b.line(1, "for i := %d to %s do", lo, hi)
+	b.line(2, "recv y <- i%s", tag)
+	b.line(1, "end")
+	b.line(0, "elif id >= %d then", lo)
+	if hiCond != "" {
+		b.line(1, "if %s then", hiCond)
+		b.line(2, "send %s -> 0%s", b.valueExpr(), tag)
+		b.line(1, "end")
+	} else {
+		b.line(1, "send %s -> 0%s", b.valueExpr(), tag)
+	}
+	b.line(0, "end")
+	b.lastSender, b.lastReceiver, b.lastTagged = lo, 0, tag != ""
+}
+
+// emitShift: the Fig 7 nearest-neighbor shift offset to start at a random
+// rank (first sender / recv-then-send middles / last receiver).
+func (b *builder) emitShift() {
+	lo := b.r.Intn(b.np - 3)
+	b.line(0, "if id == %d then", lo)
+	b.line(1, "send %s -> id + 1", b.valueExpr())
+	b.line(0, "elif id >= %d then", lo+1)
+	b.line(1, "if id <= np - 2 then")
+	b.line(2, "recv y <- id - 1")
+	b.line(2, "send y -> id + 1")
+	b.line(1, "else")
+	b.line(2, "recv y <- id - 1")
+	b.line(1, "end")
+	b.line(0, "end")
+	b.lastSender, b.lastReceiver, b.lastTagged = lo, lo+1, false
+}
+
+// emitWindow: ranks [a, a+w-1] send to id+k; the disjoint window
+// [a+k, a+k+w-1] receives from id-k. Exercises arithmetic dest/source
+// expressions with a non-unit offset.
+func (b *builder) emitWindow() {
+	w := 1 + b.r.Intn(b.np/2)
+	k := w + b.r.Intn(b.np-2*w+1)
+	a := b.r.Intn(b.np - w - k + 1)
+	tag := b.tagSuffix()
+	b.line(0, "if id >= %d then", a)
+	b.line(1, "if id <= %d then", a+w-1)
+	b.line(2, "send %s -> id + %d%s", b.valueExpr(), k, tag)
+	b.line(1, "end")
+	b.line(0, "end")
+	b.line(0, "if id >= %d then", a+k)
+	b.line(1, "if id <= %d then", a+k+w-1)
+	b.line(2, "recv y <- id - %d%s", k, tag)
+	b.line(1, "end")
+	b.line(0, "end")
+	b.lastSender, b.lastReceiver, b.lastTagged = a, a+k, tag != ""
+}
+
+// emitRing: every rank exchanges with its cyclic neighbors by sendrecv;
+// the wraparound ranks get explicit role branches so every partner
+// expression stays affine.
+func (b *builder) emitRing() {
+	b.line(0, "if id == 0 then")
+	b.line(1, "sendrecv %s -> id + 1, y <- np - 1", b.valueExpr())
+	b.line(0, "elif id <= np - 2 then")
+	b.line(1, "sendrecv %s -> id + 1, y <- id - 1", b.valueExpr())
+	b.line(0, "else")
+	b.line(1, "sendrecv %s -> 0, y <- id - 1", b.valueExpr())
+	b.line(0, "end")
+	b.lastSender, b.lastReceiver, b.lastTagged = 0, 1, false
+}
+
+// emitPairwise: disjoint rank pairs exchange simultaneously via sendrecv
+// (the deadlock-free stencil building block).
+func (b *builder) emitPairwise() {
+	ranks := b.r.Perm(b.np)
+	nPairs := 1 + b.r.Intn(b.np/2)
+	for i := 0; i < nPairs; i++ {
+		s, d := ranks[2*i], ranks[2*i+1]
+		tag := b.tagSuffix()
+		b.line(0, "if id == %d then", s)
+		b.line(1, "sendrecv %s -> %d, y <- %d%s", b.valueExpr(), d, d, tag)
+		b.line(0, "elif id == %d then", d)
+		b.line(1, "sendrecv %s -> %d, y <- %d%s", b.valueExpr(), s, s, tag)
+		b.line(0, "end")
+		b.lastSender, b.lastReceiver, b.lastTagged = s, d, tag != ""
+	}
+}
+
+// emitRootExchange: the mdcask pattern (paper Fig 1/5) — rank 0 sends to
+// and receives from every rank in [1, np-1]; the others recv-then-reply.
+func (b *builder) emitRootExchange() {
+	b.line(0, "if id == 0 then")
+	b.line(1, "for i := 1 to np - 1 do")
+	b.line(2, "send %s -> i", b.valueExpr())
+	b.line(2, "recv y <- i")
+	b.line(1, "end")
+	b.line(0, "else")
+	b.line(1, "recv y <- 0")
+	b.line(1, "send y -> 0")
+	b.line(0, "end")
+	b.lastSender, b.lastReceiver, b.lastTagged = 0, 1, false
+}
+
+// emitBug appends (or notes) the deliberate defect. The base program is
+// safe; each defect is a minimal, classified breakage.
+func (b *builder) emitBug(kind BugKind) {
+	s := b.r.Intn(b.np)
+	d := (s + 1 + b.r.Intn(b.np-1)) % b.np
+	switch kind {
+	case BugLeak:
+		// A send nobody receives: the message leaks (the concrete model's
+		// sends are non-blocking, so no deadlock — just an undelivered
+		// message).
+		b.line(0, "if id == %d then", s)
+		b.line(1, "send %s -> %d", b.valueExpr(), d)
+		b.line(0, "end")
+	case BugStuckRecv:
+		// A receive nobody sends to: rank d blocks forever.
+		b.line(0, "if id == %d then", d)
+		b.line(1, "recv zz <- %d", s)
+		b.line(0, "end")
+	case BugTagMismatch:
+		// A matched channel whose two ends disagree on the message tag.
+		b.line(0, "if id == %d then", s)
+		b.line(1, "send %s -> %d : %s", b.valueExpr(), d, b.freshTag())
+		b.line(0, "elif id == %d then", d)
+		b.line(1, "recv zz <- %d : %s", s, b.freshTag())
+		b.line(0, "end")
+	case BugRankBounds:
+		// A send destination provably outside [0, np-1].
+		b.line(0, "if id == %d then", s)
+		b.line(1, "send %s -> np + %d", b.valueExpr(), b.r.Intn(3))
+		b.line(0, "end")
+	default:
+		panic(fmt.Sprintf("gen: unknown bug kind %q", kind))
+	}
+}

@@ -1,0 +1,152 @@
+package gen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/clients/cartesian"
+	"repro/internal/core"
+	"repro/internal/lint"
+	"repro/internal/parser"
+	"repro/internal/sem"
+)
+
+// TestDeterminism: generation is a pure function of the seed and config —
+// the reproducibility contract every sweep seed, shrunk repro, and CI gate
+// depends on.
+func TestDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := New(rand.New(rand.NewSource(seed)), Config{})
+		b := New(rand.New(rand.NewSource(seed)), Config{})
+		if a.Src != b.Src {
+			t.Fatalf("seed %d: two generations differ:\n--- a\n%s\n--- b\n%s", seed, a.Src, b.Src)
+		}
+		if a.MinNP != b.MinNP || a.Bug != b.Bug || len(a.Families) != len(b.Families) {
+			t.Fatalf("seed %d: metadata differs", seed)
+		}
+	}
+}
+
+// TestGeneratedProgramsAreWellFormed: every generated program — safe or
+// buggy, decorated or not — parses and passes the semantic checker. The
+// generator's validity promise is what lets sweep failures always blame
+// the analysis, never the input.
+func TestGeneratedProgramsAreWellFormed(t *testing.T) {
+	configs := []Config{
+		{},
+		{Phases: 3, Decor: 6},
+		{Decor: -1},
+		{EnvSymbol: true},
+		{Families: []Family{FamilyRing}},
+		{Bug: BugLeak},
+		{Bug: BugStuckRecv},
+		{Bug: BugTagMismatch},
+		{Bug: BugRankBounds},
+	}
+	for _, cfg := range configs {
+		for seed := int64(0); seed < 40; seed++ {
+			p := New(rand.New(rand.NewSource(seed)), cfg)
+			prog, err := parser.Parse("gen.mpl", p.Src)
+			if err != nil {
+				t.Fatalf("config %+v seed %d: parse: %v\n%s", cfg, seed, err, p.Src)
+			}
+			if _, err := sem.Check(prog); err != nil {
+				t.Fatalf("config %+v seed %d: sem: %v\n%s", cfg, seed, err, p.Src)
+			}
+			if p.MinNP < 2 {
+				t.Fatalf("config %+v seed %d: MinNP = %d", cfg, seed, p.MinNP)
+			}
+			if !strings.Contains(p.Src, "assume np >=") {
+				t.Fatalf("config %+v seed %d: missing np floor assume\n%s", cfg, seed, p.Src)
+			}
+		}
+	}
+}
+
+// TestFamilyCoverage: over a modest seed range the default config draws
+// every safe family — the sweep actually exercises the whole grammar.
+func TestFamilyCoverage(t *testing.T) {
+	seen := map[Family]bool{}
+	for seed := int64(0); seed < 200; seed++ {
+		p := New(rand.New(rand.NewSource(seed)), Config{})
+		for _, f := range p.Families {
+			seen[f] = true
+		}
+	}
+	for _, f := range SafeFamilies() {
+		if !seen[f] {
+			t.Errorf("family %s never drawn in 200 seeds", f)
+		}
+	}
+	if seen[FamilyRing] {
+		t.Error("FamilyRing drawn by default config; it must be opt-in")
+	}
+}
+
+// TestMinNPRespectsFamilies: the assumed floor covers the neediest phase,
+// so the differ never simulates an np the shapes are ill-formed at.
+func TestMinNPRespectsFamilies(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		p := New(rand.New(rand.NewSource(seed)), Config{})
+		for _, f := range p.Families {
+			if p.MinNP < f.minNP() {
+				t.Fatalf("seed %d: MinNP %d below %s floor %d", seed, p.MinNP, f, f.minNP())
+			}
+		}
+	}
+}
+
+// TestBuggyModeTriggersLint: every injected defect kind is caught by the
+// corresponding lint pass on at least most seeds — the buggy mode earns
+// its keep as a lint-surface exerciser.
+func TestBuggyModeTriggersLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lint sweep skipped in -short mode")
+	}
+	for _, bug := range Bugs() {
+		caught := 0
+		const trials = 15
+		for seed := int64(0); seed < trials; seed++ {
+			p := New(rand.New(rand.NewSource(seed)), Config{Bug: bug})
+			if p.Bug != bug {
+				t.Fatalf("bug %s seed %d: Program.Bug = %q", bug, seed, p.Bug)
+			}
+			target, err := lint.Load("gen.mpl", p.Src, core.Options{})
+			if err != nil {
+				t.Fatalf("bug %s seed %d: lint load: %v\n%s", bug, seed, err, p.Src)
+			}
+			rep := lint.Run(target, lint.Options{})
+			if len(rep.Diags) > 0 {
+				caught++
+			}
+		}
+		// The injected defect can occasionally be masked by a surrounding
+		// safe phase (e.g. a leak destination that another phase happens
+		// to read); require a strong majority, not perfection.
+		if caught < trials*2/3 {
+			t.Errorf("bug %s: lint caught only %d/%d seeds", bug, caught, trials)
+		}
+	}
+}
+
+// TestSafeProgramsAnalyzeWithoutError: the analysis itself (not its
+// precision) must never fail on generated safe programs — errors are
+// harness bugs, and the differ classifies them as ClassError.
+func TestSafeProgramsAnalyzeWithoutError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analysis sweep skipped in -short mode")
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		p := New(rand.New(rand.NewSource(seed)), Config{})
+		prog, err := parser.Parse("gen.mpl", p.Src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := cfg.Build(prog)
+		if _, err := core.Analyze(g, core.Options{Matcher: cartesian.New(core.ScanInvariants(g))}); err != nil {
+			t.Errorf("seed %d: analysis error: %v\n%s", seed, err, p.Src)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package integration_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/clients/cartesian"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/parser"
+	"repro/internal/sem"
+)
+
+// FuzzAnalyze is the no-panic property of the full analysis pipeline: any
+// semantically valid program, however mangled by the mutator, must either
+// analyze or fail with an error — never panic, and never blow the (tight)
+// step budget set here. Seeds are generator-derived (the mutator then
+// explores around grammatically interesting programs rather than from
+// scratch) plus the shared corpus under testdata/fuzz/.
+func FuzzAnalyze(f *testing.F) {
+	for seed := int64(0); seed < 12; seed++ {
+		f.Add(gen.New(rand.New(rand.NewSource(seed)), gen.Config{}).Src)
+		f.Add(gen.New(rand.New(rand.NewSource(seed)), gen.Config{Phases: 2, Decor: 4}).Src)
+	}
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "fuzz", "*.mpl"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.Parse("fuzz.mpl", src)
+		if err != nil {
+			return
+		}
+		if _, err := sem.Check(prog); err != nil {
+			return
+		}
+		g := cfg.Build(prog)
+		opts := core.Options{
+			Matcher:   cartesian.New(core.ScanInvariants(g)),
+			MaxVisits: 8,
+			MaxSteps:  20000,
+		}
+		res, err := core.Analyze(g, opts)
+		if err == nil && res == nil {
+			t.Fatal("Analyze returned nil result without an error")
+		}
+	})
+}

@@ -1,124 +1,48 @@
 package integration_test
 
 import (
-	"fmt"
 	"math/rand"
-	"strings"
 	"testing"
-	"testing/quick"
 
-	"repro/internal/cfg"
-	"repro/internal/clients/cartesian"
 	"repro/internal/core"
-	"repro/internal/parser"
-	"repro/internal/validate"
+	"repro/internal/differ"
+	"repro/internal/gen"
 )
 
-// The fuzz harness generates random-but-deadlock-free message-passing
-// programs from structural templates, analyzes them symbolically, and
-// requires the topology to concretize exactly to the simulator's ground
-// truth. This is the strongest end-to-end property in the suite: any
+// The integration fuzz property rides on the shared generator
+// (internal/gen) and differential harness (internal/differ): an
+// undecorated single-phase program from the classic shape families must
+// triage exactly — the analysis stays clean and its concretized topology
+// equals the explicit-state oracle at every checked np, under both send
+// models. This is the strongest end-to-end property in the suite: any
 // unsoundness in matching, splitting, merging or widening shows up as a
-// topology mismatch.
-
-// genPairs emits a program where disjoint rank pairs exchange one message
-// each (every rank participates in at most one pair, so any schedule is
-// deadlock-free).
-func genPairs(r *rand.Rand, np int) string {
-	ranks := r.Perm(np)
-	nPairs := 1 + r.Intn(np/2)
-	var b strings.Builder
-	fmt.Fprintf(&b, "assume np >= %d\n", np)
-	for i := 0; i < nPairs; i++ {
-		s, d := ranks[2*i], ranks[2*i+1]
-		fmt.Fprintf(&b, "if id == %d then\n  send x -> %d\nend\n", s, d)
-		fmt.Fprintf(&b, "if id == %d then\n  recv y <- %d\nend\n", d, s)
-	}
-	return b.String()
-}
-
-// genBroadcast emits a root-to-subrange broadcast with a random root
-// outside the range.
-func genBroadcast(r *rand.Rand, np int) string {
-	lo := 1 + r.Intn(np-2)
-	hi := lo + r.Intn(np-lo)
-	var b strings.Builder
-	fmt.Fprintf(&b, "assume np >= %d\n", np)
-	fmt.Fprintf(&b, "if id == 0 then\n  for i := %d to %d do\n    send x -> i\n  end\n", lo, hi)
-	fmt.Fprintf(&b, "elif id >= %d then\n  if id <= %d then\n    recv y <- 0\n  end\nend\n", lo, hi)
-	return b.String()
-}
-
-// genShift emits the paper's Fig 7 shift pattern offset to start at a
-// random rank: the first sender, recv-then-send middles, and a final
-// receiver. (Send-first orderings under the blocking model are a known
-// imprecision — the analysis soundly reports ⊤ — and are exercised by the
-// dedicated non-blocking tests instead.)
-func genShift(r *rand.Rand, np int) string {
-	lo := r.Intn(np - 3)
-	var b strings.Builder
-	fmt.Fprintf(&b, "assume np >= %d\n", np)
-	fmt.Fprintf(&b, "if id == %d then\n  send x -> id + 1\n", lo)
-	fmt.Fprintf(&b, "elif id >= %d then\n", lo+1)
-	b.WriteString("  if id <= np - 2 then\n    recv y <- id - 1\n    send x -> id + 1\n  else\n    recv y <- id - 1\n  end\nend\n")
-	return b.String()
-}
-
-// genGather emits a subrange-to-root gather.
-func genGather(r *rand.Rand, np int) string {
-	lo := 1 + r.Intn(np-2)
-	hi := lo + r.Intn(np-lo)
-	var b strings.Builder
-	fmt.Fprintf(&b, "assume np >= %d\n", np)
-	fmt.Fprintf(&b, "if id == 0 then\n  for i := %d to %d do\n    recv y <- i\n  end\n", lo, hi)
-	fmt.Fprintf(&b, "elif id >= %d then\n  if id <= %d then\n    send x -> 0\n  end\nend\n", lo, hi)
-	return b.String()
-}
-
-func TestQuickRandomProgramsValidate(t *testing.T) {
+// divergence. (Decorated multi-phase programs may legitimately triage as
+// precision losses; the differ's own sweep covers those.)
+func TestGeneratedFamiliesValidateExactly(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fuzz harness skipped in -short mode")
 	}
-	generators := []func(*rand.Rand, int) string{genPairs, genBroadcast, genShift, genGather}
-	cfgQ := &quick.Config{MaxCount: 60}
-	f := func(seed int64) bool {
-		r := rand.New(rand.NewSource(seed))
-		np := 6 + r.Intn(5) // 6..10
-		gen := generators[r.Intn(len(generators))]
-		src := gen(r, np)
-
-		prog, err := parser.Parse("fuzz.mpl", src)
-		if err != nil {
-			t.Logf("seed %d: parse error: %v\n%s", seed, err, src)
-			return false
-		}
-		g := cfg.Build(prog)
-		// Exercise both send models.
-		for _, nb := range []bool{false, true} {
-			m := cartesian.New(core.ScanInvariants(g))
-			res, err := core.Analyze(g, core.Options{Matcher: m, NonBlockingSends: nb})
-			if err != nil {
-				t.Logf("seed %d (nb=%v): analyze error: %v\n%s", seed, nb, err, src)
-				return false
-			}
-			if !res.Clean() {
-				t.Logf("seed %d (nb=%v): not clean: %v\n%s", seed, nb, res.TopReasons(), src)
-				return false
-			}
-			if err := validate.Check(g, res, np, nil); err != nil {
-				t.Logf("seed %d (nb=%v): %v\n%s", seed, nb, err, src)
-				return false
-			}
-			// And at a larger np than generated for, where the program's
-			// assume still holds.
-			if err := validate.Check(g, res, np+3, nil); err != nil {
-				t.Logf("seed %d (nb=%v) np+3: %v\n%s", seed, nb, err, src)
-				return false
-			}
-		}
-		return true
+	families := []gen.Family{
+		gen.FamilyPairs, gen.FamilyBroadcast, gen.FamilyShift, gen.FamilyGather,
 	}
-	if err := quick.Check(f, cfgQ); err != nil {
-		t.Error(err)
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		cfg := gen.Config{
+			Families: []gen.Family{families[r.Intn(len(families))]},
+			Phases:   1,
+			Decor:    -1,
+		}
+		p := gen.New(r, cfg)
+		for _, nb := range []bool{false, true} {
+			f := differ.Check(p.Src, differ.Options{
+				Core: core.Options{NonBlockingSends: nb},
+				// The sequential triage is the property; the parallel
+				// engines are screened by the differ's own sweep tests.
+				SkipEngineCompare: nb,
+			})
+			if f.Class != differ.ClassOK {
+				t.Errorf("seed %d (nb=%v, %v): %s\n%s", seed, nb, p.Families, f, p.Src)
+			}
+		}
 	}
 }

@@ -60,6 +60,71 @@ end`)
 	}
 }
 
+// TestPartialProgressBeforeDeadlock: the differ's triage compares edge and
+// message counts even when the oracle deadlocks, so messages delivered
+// before the program gets stuck must still be counted — and distinct
+// (send, recv) node pairs must stay distinct edges.
+func TestPartialProgressBeforeDeadlock(t *testing.T) {
+	prog, _ := parser.Parse("t.mpl", `
+assume np >= 2
+if id == 0 then
+  send 1 -> 1
+  send 2 -> 1
+  recv y <- 1
+elif id == 1 then
+  recv a <- 0
+  recv b <- 0
+  recv c <- 0
+end`)
+	g := cfg.Build(prog)
+	res, err := Check(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatal("deadlock not reported")
+	}
+	// Two sends from distinct nodes land in distinct receives: 2 edges, 2
+	// messages delivered before ranks 0 and 1 block forever.
+	if res.EdgeCount() != 2 {
+		t.Errorf("edges = %d, want 2", res.EdgeCount())
+	}
+	if res.MessageCount() != 2 {
+		t.Errorf("messages = %d, want 2", res.MessageCount())
+	}
+}
+
+// TestEdgeVsMessageCount: one static edge serving several rank pairs keeps
+// EdgeCount at 1 while MessageCount sees every delivery — the distinction
+// the differ's topology comparison is built on.
+func TestEdgeVsMessageCount(t *testing.T) {
+	prog, _ := parser.Parse("t.mpl", `
+assume np >= 2
+if id >= 1 then
+  send id -> 0
+else
+  for i := 1 to np - 1 do
+    recv v <- i
+  end
+end`)
+	g := cfg.Build(prog)
+	for _, np := range []int{2, 4, 6} {
+		res, err := Check(g, np, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deadlocked {
+			t.Fatalf("np=%d: deadlocked", np)
+		}
+		if res.EdgeCount() != 1 {
+			t.Errorf("np=%d: edges = %d, want 1", np, res.EdgeCount())
+		}
+		if res.MessageCount() != np-1 {
+			t.Errorf("np=%d: messages = %d, want %d", np, res.MessageCount(), np-1)
+		}
+	}
+}
+
 func TestEnvPropagated(t *testing.T) {
 	w := bench.TransposeSquare()
 	_, g := w.Parse()

@@ -232,6 +232,91 @@ func (ctx Ctx) EqBound(lhs, rhs Bound, slack int64) tri.Bool {
 	return le.And(ge)
 }
 
+// Contradictory reports whether the bound's atom class is provably broken:
+// two atoms that are supposed to witness the same value are strictly ordered
+// under the context. Such a class arises when a witness goes stale — the
+// constraint that justified it was weakened by a graph join/widen and a later
+// path re-pinned the variable to a different value. Every atom-picking proof
+// over a contradictory class is unreliable (LeqBound may prove both a <= x
+// and x <= b from different atoms), so callers folding or comparing ranges
+// must treat such bounds as unusable.
+func (ctx Ctx) Contradictory(b Bound) bool {
+	for i := 0; i < len(b.atoms); i++ {
+		for j := i + 1; j < len(b.atoms); j++ {
+			if ctx.leqAtoms(b.atoms[i], b.atoms[j], -1) == tri.True ||
+				ctx.leqAtoms(b.atoms[j], b.atoms[i], -1) == tri.True {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ContradictorySet reports whether either bound of s has a broken atom class.
+func (ctx Ctx) ContradictorySet(s Set) bool {
+	return ctx.Contradictory(s.LB) || ctx.Contradictory(s.UB)
+}
+
+// Coherent reports whether every comparable pair of atoms in the class is
+// provably equal under the context — the class invariant (all atoms
+// witness one value) is certified rather than assumed. A sound fixpoint
+// leaves only coherent classes, but a stale witness can survive a graph
+// join/widen without being provably Contradictory: {np - 2, 2} under
+// np >= 4 admits np = 4 (equal) yet breaks at np = 5. Pairs with no
+// finite difference bound between their variables at all (e.g. a loop
+// counter projected away when its frame left the loop) are skipped: such
+// atoms are inert — no proof can pick them and concretization never
+// binds them — so demanding a proof about them would reject legitimate
+// results. Terminal match records failing this check cannot be certified.
+func (ctx Ctx) Coherent(b Bound) bool {
+	for i := 0; i < len(b.atoms); i++ {
+		for j := i + 1; j < len(b.atoms); j++ {
+			if !ctx.comparableAtoms(b.atoms[i], b.atoms[j]) {
+				continue
+			}
+			if ctx.leqAtoms(b.atoms[i], b.atoms[j], 0) != tri.True ||
+				ctx.leqAtoms(b.atoms[j], b.atoms[i], 0) != tri.True {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// comparableAtoms reports whether the context relates a and b at all: a
+// syntactic constant difference, or a finite difference bound between
+// their variables in either direction.
+func (ctx Ctx) comparableAtoms(a, b sym.Expr) bool {
+	if _, ok := sym.Cmp(a, b); ok {
+		return true
+	}
+	va, _, oka := a.AsVarPlusConst()
+	vb, _, okb := b.AsVarPlusConst()
+	if !oka || !okb || ctx.G == nil {
+		return false
+	}
+	na, nb := va, vb
+	if na == "" {
+		na = cg.ZeroVar
+	}
+	if nb == "" {
+		nb = cg.ZeroVar
+	}
+	if !ctx.G.HasVar(na) || !ctx.G.HasVar(nb) {
+		return false
+	}
+	if _, ok := ctx.G.DiffBound(na, nb); ok {
+		return true
+	}
+	_, ok := ctx.G.DiffBound(nb, na)
+	return ok
+}
+
+// CoherentSet reports whether both bounds of s have certified atom classes.
+func (ctx Ctx) CoherentSet(s Set) bool {
+	return ctx.Coherent(s.LB) && ctx.Coherent(s.UB)
+}
+
 // Enrich adds to b every var+c expression the context proves equal to it.
 func (ctx Ctx) Enrich(b Bound) Bound {
 	if ctx.G == nil || !b.IsValid() {
@@ -462,11 +547,15 @@ func (s Set) Enrich(ctx Ctx) Set {
 }
 
 // ConcreteSlice enumerates the set's members under a concrete environment
-// (for testing against the simulator).
+// (for testing against the simulator). Each bound is evaluated through an
+// atom whose variables env all binds — the atoms are equality witnesses, so
+// any fully-bound one is exact, while Eval on an atom with an unbound
+// variable (an internal ps-var witness, say) would silently read it as 0 and
+// concretize a wildly wrong range.
 func (s Set) ConcreteSlice(env map[string]int64) []int64 {
-	lo := s.LB.Primary().Eval(env)
-	hi := s.UB.Primary().Eval(env)
-	if hi < lo {
+	lo, okL := evalBound(s.LB, env)
+	hi, okH := evalBound(s.UB, env)
+	if !okL || !okH || hi < lo {
 		return nil
 	}
 	out := make([]int64, 0, hi-lo+1)
@@ -474,6 +563,31 @@ func (s Set) ConcreteSlice(env map[string]int64) []int64 {
 		out = append(out, v)
 	}
 	return out
+}
+
+// Concretizable reports whether both bounds carry an atom fully bound by env.
+func (s Set) Concretizable(env map[string]int64) bool {
+	_, okL := evalBound(s.LB, env)
+	_, okH := evalBound(s.UB, env)
+	return okL && okH
+}
+
+// evalBound evaluates the bound through its first atom whose variables are
+// all bound in env. ok=false when no atom qualifies.
+func evalBound(b Bound, env map[string]int64) (int64, bool) {
+	for _, a := range b.atoms {
+		bound := true
+		for _, v := range a.Vars() {
+			if _, ok := env[v]; !ok {
+				bound = false
+				break
+			}
+		}
+		if bound {
+			return a.Eval(env), true
+		}
+	}
+	return 0, false
 }
 
 func (s Set) String() string {

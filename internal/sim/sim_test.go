@@ -180,6 +180,73 @@ end`, 2, Options{})
 	}
 }
 
+// TestMultiRankStuckRecv: every non-root rank waits on a message that
+// never comes; Blocked must list them all (the differ's skip-triage reads
+// this to tell a stuck oracle from a clean one).
+func TestMultiRankStuckRecv(t *testing.T) {
+	res := run(t, `
+if id >= 1 then
+  recv y <- 0
+end`, 4, Options{})
+	if !res.Deadlocked {
+		t.Fatal("deadlock not detected")
+	}
+	if len(res.Blocked) != 3 {
+		t.Fatalf("blocked = %v, want ranks 1..3", res.Blocked)
+	}
+	for i, r := range res.Blocked {
+		if r != i+1 {
+			t.Errorf("blocked[%d] = %d, want %d", i, r, i+1)
+		}
+	}
+}
+
+// TestRendezvousSendBlocks: under the rendezvous model an unmatched send
+// is itself a stuck state — the same program that merely leaks under
+// buffered sends deadlocks, with the sender in Blocked and the message
+// reported leaked.
+func TestRendezvousSendBlocks(t *testing.T) {
+	src := `
+if id == 0 then
+  send x -> 1
+end`
+	res := run(t, src, 2, Options{})
+	if res.Deadlocked {
+		t.Fatal("buffered variant must not deadlock")
+	}
+	res = run(t, src, 2, Options{Rendezvous: true})
+	if !res.Deadlocked {
+		t.Fatal("rendezvous send did not block")
+	}
+	if len(res.Blocked) != 1 || res.Blocked[0] != 0 {
+		t.Errorf("blocked = %v, want [0]", res.Blocked)
+	}
+	if len(res.Leaked) != 1 {
+		t.Errorf("leaked = %v, want the undelivered message", res.Leaked)
+	}
+}
+
+// TestSendRecvStuckCycle: a sendrecv whose receive half can never be
+// satisfied blocks even though its send half was delivered — partial
+// progress is recorded, the rest is a deadlock.
+func TestSendRecvStuckCycle(t *testing.T) {
+	res := run(t, `
+if id == 0 then
+  sendrecv 1 -> 1, y <- 1
+elif id == 1 then
+  recv a <- 0
+end`, 2, Options{})
+	if !res.Deadlocked {
+		t.Fatal("unmatched sendrecv receive half did not deadlock")
+	}
+	if len(res.Events) != 1 {
+		t.Errorf("events = %v, want the delivered send half", res.Events)
+	}
+	if len(res.Blocked) != 1 || res.Blocked[0] != 0 {
+		t.Errorf("blocked = %v, want [0]", res.Blocked)
+	}
+}
+
 func TestMessageLeak(t *testing.T) {
 	res := run(t, `
 if id == 0 then

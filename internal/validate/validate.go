@@ -148,6 +148,14 @@ func Check(g *cfg.Graph, res *core.Result, np int, env map[string]int64) error {
 	return fmt.Errorf("validate: np=%d: no final matches ground truth: %s", np, strings.Join(errs, "; "))
 }
 
+// ConsistentWithNP reports whether the final state's constraints admit the
+// given np (and env bindings for other global symbols). Exported for the
+// differential-soundness harness (internal/differ), which classifies each
+// final's concretization separately instead of requiring one exact match.
+func ConsistentWithNP(st *core.State, np int, env map[string]int64) bool {
+	return consistentWithNP(st, np, env)
+}
+
 // consistentWithNP reports whether the final state's constraints admit the
 // given np (and env bindings for other global symbols).
 func consistentWithNP(st *core.State, np int, env map[string]int64) bool {

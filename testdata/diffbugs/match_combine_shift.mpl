@@ -1,0 +1,23 @@
+# max-class: ok
+# origin: hand-minimized from sweep sub-seed 181000514 (pre-fix); the
+# decorated guarded shift drove AddMatch/normalizeMatches to fold two
+# distinct match records through a contradictory witness class (one bound
+# carrying both constants 2 and 3 after a graph widen staled an enriched
+# witness), silently erasing the pipeline's last hop — a clean final with
+# missing communication. Fixed by skipping folds through contradictory
+# classes; the program must stay exact at every checked np.
+assume np >= 4
+assert np >= 4
+print np + np
+if id == 0 then
+  send 22 -> id + 1
+elif id >= 1 then
+  if id <= np - 2 then
+    recv y <- id - 1
+    send y -> id + 1
+  else
+    recv y <- id - 1
+  end
+end
+var t1
+t1 := np + 7

@@ -1,0 +1,16 @@
+# max-class: precision
+# origin: sweep sub-seed 520001561, minimized to 8 statements (157 checks)
+# finding: precision@np=4: gave up (⊤) and no final admits np=4: no send-receive match possible; blocked: n3[sendrecv 29 -> 3, y <- 3][1], n7[send 3 -> id + 3][0]; stale match witness survived widening: match n7->n9 [{-26,0}..0] -> [{-23,3}..3]
+if id == 1 then
+  sendrecv 29 -> 3, y <- 3 : tag1
+else
+  if id == 3 then
+    sendrecv 8 -> 1, y <- 1 : tag1
+  end
+end
+if id <= 0 then
+  send 3 -> id + 3
+end
+if id >= 3 then
+  recv y <- id - 3
+end

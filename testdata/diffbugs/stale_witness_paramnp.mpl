@@ -1,0 +1,22 @@
+# max-class: precision
+# origin: sweep sub-seed 557001672, minimized to 12 statements (149 checks)
+# finding: precision@np=4: gave up (⊤) and no final admits np=4: stale match witness survived widening: match n17->n14 [{np - 2,2}..np - 1] -> [{np - 4,0}..0]
+assume np >= 4
+if id == 0 then
+  for i := 1 to np - 1 do
+    send id -> i
+    recv y <- i
+  end
+else
+  recv y <- 0
+  send y -> 0
+end
+if id == 0 then
+  for i := 2 to np - 1 do
+    recv y <- i
+  end
+else
+  if id >= 2 then
+    send np -> 0
+  end
+end

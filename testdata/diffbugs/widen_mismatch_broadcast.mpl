@@ -1,0 +1,17 @@
+# max-class: precision
+# origin: sweep sub-seed 181000514, minimized to 8 statements (128 checks)
+# finding: precision: analysis gave up (⊤): no send-receive match possible; blocked: n9[recv y <- 0][2..2]; widening failed: no common bound expressions: set [0..1]@n11 vs [3..np - 1]@n11; widening failed: no common bound expressions: set [3..np - 1]@n10 vs [0..1]@n10; set [0..1]@n11 vs [3..np - 1]@n11
+t1 := 0
+if id == 0 then
+  for i := 2 to 2 do
+  end
+else
+  if id >= 2 then
+    if id <= 2 then
+      recv y <- 0 : tag1
+    end
+  end
+end
+while t3 < 1 do
+  t3 := 1
+end

@@ -1,0 +1,10 @@
+# Fuzz seed: root broadcast over a counted loop (loop + arithmetic dest).
+assume np >= 3
+if id == 0 then
+  for i := 1 to np - 1 do
+    send i * 2 -> i
+  end
+else
+  recv v <- 0
+  print v
+end

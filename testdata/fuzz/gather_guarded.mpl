@@ -1,0 +1,11 @@
+# Fuzz seed: all-to-root gather with guarded roles and an assert.
+assume np >= 3
+assert np >= 3
+if id >= 1 then
+  send id * id -> 0
+else
+  for i := 1 to np - 1 do
+    recv acc <- i
+  end
+  print acc
+end

@@ -1,0 +1,12 @@
+# Fuzz seed: nested rank conditionals with mixed channels and negation.
+assume np >= 5
+if id == 0 then
+  send -7 -> np - 1 : tag2
+elif id == np - 1 then
+  recv z <- 0 : tag2
+  if z <= 0 then
+    send z -> 1
+  end
+elif id == 1 then
+  recv q <- np - 1
+end

@@ -1,0 +1,4 @@
+# Fuzz seed: sendrecv shift with modular neighbors and a tag channel.
+assume np >= 4
+sendrecv id -> (id + 1) % np, w <- (id + np - 1) % np : tag1
+print w

@@ -1,0 +1,12 @@
+# Fuzz seed: while loop guarded by an environment symbol.
+assume np >= 2
+assume rounds >= 1
+k := 0
+while k < rounds do
+  if id == 0 then
+    send k -> 1
+  elif id == 1 then
+    recv t <- 0
+  end
+  k := k + 1
+end
