@@ -27,17 +27,20 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/benchhist"
 	"repro/internal/clients/cartesian"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -46,7 +49,15 @@ func main() {
 	benchDir := flag.String("bench-dir", ".", "directory for the per-spec BENCH_<spec>.json records")
 	engineWorkers := flag.String("engine-workers", "", "comma-separated worker counts (e.g. 1,2,4,8): benchmark the parallel worklist engine and write machine-readable results")
 	engineOut := flag.String("engine-out", "BENCH_engine_workers.json", "output path for -engine-workers results")
+	logLevel := flag.String("log", "off", "structured log level: off, debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psdf-bench:", err)
+		os.Exit(2)
+	}
 
 	if *engineWorkers != "" {
 		if err := runEngineBench(*engineWorkers, *engineOut); err != nil {
@@ -57,11 +68,14 @@ func main() {
 	}
 
 	if *exp == "all" {
+		logStart(logger, "all")
+		start := time.Now()
 		tables, recs, err := experiments.RunAll(*parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "psdf-bench:", err)
 			os.Exit(1)
 		}
+		logDone(logger, "all", start, len(recs))
 		for _, t := range tables {
 			fmt.Println(t)
 		}
@@ -73,15 +87,33 @@ func main() {
 		}
 		return
 	}
+	logStart(logger, *exp)
+	start := time.Now()
 	t, rec, err := experiments.RunSpec(*exp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "psdf-bench:", err)
 		os.Exit(1)
 	}
+	logDone(logger, *exp, start, 1)
 	fmt.Println(t)
 	if err := writeBenchRecord(*benchDir, rec); err != nil {
 		fmt.Fprintln(os.Stderr, "psdf-bench:", err)
 		os.Exit(1)
+	}
+}
+
+// logStart / logDone bracket an experiment run in the structured log (no-ops
+// when -log is off).
+func logStart(lg *slog.Logger, spec string) {
+	if lg != nil {
+		lg.Info("experiment started", "spec", spec)
+	}
+}
+
+func logDone(lg *slog.Logger, spec string, start time.Time, specs int) {
+	if lg != nil {
+		lg.Info("experiment finished", "spec", spec,
+			"elapsed_ms", time.Since(start).Milliseconds(), "specs", specs)
 	}
 }
 

@@ -10,7 +10,10 @@
 //	psdf-run -np N [-env k=v,k=v] [-rendezvous] program.mpl
 //	psdf-run -analyze [-parallel n] [-workers n] [-schedule s] [-nonblocking]
 //	         [-trace out.json] [-trace-jsonl out.jsonl] [-metrics]
-//	         [-metrics-out m.prom] [-http addr] program.mpl [more.mpl ...]
+//	         [-metrics-out m.prom] [-http addr] [-http-linger]
+//	         [-log level] [-log-format f] [-stall-timeout d] [-stall-dump f]
+//	         [-force-stall] [-flight-buffer n] [-pprof-labels]
+//	         program.mpl [more.mpl ...]
 //
 // -parallel bounds how many programs are analyzed at once; -workers sets
 // the number of goroutines driving the worklist inside each analysis
@@ -20,21 +23,32 @@
 // https://ui.perfetto.dev or summarize it with `psdf trace`); -trace-jsonl
 // writes the same spans as JSON lines with nanosecond precision. -metrics
 // prints the unified metrics registry in Prometheus text format after the
-// run (-metrics-out writes it to a file instead); -http serves /metrics
-// and /debug/pprof while the analyses run, for inspecting long fixpoints
-// mid-flight. Tracing only observes: analysis results are byte-identical
-// with it on or off.
+// run (-metrics-out writes it to a file instead). -log/-log-format enable
+// structured (slog) engine lifecycle logging on stderr.
+//
+// -http serves the live introspection mux while the analyses run:
+// /metrics (Prometheus), /statusz (progress snapshot JSON),
+// /statusz/stream (the same as SSE), /flightz (flight recorder) and
+// /debug/pprof. -http-linger keeps the listener serving after the analyses
+// finish (POST /quitquitquit to exit). -stall-timeout arms a per-analysis
+// no-progress watchdog that dumps the flight recorder to -stall-dump;
+// -force-stall holds each (converged) analysis open until its watchdog
+// fires, smoke-testing that path deterministically. -pprof-labels tags
+// analysis goroutines (job, worker, phase) for CPU-profile attribution.
+// Tracing and logging only observe: analysis results are byte-identical
+// with them on or off.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cfg"
@@ -63,13 +77,25 @@ func main() {
 		traceJSONL  = flag.String("trace-jsonl", "", "with -analyze: write the span trace as JSON lines")
 		metricsFlag = flag.Bool("metrics", false, "with -analyze: print the metrics registry (Prometheus text) after the run")
 		metricsOut  = flag.String("metrics-out", "", "with -analyze: write the metrics registry to this file")
-		httpAddr    = flag.String("http", "", "with -analyze: serve /metrics and /debug/pprof on this address during the run")
+		httpAddr    = flag.String("http", "", "with -analyze: serve the introspection mux (/metrics, /statusz, /statusz/stream, /flightz, /debug/pprof) on this address during the run")
+		httpLinger  = flag.Bool("http-linger", false, "with -analyze -http: keep the listener serving after the analyses finish (POST /quitquitquit to exit)")
+		logLevel    = flag.String("log", "off", "structured log level: off, debug, info, warn or error")
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
+		stallTO     = flag.Duration("stall-timeout", 0, "with -analyze: per-analysis no-progress watchdog deadline (0 disables); firing dumps the flight recorder")
+		stallDump   = flag.String("stall-dump", "", "with -analyze: write flight-recorder dumps to this file (default stderr)")
+		forceStall  = flag.Bool("force-stall", false, "with -analyze: hold each analysis open until its stall watchdog fires (smoke-tests the stall path; requires -stall-timeout)")
+		flightBuf   = flag.Int("flight-buffer", 4096, "with -analyze: flight-recorder ring capacity in events")
+		pprofLabels = flag.Bool("pprof-labels", false, "with -analyze: attach pprof goroutine labels (job, worker, phase) to analysis goroutines and the HSM prover")
 	)
 	flag.Parse()
 	if *analyze {
 		if flag.NArg() < 1 {
 			fmt.Fprintln(os.Stderr, "usage: psdf-run -analyze [flags] program.mpl [more.mpl ...]")
 			flag.PrintDefaults()
+			os.Exit(2)
+		}
+		if *forceStall && *stallTO <= 0 {
+			fmt.Fprintln(os.Stderr, "psdf-run: -force-stall requires -stall-timeout > 0")
 			os.Exit(2)
 		}
 		cfg := analyzeConfig{
@@ -83,6 +109,14 @@ func main() {
 			metrics:     *metricsFlag,
 			metricsOut:  *metricsOut,
 			httpAddr:    *httpAddr,
+			httpLinger:  *httpLinger,
+			logLevel:    *logLevel,
+			logFormat:   *logFormat,
+			stallTO:     *stallTO,
+			stallDump:   *stallDump,
+			forceStall:  *forceStall,
+			flightBuf:   *flightBuf,
+			pprofLabels: *pprofLabels,
 		}
 		if err := runAnalyses(flag.Args(), cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "psdf-run:", err)
@@ -148,6 +182,14 @@ type analyzeConfig struct {
 	metrics     bool
 	metricsOut  string
 	httpAddr    string
+	httpLinger  bool
+	logLevel    string
+	logFormat   string
+	stallTO     time.Duration
+	stallDump   string
+	forceStall  bool
+	flightBuf   int
+	pprofLabels bool
 }
 
 // runAnalyses statically analyzes every program through the bounded worker
@@ -156,6 +198,10 @@ type analyzeConfig struct {
 // are not race-safe to share); the tracer and metrics registry are shared
 // (race-safe), with per-job pid/label attribution.
 func runAnalyses(paths []string, c analyzeConfig) error {
+	logger, err := obs.NewLogger(os.Stderr, c.logLevel, c.logFormat)
+	if err != nil {
+		return err
+	}
 	var tracer *obs.Tracer
 	if c.traceOut != "" || c.traceJSONL != "" {
 		tracer = obs.NewTracer()
@@ -164,14 +210,38 @@ func runAnalyses(paths []string, c analyzeConfig) error {
 	if c.metrics || c.metricsOut != "" || c.httpAddr != "" {
 		reg = obs.NewRegistry()
 	}
+	var tracker *obs.ProgressTracker
 	if c.httpAddr != "" {
-		// DefaultServeMux already carries /debug/pprof (blank import).
-		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			_ = reg.WritePrometheus(w)
-		})
+		tracker = obs.NewProgressTracker()
+	}
+	var rec *obs.FlightRecorder
+	if c.stallTO > 0 || c.httpAddr != "" {
+		rec = obs.NewFlightRecorder(c.flightBuf)
+	}
+	// The watchdog's stall dump goes to -stall-dump (created up front so a
+	// dump mid-run cannot fail on open) or stderr.
+	var stallDumpW io.Writer
+	if c.stallTO > 0 {
+		stallDumpW = os.Stderr
+		if c.stallDump != "" {
+			f, err := os.Create(c.stallDump)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			stallDumpW = f
+		}
+	}
+	quitCh := make(chan struct{})
+	if c.httpAddr != "" {
+		var quit func()
+		if c.httpLinger {
+			var once sync.Once
+			quit = func() { once.Do(func() { close(quitCh) }) }
+		}
+		mux := obs.NewHTTPMux(reg, tracker, rec, quit)
 		go func() {
-			if err := http.ListenAndServe(c.httpAddr, nil); err != nil {
+			if err := http.ListenAndServe(c.httpAddr, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "psdf-run: http:", err)
 			}
 		}()
@@ -187,6 +257,9 @@ func runAnalyses(paths []string, c analyzeConfig) error {
 		}
 		m := cartesian.New(core.ScanInvariants(g))
 		m.SetObs(tracer, i+1)
+		if c.pprofLabels {
+			m.Prover().ProfileLabels = true
+		}
 		matchers = append(matchers, m)
 		laneNames[i+1] = path
 		if reg != nil {
@@ -203,6 +276,14 @@ func runAnalyses(paths []string, c analyzeConfig) error {
 				Tracer:           tracer,
 				Metrics:          reg,
 				TracePID:         i + 1,
+				Name:             path,
+				Log:              logger,
+				Progress:         tracker,
+				FlightRecorder:   rec,
+				StallTimeout:     c.stallTO,
+				StallDump:        stallDumpW,
+				ForceStall:       c.forceStall,
+				ProfileLabels:    c.pprofLabels,
 			},
 		})
 	}
@@ -254,6 +335,10 @@ func runAnalyses(paths []string, c analyzeConfig) error {
 	}
 	if err := writeObsOutputs(tracer, reg, laneNames, c); err != nil {
 		return err
+	}
+	if c.httpAddr != "" && c.httpLinger {
+		fmt.Fprintf(os.Stderr, "psdf-run: lingering on %s (POST /quitquitquit to exit)\n", c.httpAddr)
+		<-quitCh
 	}
 	if failed {
 		return fmt.Errorf("one or more analyses failed")

@@ -43,6 +43,9 @@
 //	-trace                       log every analysis step to stderr
 //	-verify                      run the error-detection pass (default on)
 //	-stats                       print analysis statistics
+//	-log level                   structured engine logs on stderr (off, debug,
+//	                             info, warn, error)
+//	-log-format text|json        structured log encoding
 package main
 
 import (
@@ -55,6 +58,7 @@ import (
 	"repro/internal/clients/cartesian"
 	"repro/internal/clients/symbolic"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/sem"
 	"repro/internal/topology"
@@ -77,15 +81,17 @@ func main() {
 		os.Exit(runFuzz(os.Args[2:]))
 	}
 	var (
-		client   = flag.String("client", "cartesian", "client analysis: symbolic or cartesian")
-		backend  = flag.String("backend", "array", "constraint-graph backend: array or map")
-		dot      = flag.Bool("dot", false, "print the topology as Graphviz dot")
-		cfgDot   = flag.Bool("cfg", false, "print the CFG as Graphviz dot and exit")
-		trace    = flag.Bool("trace", false, "log analysis steps to stderr")
-		doVerify = flag.Bool("verify", true, "run the error-detection pass")
-		stats    = flag.Bool("stats", false, "print analysis statistics")
-		nonBlock = flag.Bool("nonblocking", false, "non-blocking sends (Section X aggregation extension)")
-		pcfgDot  = flag.Bool("pcfg", false, "print the explored pCFG as Graphviz dot")
+		client    = flag.String("client", "cartesian", "client analysis: symbolic or cartesian")
+		backend   = flag.String("backend", "array", "constraint-graph backend: array or map")
+		dot       = flag.Bool("dot", false, "print the topology as Graphviz dot")
+		cfgDot    = flag.Bool("cfg", false, "print the CFG as Graphviz dot and exit")
+		trace     = flag.Bool("trace", false, "log analysis steps to stderr")
+		doVerify  = flag.Bool("verify", true, "run the error-detection pass")
+		stats     = flag.Bool("stats", false, "print analysis statistics")
+		nonBlock  = flag.Bool("nonblocking", false, "non-blocking sends (Section X aggregation extension)")
+		pcfgDot   = flag.Bool("pcfg", false, "print the explored pCFG as Graphviz dot")
+		logLevel  = flag.String("log", "off", "structured log level: off, debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -93,13 +99,13 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *client, *backend, *dot, *cfgDot, *trace, *doVerify, *stats, *nonBlock, *pcfgDot); err != nil {
+	if err := run(flag.Arg(0), *client, *backend, *logLevel, *logFormat, *dot, *cfgDot, *trace, *doVerify, *stats, *nonBlock, *pcfgDot); err != nil {
 		fmt.Fprintln(os.Stderr, "psdf:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, client, backend string, dot, cfgDot, trace, doVerify, stats, nonBlock, pcfgDot bool) error {
+func run(path, client, backend, logLevel, logFormat string, dot, cfgDot, trace, doVerify, stats, nonBlock, pcfgDot bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -117,8 +123,18 @@ func run(path, client, backend string, dot, cfgDot, trace, doVerify, stats, nonB
 		return nil
 	}
 
+	logger, err := obs.NewLogger(os.Stderr, logLevel, logFormat)
+	if err != nil {
+		return err
+	}
+
 	var cgStats cg.Stats
-	opts := core.Options{CGOpts: cg.Options{Stats: &cgStats}, NonBlockingSends: nonBlock}
+	opts := core.Options{
+		CGOpts:           cg.Options{Stats: &cgStats},
+		NonBlockingSends: nonBlock,
+		Name:             path,
+		Log:              logger,
+	}
 	switch backend {
 	case "array":
 		opts.CGOpts.Backend = cg.ArrayBackend

@@ -69,6 +69,9 @@ func AnalyzeAll(jobs []Job, parallelism int) []JobResult {
 		if opts.TracePID == 0 {
 			opts.TracePID = i + 1
 		}
+		if opts.Name == "" {
+			opts.Name = j.Name
+		}
 		tr := opts.Tracer
 		perJob := tr == nil
 		if perJob {
@@ -80,6 +83,9 @@ func AnalyzeAll(jobs []Job, parallelism int) []JobResult {
 		sp := tr.Begin(opts.TracePID, 0, obs.PhaseAnalyze, j.Name)
 		res, err := Analyze(j.G, opts)
 		wall := sp.End()
+		if err != nil && opts.Log != nil {
+			opts.Log.Error("analysis failed", "job", opts.TracePID, "name", j.Name, "err", err)
+		}
 		results[i] = JobResult{Name: j.Name, Res: res, Err: err, Wall: wall, Phases: tr.Totals()}
 	}
 	if parallelism <= 1 {

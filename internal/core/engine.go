@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/cfg"
@@ -92,6 +94,39 @@ type Options struct {
 	// jobs share one tracer or registry (AnalyzeAll assigns input position
 	// + 1 when zero).
 	TracePID int
+	// Name labels this analysis in structured logs, progress snapshots and
+	// pprof labels (AnalyzeAll copies the Job name when empty).
+	Name string
+	// Log, when non-nil, receives the engine's structured lifecycle events
+	// (start, convergence, stall, budget exhaustion) with per-analysis
+	// attributes. Nil disables logging at the cost of one pointer check.
+	Log *slog.Logger
+	// Progress, when non-nil, receives this analysis's live progress
+	// sampler (and, after convergence, its final snapshot) keyed by
+	// TracePID — the backing store of the /statusz surface. Sampling reads
+	// only atomics, mutex-protected counters and brief shard-lock queue
+	// sizes, so it never stalls the fixpoint.
+	Progress *obs.ProgressTracker
+	// FlightRecorder, when non-nil, continuously records recent scheduler,
+	// step and commit events into a bounded ring buffer for post-mortem
+	// dumps (stall watchdog, step-budget abort).
+	FlightRecorder *obs.FlightRecorder
+	// StallTimeout, when positive, arms a no-progress watchdog over the
+	// fixpoint: if steps, widenings and configuration discovery all stand
+	// still for this long, the watchdog logs the stall and dumps the
+	// flight recorder to StallDump. Observation only — the run continues.
+	StallTimeout time.Duration
+	// StallDump receives the flight-recorder dump (JSON lines, single
+	// write) when the watchdog fires or the step budget aborts the run.
+	StallDump io.Writer
+	// ForceStall pins the watchdog's progress reading to zero and holds
+	// the (converged) run open until the watchdog fires: the deterministic
+	// smoke path for the stall machinery. Requires StallTimeout > 0.
+	ForceStall bool
+	// ProfileLabels attaches runtime/pprof goroutine labels (psdf_job,
+	// psdf_worker, psdf_phase) to the parallel workers and the finish
+	// post-pass, so CPU profiles attribute samples per analysis and phase.
+	ProfileLabels bool
 	// onRevision, when non-nil, observes every canonicalized successor
 	// state the sequential engine delivers to the configuration table,
 	// keyed by shape. Recording hook for the arrival-order permutation
@@ -320,8 +355,11 @@ type engine struct {
 	nParam    atomic.Int64
 	steps     atomic.Int64
 	widenings atomic.Int64
+	giveUps   atomic.Int64
 	budgetHit atomic.Bool
 	parallel  bool
+	started   time.Time
+	dumpOnce  sync.Once
 	// visited marks CFG nodes some non-empty process set was positioned at
 	// in a reachable configuration (indexed by node ID; used by the
 	// dead-code lint pass). Atomic because parallel workers normalize
@@ -400,6 +438,7 @@ func Analyze(g *cfg.Graph, opts Options) (*Result, error) {
 		res:     &Result{},
 		visited: make([]atomic.Bool, len(g.Nodes)),
 		obsSeen: map[string]bool{},
+		started: time.Now(),
 	}
 	e.shardMask = uint64(len(e.shards) - 1)
 	for i := range e.shards {
@@ -416,12 +455,24 @@ func Analyze(g *cfg.Graph, opts Options) (*Result, error) {
 	init.SetAssignedVars(assignedVars(g))
 	InjectAffineConsequences(init.G, e.inv)
 	e.normalize(init)
+	e.logStart(schedule)
+	wd := e.armWatchdog()
 	if opts.workers() > 1 {
 		e.runParallel(init, schedule)
 	} else {
 		e.runSequential(init, schedule)
 	}
-	e.finish()
+	e.settleWatchdog(wd)
+	if e.budgetHit.Load() {
+		if lg := e.opts.Log; lg != nil {
+			lg.Error("analysis aborted: step budget exhausted",
+				"job", e.opts.TracePID, "name", e.jobLabel(), "max_steps", opts.maxSteps())
+		}
+		e.dumpFlight("step-budget")
+	}
+	e.withProfileLabels("finish", -1, e.finish)
+	e.finishProgress()
+	e.logDone()
 	if opts.Metrics != nil {
 		e.publishMetrics()
 	}
@@ -435,6 +486,10 @@ func Analyze(g *cfg.Graph, opts Options) (*Result, error) {
 func (e *engine) runSequential(init *State, schedule string) {
 	e.queue = newQueue(schedule, e.in)
 	e.inWork = map[uint64]bool{}
+	// The sequential queue is driver-goroutine-private, so the sampler
+	// exposes only the race-safe counters (steps, configs, ladder); the
+	// queue-depth fields stay zero on this path.
+	e.registerProgress(false)
 	e.insert("", init, "start", 0)
 	for {
 		id, ok := e.queue.pop()
@@ -456,6 +511,7 @@ func (e *engine) runSequential(init *State, schedule string) {
 		}
 		e.steps.Add(1)
 		key := e.in.keyOf(id)
+		e.rec().Record("step", e.opts.TracePID, 0, key, "")
 		sp := e.span(0, obs.PhaseStep, key)
 		var tops []succ
 		for _, sa := range e.step(st, 0, key) {
@@ -600,6 +656,8 @@ func (e *engine) commitStuckTops() {
 			id := e.in.intern(key)
 			if sh := e.shard(id); sh.m[id] == nil {
 				sh.m[id] = &tableEntry{st: sa.st}
+				e.giveUps.Add(1)
+				e.rec().Record("giveup", e.opts.TracePID, 0, key, "stuck: "+sa.action)
 			}
 		}
 	}
@@ -821,6 +879,8 @@ func (e *engine) reviseEntry(entry *tableEntry, st *State, key string, tid int) 
 	}
 	entry.rev++
 	if entry.rev > e.opts.maxVisits() {
+		e.giveUps.Add(1)
+		e.rec().Record("giveup", e.opts.TracePID, tid, key, "widening did not converge")
 		old := entry.st
 		entry.st = &State{Top: true, TopWhy: "widening did not converge at " + key,
 			TopNode: firstActiveNode(old), TopKey: key}

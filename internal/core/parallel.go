@@ -50,6 +50,7 @@ func (e *engine) runParallel(init *State, schedule string) {
 		reg.GaugeFuncVec("psdf_sched_pending", "configurations queued or running", job,
 			func() float64 { return float64(sched.livePending()) })
 	}
+	e.registerProgress(true)
 	e.insertPar("", init, "start", 0)
 	// Oversubscribing the machine buys nothing — extra workers just churn
 	// through park/wake cycles on the scheduler condvar — so the pool is
@@ -76,19 +77,26 @@ func (e *engine) runParallel(init *State, schedule string) {
 		home := w * len(e.shards) / workers
 		go func(tid, home int) {
 			defer wg.Done()
-			for {
-				dsp := e.span(tid, obs.PhaseDequeue, "")
-				id, ok := e.sched.pop(home)
-				dsp.End()
-				if !ok {
-					return
-				}
-				e.processPar(id, tid)
-				e.sched.done(id)
-			}
+			e.withProfileLabels("fixpoint", tid, func() { e.workerLoop(tid, home) })
 		}(w+1, home)
 	}
 	wg.Wait()
+}
+
+// workerLoop is one parallel worker's drain loop: pop, step, repeat until
+// the fixpoint is reached or the run is aborted.
+func (e *engine) workerLoop(tid, home int) {
+	for {
+		dsp := e.span(tid, obs.PhaseDequeue, "")
+		id, ok := e.sched.pop(home)
+		dsp.End()
+		if !ok {
+			return
+		}
+		e.rec().Record("dequeue", e.opts.TracePID, tid, "", "")
+		e.processPar(id, tid)
+		e.sched.done(id)
+	}
 }
 
 // prepSucc is a step successor prepared for a batched commit:
@@ -122,10 +130,12 @@ func (e *engine) processPar(id uint64, tid int) {
 	if e.steps.Add(1) > int64(e.opts.maxSteps()) {
 		e.steps.Add(-1)
 		e.budgetHit.Store(true)
+		e.rec().Record("budget", e.opts.TracePID, tid, fromKey, "step budget exhausted")
 		e.sched.stop()
 		snap.Release()
 		return
 	}
+	e.rec().Record("step", e.opts.TracePID, tid, fromKey, "")
 	// Prepare every successor outside the locks: drop unreachable ones,
 	// canonicalize, render the shape key, intern. Edges are collected and
 	// appended under one resMu acquisition instead of one per successor.
@@ -216,6 +226,10 @@ func (e *engine) commitBatch(preps []prepSucc, tid int) {
 		csp.End()
 		if saved > 0 {
 			e.stats().AddBatchedSaved(int64(saved))
+		}
+		if rec := e.rec(); rec != nil {
+			rec.Record("commit", e.opts.TracePID, tid, preps[i].key,
+				fmt.Sprintf("shard=%d changed=%d", si, len(changed)))
 		}
 		e.sched.pushShard(si, changed)
 	}

@@ -330,6 +330,19 @@ func (s *scheduler) done(id uint64) {
 // live metrics gauge).
 func (s *scheduler) liveDepth() int { return int(s.queued.Load()) }
 
+// shardDepths samples every shard's queue size (one brief lock per shard)
+// for the per-shard frontier breakdown in progress snapshots.
+func (s *scheduler) shardDepths() []int {
+	out := make([]int, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out[i] = sh.q.size()
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // livePending reports how many configurations are queued or running.
 func (s *scheduler) livePending() int { return int(s.pending.Load()) }
 

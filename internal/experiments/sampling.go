@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"repro/internal/obs"
@@ -53,7 +56,16 @@ func RunSampled(ids []string, samples, parallelism int) ([]*SampledSpec, error) 
 	byteSum := make([]int64, len(selected))
 	allocN := make([]int64, len(selected))
 	for rep := 0; rep < samples; rep++ {
-		recs, errs := runSpecsOnce(selected, parallelism)
+		// Goroutine labels separate warmup from measured repetitions in CPU
+		// profiles captured over a bench run (free when no profile is being
+		// taken). The first of several samples warms caches, allocator
+		// arenas and branch predictors; its profile shape differs enough to
+		// be worth filtering.
+		stage := "measured"
+		if rep == 0 && samples > 1 {
+			stage = "warmup"
+		}
+		recs, errs := runSpecsOnce(selected, parallelism, stage, rep)
 		for i, err := range errs {
 			// No retries: the parallel engine's widening ladder is driven by
 			// state-derived revision counters, so a spec failure is a real
@@ -106,8 +118,9 @@ func selectSpecs(ids []string) ([]Spec, error) {
 
 // runSpecsOnce runs each selected spec once with up to parallelism specs in
 // flight (<= 0 selects one per CPU), returning per-spec records and errors
-// positionally.
-func runSpecsOnce(selected []Spec, parallelism int) ([]*SpecResult, []error) {
+// positionally. stage/rep become pprof goroutine labels on each spec run
+// (stage "" omits the labels).
+func runSpecsOnce(selected []Spec, parallelism int, stage string, rep int) ([]*SpecResult, []error) {
 	recs := make([]*SpecResult, len(selected))
 	errs := make([]error, len(selected))
 	if parallelism <= 0 {
@@ -127,20 +140,33 @@ func runSpecsOnce(selected []Spec, parallelism int) ([]*SpecResult, []error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if serial {
-					// MemStats deltas are process-global, so they are only
-					// attributable to a spec when nothing else runs.
-					var m0, m1 runtime.MemStats
-					runtime.ReadMemStats(&m0)
-					_, recs[i], errs[i] = runSpec(selected[i])
-					runtime.ReadMemStats(&m1)
-					if recs[i] != nil {
-						recs[i].Allocs = int64(m1.Mallocs - m0.Mallocs)
-						recs[i].AllocBytes = int64(m1.TotalAlloc - m0.TotalAlloc)
+				run := func() {
+					if serial {
+						// MemStats deltas are process-global, so they are only
+						// attributable to a spec when nothing else runs.
+						var m0, m1 runtime.MemStats
+						runtime.ReadMemStats(&m0)
+						_, recs[i], errs[i] = runSpec(selected[i])
+						runtime.ReadMemStats(&m1)
+						if recs[i] != nil {
+							recs[i].Allocs = int64(m1.Mallocs - m0.Mallocs)
+							recs[i].AllocBytes = int64(m1.TotalAlloc - m0.TotalAlloc)
+						}
+					} else {
+						_, recs[i], errs[i] = runSpec(selected[i])
 					}
-				} else {
-					_, recs[i], errs[i] = runSpec(selected[i])
 				}
+				if stage == "" {
+					run()
+					continue
+				}
+				// Label construction happens before the MemStats window
+				// opens inside run, so the handful of label-set allocations
+				// never contaminate the per-spec alloc deltas.
+				pprof.Do(context.Background(), pprof.Labels(
+					"psdf_spec", selected[i].ID, "psdf_stage", stage,
+					"psdf_rep", strconv.Itoa(rep)),
+					func(context.Context) { run() })
 			}
 		}()
 	}

@@ -1,7 +1,9 @@
 package hsm
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -57,6 +59,22 @@ type Prover struct {
 	// TracePID's process, with the explored-state count in the detail.
 	Tracer   *obs.Tracer
 	TracePID int
+	// ProfileLabels attaches the psdf_phase=prover pprof goroutine label
+	// to memo-missing searches, so CPU profiles attribute normalization
+	// and BFS samples to the prover alongside the engine's phase labels.
+	// Cache hits stay label-free (they do no search work).
+	ProfileLabels bool
+}
+
+// labeled runs fn under the prover pprof label when ProfileLabels is set.
+func (p *Prover) labeled(fn func() bool) bool {
+	if !p.ProfileLabels {
+		return fn()
+	}
+	var res bool
+	pprof.Do(context.Background(), pprof.Labels("psdf_phase", "prover"),
+		func(context.Context) { res = fn() })
+	return res
 }
 
 // NewProver returns a prover over the context.
@@ -124,20 +142,22 @@ func (p *Prover) SeqEqual(a, b *HSM) bool {
 	if res, ok := p.lookup(key); ok {
 		return res
 	}
-	if p.Tracer.Enabled() {
-		sp := p.Tracer.Begin(p.TracePID, obs.ProverTid, obs.PhaseProver, ka+" =seq "+kb)
-		defer sp.EndDetail("rel=seq")
-	}
-	na := p.Ctx.Normalize(a)
-	nb := p.Ctx.Normalize(b)
-	if Equal(na, nb) {
-		p.Proofs++
-		p.store(key, true)
-		return true
-	}
-	p.Failures++
-	p.store(key, false)
-	return false
+	return p.labeled(func() bool {
+		if p.Tracer.Enabled() {
+			sp := p.Tracer.Begin(p.TracePID, obs.ProverTid, obs.PhaseProver, ka+" =seq "+kb)
+			defer sp.EndDetail("rel=seq")
+		}
+		na := p.Ctx.Normalize(a)
+		nb := p.Ctx.Normalize(b)
+		if Equal(na, nb) {
+			p.Proofs++
+			p.store(key, true)
+			return true
+		}
+		p.Failures++
+		p.store(key, false)
+		return false
+	})
 }
 
 // SetEqual reports whether a and b provably denote the same set of values.
@@ -152,17 +172,19 @@ func (p *Prover) SetEqual(a, b *HSM) bool {
 	if res, ok := p.lookup(key); ok {
 		return res
 	}
-	if p.Tracer.Enabled() {
-		sp := p.Tracer.Begin(p.TracePID, obs.ProverTid, obs.PhaseProver, ka+" ~set "+kb)
-		before := p.StatesExplored
+	return p.labeled(func() bool {
+		if p.Tracer.Enabled() {
+			sp := p.Tracer.Begin(p.TracePID, obs.ProverTid, obs.PhaseProver, ka+" ~set "+kb)
+			before := p.StatesExplored
+			res := p.setEqualSearch(a, b)
+			sp.EndDetail(fmt.Sprintf("rel=set states=%d", p.StatesExplored-before))
+			p.store(key, res)
+			return res
+		}
 		res := p.setEqualSearch(a, b)
-		sp.EndDetail(fmt.Sprintf("rel=set states=%d", p.StatesExplored-before))
 		p.store(key, res)
 		return res
-	}
-	res := p.setEqualSearch(a, b)
-	p.store(key, res)
-	return res
+	})
 }
 
 func (p *Prover) setEqualSearch(a, b *HSM) bool {

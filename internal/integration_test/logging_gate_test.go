@@ -1,0 +1,99 @@
+package integration_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fmtViolation(file string, line int, call string) string {
+	return fmt.Sprintf("%s:%d: %s", file, line, call)
+}
+
+// TestNoDirectPrintingInLibraries is the logging vet gate: library packages
+// (everything under internal/) must not write to stdout or the global
+// logger directly. Human-facing printing belongs to cmd/; libraries report
+// through return values, the obs structured logger (Options.Log), or an
+// explicitly injected io.Writer. The gate parses rather than greps so
+// matches in comments and string literals don't false-positive.
+func TestNoDirectPrintingInLibraries(t *testing.T) {
+	banned := map[string]map[string]bool{
+		"fmt": {"Print": true, "Printf": true, "Println": true},
+		"log": {
+			"Print": true, "Printf": true, "Println": true,
+			"Fatal": true, "Fatalf": true, "Fatalln": true,
+			"Panic": true, "Panicf": true, "Panicln": true,
+		},
+	}
+	root := filepath.Join(repoRoot(t), "internal")
+	fset := token.NewFileSet()
+	var violations []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, src, 0)
+		if err != nil {
+			return err
+		}
+		// Map the file's import names so aliased imports (and packages that
+		// shadow the names) resolve correctly.
+		pkgNames := map[string]string{}
+		for _, imp := range f.Imports {
+			ipath := strings.Trim(imp.Path.Value, `"`)
+			if ipath != "fmt" && ipath != "log" {
+				continue
+			}
+			name := ipath
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			pkgNames[name] = ipath
+		}
+		if len(pkgNames) == 0 {
+			return nil
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Obj != nil { // id.Obj != nil: a local, not the package
+				return true
+			}
+			if ipath, ok := pkgNames[id.Name]; ok && banned[ipath][sel.Sel.Name] {
+				pos := fset.Position(call.Pos())
+				rel, _ := filepath.Rel(root, pos.Filename)
+				violations = append(violations,
+					fmtViolation(rel, pos.Line, id.Name+"."+sel.Sel.Name))
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) > 0 {
+		t.Errorf("library packages must not print directly (use Options.Log / an injected writer):\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+// The live-introspection HTTP surface: one explicit mux carrying the
+// Prometheus renderer, the /statusz progress snapshot (plus its SSE
+// stream), the flight recorder and the pprof handlers. Explicit so that
+// binaries do not leak handlers onto http.DefaultServeMux, and so that the
+// psdf serve daemon can mount the same surface later.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// NewHTTPMux assembles the introspection mux:
+//
+//	/metrics         Prometheus text format (reg)
+//	/statusz         progress snapshot JSON (tracker)
+//	/statusz/stream  the same snapshot as a Server-Sent-Events stream
+//	                 (?interval_ms=N, default 500, floor 50)
+//	/flightz         flight-recorder contents as JSON lines (rec)
+//	/debug/pprof/*   the standard pprof handlers
+//	/quitquitquit    POST: invoke quit (for -http-linger shutdown)
+//
+// Any nil component's endpoints respond 404.
+func NewHTTPMux(reg *Registry, tracker *ProgressTracker, rec *FlightRecorder, quit func()) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = reg.WritePrometheus(w)
+		})
+	}
+	if tracker != nil {
+		mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = tracker.WriteStatusz(w)
+		})
+		mux.HandleFunc("/statusz/stream", func(w http.ResponseWriter, r *http.Request) {
+			streamStatusz(w, r, tracker)
+		})
+	}
+	if rec != nil {
+		mux.HandleFunc("/flightz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/jsonl")
+			_ = rec.Dump(w)
+		})
+	}
+	if quit != nil {
+		mux.HandleFunc("/quitquitquit", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			fmt.Fprintln(w, "bye")
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			quit()
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// streamStatusz serves the progress snapshot as an SSE stream: one
+// `data: {...}` event immediately, then one per interval until the client
+// disconnects.
+func streamStatusz(w http.ResponseWriter, r *http.Request, tracker *ProgressTracker) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	interval := 500 * time.Millisecond
+	if v := r.URL.Query().Get("interval_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms < 0 {
+			http.Error(w, "bad interval_ms", http.StatusBadRequest)
+			return
+		}
+		if ms < 50 {
+			ms = 50
+		}
+		interval = time.Duration(ms) * time.Millisecond
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	send := func() bool {
+		s := Statusz{NowUnixNs: time.Now().UnixNano(), Jobs: tracker.Snapshot()}
+		if s.Jobs == nil {
+			s.Jobs = []Progress{}
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	if !send() {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-t.C:
+			if !send() {
+				return
+			}
+		}
+	}
+}

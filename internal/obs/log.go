@@ -1,0 +1,46 @@
+package obs
+
+// Structured logging construction shared by the cmd binaries. The engines
+// take a *slog.Logger through core.Options and nil-guard every call site,
+// so "off" maps to a nil logger rather than a discard handler: disabled
+// logging costs exactly one pointer comparison on the hot paths, the same
+// contract the nil *Tracer already keeps.
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a slog logger writing to w. level is one of "off",
+// "debug", "info", "warn", "error" (case-insensitive; "" means "off");
+// format is "text" or "json" ("" means "text"). A nil return with a nil
+// error means logging is disabled — callers pass the nil logger straight
+// into core.Options.Log.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "off", "none":
+		return nil, nil
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want off, debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}

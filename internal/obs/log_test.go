@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerOff(t *testing.T) {
+	for _, level := range []string{"", "off", "none", "OFF"} {
+		lg, err := NewLogger(&bytes.Buffer{}, level, "text")
+		if err != nil {
+			t.Fatalf("level %q: %v", level, err)
+		}
+		if lg != nil {
+			t.Fatalf("level %q: want nil logger", level)
+		}
+	}
+}
+
+func TestNewLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("quiet", "k", 1)
+	if buf.Len() != 0 {
+		t.Fatalf("info leaked through warn level: %s", buf.String())
+	}
+	lg.Warn("loud", "job", 3)
+	if !strings.Contains(buf.String(), "loud") || !strings.Contains(buf.String(), "job=3") {
+		t.Fatalf("warn output wrong: %s", buf.String())
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "worker", 2)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json handler output not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["worker"] != float64(2) {
+		t.Fatalf("json record wrong: %v", rec)
+	}
+}
+
+func TestNewLoggerErrors(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "loudest", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := NewLogger(&bytes.Buffer{}, "info", "yaml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// wdClock is a manually-advanced time source for deterministic watchdog
+// tests.
+type wdClock struct{ now time.Time }
+
+func (c *wdClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func TestWatchdogFiresOnceOnStall(t *testing.T) {
+	clock := &wdClock{now: time.Unix(1000, 0)}
+	var progress atomic.Int64
+	var fired []StallReport
+	w := NewWatchdog(100*time.Millisecond, progress.Load, func(r StallReport) {
+		fired = append(fired, r)
+	})
+	w.SetClock(func() time.Time { return clock.now })
+
+	if w.Check() {
+		t.Fatal("arming check fired")
+	}
+	// Progress moving: deadline keeps re-arming.
+	for i := 0; i < 5; i++ {
+		progress.Add(1)
+		clock.advance(90 * time.Millisecond)
+		if w.Check() {
+			t.Fatalf("fired while progress was moving (iteration %d)", i)
+		}
+	}
+	// Progress stops: below the timeout, still quiet.
+	clock.advance(99 * time.Millisecond)
+	if w.Check() {
+		t.Fatal("fired before the timeout elapsed")
+	}
+	// Past the timeout: fires exactly once.
+	clock.advance(2 * time.Millisecond)
+	if !w.Check() {
+		t.Fatal("did not fire after the no-progress deadline")
+	}
+	if !w.Fired() {
+		t.Fatal("Fired() false after firing")
+	}
+	select {
+	case <-w.FiredChan():
+	default:
+		t.Fatal("FiredChan not closed after firing")
+	}
+	clock.advance(time.Hour)
+	if w.Check() {
+		t.Fatal("fired twice")
+	}
+	if len(fired) != 1 {
+		t.Fatalf("onStall ran %d times, want 1", len(fired))
+	}
+	rep := fired[0]
+	if rep.Progress != 5 {
+		t.Fatalf("report progress %d, want 5", rep.Progress)
+	}
+	if rep.Stalled < 100*time.Millisecond {
+		t.Fatalf("report stalled %v, want >= timeout", rep.Stalled)
+	}
+}
+
+func TestWatchdogNeverFiresWhileProgressing(t *testing.T) {
+	clock := &wdClock{now: time.Unix(0, 0)}
+	var progress atomic.Int64
+	w := NewWatchdog(50*time.Millisecond, progress.Load, func(StallReport) {
+		t.Error("watchdog fired on a progressing counter")
+	})
+	w.SetClock(func() time.Time { return clock.now })
+	for i := 0; i < 1000; i++ {
+		progress.Add(1)
+		clock.advance(time.Hour) // any gap is fine as long as progress moved
+		w.Check()
+	}
+	if w.Fired() {
+		t.Fatal("fired")
+	}
+}
+
+func TestWatchdogStartStop(t *testing.T) {
+	var progress atomic.Int64
+	firedc := make(chan struct{})
+	w := NewWatchdog(5*time.Millisecond, progress.Load, func(StallReport) { close(firedc) })
+	w.Start(time.Millisecond)
+	select {
+	case <-firedc:
+	case <-time.After(5 * time.Second):
+		t.Fatal("polling watchdog did not fire on a frozen counter")
+	}
+	w.Stop() // must not hang or double-fire
+	w.Stop() // idempotent
+}
+
+func TestWatchdogNilInert(t *testing.T) {
+	var w *Watchdog
+	if w.Check() || w.Fired() {
+		t.Fatal("nil watchdog not inert")
+	}
+	w.Start(time.Millisecond)
+	w.Stop()
+}
