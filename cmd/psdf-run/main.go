@@ -13,6 +13,7 @@
 //	         [-metrics-out m.prom] [-http addr] [-http-linger]
 //	         [-log level] [-log-format f] [-stall-timeout d] [-stall-dump f]
 //	         [-force-stall] [-flight-buffer n] [-pprof-labels]
+//	         [-profile] [-profile-out p.json]
 //	         program.mpl [more.mpl ...]
 //
 // -parallel bounds how many programs are analyzed at once; -workers sets
@@ -35,8 +36,12 @@
 // -force-stall holds each (converged) analysis open until its watchdog
 // fires, smoke-testing that path deterministically. -pprof-labels tags
 // analysis goroutines (job, worker, phase) for CPU-profile attribution.
-// Tracing and logging only observe: analysis results are byte-identical
-// with them on or off.
+// -profile attaches the source-attribution profiler (internal/prof) to
+// each analysis and prints its hottest source lines; -profile-out writes
+// the combined psdf-profile/1 JSON report, renderable as a heat listing,
+// ranked hotspots or folded flamegraph stacks with `psdf profile`.
+// Tracing, logging and profiling only observe: analysis results are
+// byte-identical with them on or off.
 package main
 
 import (
@@ -56,6 +61,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/parser"
+	"repro/internal/prof"
 	"repro/internal/sem"
 	"repro/internal/sim"
 	"repro/internal/verify"
@@ -86,6 +92,8 @@ func main() {
 		forceStall  = flag.Bool("force-stall", false, "with -analyze: hold each analysis open until its stall watchdog fires (smoke-tests the stall path; requires -stall-timeout)")
 		flightBuf   = flag.Int("flight-buffer", 4096, "with -analyze: flight-recorder ring capacity in events")
 		pprofLabels = flag.Bool("pprof-labels", false, "with -analyze: attach pprof goroutine labels (job, worker, phase) to analysis goroutines and the HSM prover")
+		profile     = flag.Bool("profile", false, "with -analyze: profile each analysis and print its hottest source lines")
+		profileOut  = flag.String("profile-out", "", "with -analyze: write the combined source-attribution profile as psdf-profile/1 JSON (render with `psdf profile`)")
 	)
 	flag.Parse()
 	if *analyze {
@@ -117,6 +125,8 @@ func main() {
 			forceStall:  *forceStall,
 			flightBuf:   *flightBuf,
 			pprofLabels: *pprofLabels,
+			profile:     *profile || *profileOut != "",
+			profileOut:  *profileOut,
 		}
 		if err := runAnalyses(flag.Args(), cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "psdf-run:", err)
@@ -154,20 +164,21 @@ func parseEnv(s string) (map[string]int64, error) {
 	return env, nil
 }
 
-// buildCFG parses and checks one program file.
-func buildCFG(path string) (*cfg.Graph, error) {
+// buildCFG parses and checks one program file, returning the CFG and the
+// source text (embedded in profile reports for self-contained listings).
+func buildCFG(path string) (*cfg.Graph, string, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	prog, err := parser.Parse(path, string(src))
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if _, err := sem.Check(prog); err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return cfg.Build(prog), nil
+	return cfg.Build(prog), string(src), nil
 }
 
 // analyzeConfig carries the -analyze mode flags.
@@ -190,6 +201,8 @@ type analyzeConfig struct {
 	forceStall  bool
 	flightBuf   int
 	pprofLabels bool
+	profile     bool
+	profileOut  string
 }
 
 // runAnalyses statically analyzes every program through the bounded worker
@@ -249,9 +262,11 @@ func runAnalyses(paths []string, c analyzeConfig) error {
 
 	jobs := make([]core.Job, 0, len(paths))
 	matchers := make([]*cartesian.Matcher, 0, len(paths))
+	var profilers []*prof.Profiler
+	var sources []string
 	laneNames := map[int]string{}
 	for i, path := range paths {
-		g, err := buildCFG(path)
+		g, src, err := buildCFG(path)
 		if err != nil {
 			return err
 		}
@@ -265,6 +280,14 @@ func runAnalyses(paths []string, c analyzeConfig) error {
 		if reg != nil {
 			core.RegisterMatchMemoMetrics(reg, m.Memo(), path)
 		}
+		// One profiler per job: commits are per-analysis, and merging across
+		// programs would blur the per-source attribution.
+		var pr *prof.Profiler
+		if c.profile {
+			pr = prof.New()
+		}
+		profilers = append(profilers, pr)
+		sources = append(sources, src)
 		jobs = append(jobs, core.Job{
 			Name: path,
 			G:    g,
@@ -284,6 +307,7 @@ func runAnalyses(paths []string, c analyzeConfig) error {
 				StallDump:        stallDumpW,
 				ForceStall:       c.forceStall,
 				ProfileLabels:    c.pprofLabels,
+				Profiler:         pr,
 			},
 		})
 	}
@@ -332,9 +356,41 @@ func runAnalyses(paths []string, c analyzeConfig) error {
 			}
 			findings += len(vr.Findings)
 		}
+		if profilers[i] != nil {
+			rep := profilers[i].Report(jr.Name, sources[i])
+			fmt.Printf("  profile: %d steps %.2fms stepped, %d widen failures, %d give-ups\n",
+				rep.Totals.Steps, float64(rep.Totals.StepNs)/1e6, rep.Totals.WidenFailures, rep.Totals.GiveUps)
+			var top strings.Builder
+			rep.WriteTop(&top, 3)
+			for _, line := range strings.Split(strings.TrimRight(top.String(), "\n"), "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+		}
 	}
 	if err := writeObsOutputs(tracer, reg, laneNames, c); err != nil {
 		return err
+	}
+	if c.profileOut != "" {
+		reps := make([]*prof.Report, 0, len(results))
+		for i, jr := range results {
+			if profilers[i] == nil || jr.Err != nil {
+				continue
+			}
+			reps = append(reps, profilers[i].Report(jr.Name, sources[i]))
+		}
+		f, err := os.Create(c.profileOut)
+		if err != nil {
+			return err
+		}
+		if err := prof.WriteJSON(f, reps); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("profile: %d report(s) -> %s (render with `psdf profile %s`)\n",
+			len(reps), c.profileOut, c.profileOut)
 	}
 	if c.httpAddr != "" && c.httpLinger {
 		fmt.Fprintf(os.Stderr, "psdf-run: lingering on %s (POST /quitquitquit to exit)\n", c.httpAddr)
@@ -437,7 +493,7 @@ func run(path string, np int, envFlag string, rendezvous, events, failOnFind boo
 	if err != nil {
 		return err
 	}
-	g, err := buildCFG(path)
+	g, _, err := buildCFG(path)
 	if err != nil {
 		return err
 	}

@@ -98,7 +98,13 @@ func benchRecord(args []string) int {
 		scalingR = fs.Int("scaling-reps", 3, "repetitions per (workload, workers) scaling point; best-of wins")
 		fuzzSum  = fs.String("fuzz-summary", "", "attach a differential-fuzz sweep summary JSON (from `psdf fuzz -summary-out`) to the entry")
 	)
+	lf := addLogFlags(fs)
 	_ = fs.Parse(args)
+	logger, err := lf.logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psdf bench record:", err)
+		return 2
+	}
 	if fs.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "psdf bench record: unexpected arguments", fs.Args())
 		return 2
@@ -123,6 +129,9 @@ func benchRecord(args []string) int {
 	}
 
 	start := time.Now()
+	if logger != nil {
+		logger.Info("bench record start", "samples", *samples, "parallel", *parallel, "commit", sha)
+	}
 	sampled, err := experiments.RunSampled(ids, *samples, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "psdf bench record:", err)
@@ -183,6 +192,10 @@ func benchRecord(args []string) int {
 	if err := benchhist.Append(*history, entry); err != nil {
 		fmt.Fprintln(os.Stderr, "psdf bench record:", err)
 		return 1
+	}
+	if logger != nil {
+		logger.Info("bench record done", "history", *history, "specs", len(entry.Specs),
+			"fingerprints", len(fps), "elapsed", time.Since(start))
 	}
 	fmt.Printf("recorded %s entry for %s: %d specs x %d samples, %d fingerprints (%v total)\n",
 		*history, entry.ShortCommit(), len(entry.Specs), *samples, len(fps), time.Since(start).Round(time.Millisecond))
@@ -260,7 +273,16 @@ func benchDiff(args []string) int {
 		minDelta = fs.Float64("min-delta", 0.05, "minimum |relative median change| to flag")
 		markdown = fs.Bool("markdown", false, "render the report as markdown")
 	)
+	lf := addLogFlags(fs)
 	_ = fs.Parse(args)
+	logger, err := lf.logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psdf bench diff:", err)
+		return 2
+	}
+	if logger != nil {
+		logger.Info("bench diff", "history", *history, "old", *oldSel, "new", *newSel)
+	}
 	r, err := diffReport(*history, *oldSel, *newSel, benchhist.Thresholds{Alpha: *alpha, MinDelta: *minDelta})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "psdf bench diff:", err)
@@ -311,7 +333,13 @@ func benchCheck(args []string) int {
 		maxAlloc     = fs.Float64("max-alloc-delta", 0.20, "relative allocs/op growth past which a spec regresses")
 		minSpeedup   = fs.Float64("min-speedup", 0, "warn when the entry under test's engine speedup at its highest recorded worker count falls below this ratio (0 = off)")
 	)
+	lf := addLogFlags(fs)
 	_ = fs.Parse(args)
+	logger, err := lf.logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psdf bench check:", err)
+		return 2
+	}
 	r, err := diffReport(*history, *baseline, *target,
 		benchhist.Thresholds{Alpha: *alpha, MinDelta: *minDelta, MaxAllocDelta: *maxAlloc})
 	if err != nil {
@@ -344,6 +372,9 @@ func benchCheck(args []string) int {
 	for _, f := range failures {
 		fmt.Printf("FAIL: %s\n", f)
 	}
+	if logger != nil {
+		logger.Info("bench check gated", "failures", len(failures), "warnings", len(warnings))
+	}
 	if len(failures) > 0 {
 		fmt.Printf("bench check: FAILED (%d failure(s), %d warning(s))\n", len(failures), len(warnings))
 		return 1
@@ -358,11 +389,20 @@ func benchReport(args []string) int {
 		history = fs.String("history", "BENCH_HISTORY.jsonl", "history file to read")
 		out     = fs.String("out", "", "write the markdown report to a file instead of stdout")
 	)
+	lf := addLogFlags(fs)
 	_ = fs.Parse(args)
+	logger, err := lf.logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psdf bench report:", err)
+		return 2
+	}
 	entries, err := benchhist.Read(*history)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "psdf bench report:", err)
 		return 1
+	}
+	if logger != nil {
+		logger.Info("bench report", "history", *history, "entries", len(entries))
 	}
 	md := trajectoryMarkdown(*history, entries)
 	if *out == "" {
@@ -461,17 +501,25 @@ func trajectoryMarkdown(path string, entries []*benchhist.Entry) string {
 	}
 	if anyFuzz {
 		b.WriteString("\n## Differential-fuzz trajectory\n\n")
-		b.WriteString("| entry | seed | programs | ok | precision | rate | soundness | engine | error |\n")
-		b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		b.WriteString("| entry | seed | programs | ok | precision | rate | soundness | engine | error | top construct |\n")
+		b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|---|\n")
 		for i, e := range entries {
 			if e.Fuzz == nil {
-				fmt.Fprintf(&b, "| #%d `%s` | - | - | - | - | - | - | - | - |\n", i, e.ShortCommit())
+				fmt.Fprintf(&b, "| #%d `%s` | - | - | - | - | - | - | - | - | - |\n", i, e.ShortCommit())
 				continue
 			}
 			fz := e.Fuzz
-			fmt.Fprintf(&b, "| #%d `%s` | %d | %d | %d | %d | %.1f%% | %d | %d | %d |\n",
+			// The top construct is the profiler's attribution verdict for
+			// this sweep: the generated source construct charged with the
+			// most widening failures (from `psdf fuzz -profile-out`).
+			top := "-"
+			if len(fz.Constructs) > 0 {
+				c := fz.Constructs[0]
+				top = fmt.Sprintf("`%s` (%d fails)", c.Construct, c.WidenFailures)
+			}
+			fmt.Fprintf(&b, "| #%d `%s` | %d | %d | %d | %d | %.1f%% | %d | %d | %d | %s |\n",
 				i, e.ShortCommit(), fz.Seed, fz.Programs, fz.OK, fz.Precision,
-				100*fz.PrecisionRate(), fz.Soundness, fz.Engine, fz.Errors)
+				100*fz.PrecisionRate(), fz.Soundness, fz.Engine, fz.Errors, top)
 		}
 	}
 

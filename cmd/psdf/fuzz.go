@@ -32,7 +32,9 @@ func runFuzz(args []string) int {
 		verbose = fs.Bool("v", false, "log every program as it is triaged")
 		in      = fs.String("in", "", "triage (and with -shrink, minimize) one MPL file instead of sweeping")
 		sumOut  = fs.String("summary-out", "", "write the sweep summary as JSON (benchhist.FuzzSweep) for `psdf bench record -fuzz-summary`")
+		profOut = fs.String("profile-out", "", "profile every sequential reference run, print the ranked per-construct precision attribution, and write it as JSON")
 	)
+	lf := addLogFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: psdf fuzz [-seed S] [-n N] [-np 2,3,4] [-shrink] [-out dir] [-gate class]")
 		fs.PrintDefaults()
@@ -46,6 +48,10 @@ func runFuzz(args []string) int {
 		return 2
 	}
 	do := differ.Options{}
+	if do.Core.Log, err = lf.logger(); err != nil {
+		fmt.Fprintf(os.Stderr, "psdf fuzz: %v\n", err)
+		return 2
+	}
 	if do.NPs, err = parseIntList(*nps); err != nil {
 		fmt.Fprintf(os.Stderr, "psdf fuzz: bad -np: %v\n", err)
 		return 2
@@ -84,7 +90,7 @@ func runFuzz(args []string) int {
 		return 0
 	}
 
-	so := differ.SweepOptions{Seed: *seed, N: *n, BuggyFraction: *buggy, Differ: do}
+	so := differ.SweepOptions{Seed: *seed, N: *n, BuggyFraction: *buggy, Differ: do, Attribute: *profOut != ""}
 	if *verbose {
 		so.Progress = func(i int, p gen.Program, f *differ.Finding) {
 			fmt.Printf("program %4d (seed %d, %v): %s\n", i, differ.ProgramSeed(*seed, i), p.Families, f)
@@ -128,6 +134,23 @@ func runFuzz(args []string) int {
 		res.Programs, res.Count(differ.ClassOK), res.Count(differ.ClassPrecision), res.Count(differ.ClassSkipped),
 		res.Count(differ.ClassSoundness), res.Count(differ.ClassEngine), res.Count(differ.ClassError),
 		100*res.PrecisionRate())
+	if res.Attribution != nil {
+		res.Attribution.WriteTable(os.Stdout)
+		f, err := os.Create(*profOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psdf fuzz: %v\n", err)
+			return 2
+		}
+		if err := res.Attribution.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "psdf fuzz: %v\n", err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "psdf fuzz: %v\n", err)
+			return 2
+		}
+	}
 	if *sumOut != "" {
 		summary := benchhist.FuzzSweep{
 			Seed:      *seed,
@@ -138,6 +161,18 @@ func runFuzz(args []string) int {
 			Errors:    res.Count(differ.ClassError),
 			Engine:    res.Count(differ.ClassEngine),
 			Soundness: res.Count(differ.ClassSoundness),
+		}
+		if res.Attribution != nil {
+			for _, cs := range res.Attribution.Rows() {
+				summary.Constructs = append(summary.Constructs, benchhist.FuzzConstruct{
+					Construct:     cs.Construct,
+					Programs:      cs.Programs,
+					WidenFailures: cs.WidenFailures,
+					GiveUps:       cs.GiveUps,
+					TopDemotions:  cs.TopDemotions,
+					TopPair:       cs.TopPair(),
+				})
+			}
 		}
 		data, err := json.MarshalIndent(&summary, "", "  ")
 		if err != nil {

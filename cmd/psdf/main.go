@@ -10,6 +10,15 @@
 //	psdf trace [-top n] [-check] trace.json ...
 //	psdf bench record|diff|check|report [flags]
 //	psdf fuzz [-seed S] [-n N] [-np 2,3] [-shrink] [-out dir] [-gate class]
+//	psdf profile [-format text|json|folded] [-top n] (report.json | program.mpl) ...
+//
+// The profile subcommand renders source-attributed analysis profiles:
+// per-statement step time, configurations spawned, joins, widenings and
+// widening failures (with the failing bound-expression pair), give-ups,
+// ⊤ demotions, match-memo misses and HSM prover time, mapped back onto
+// the MPL source as a heat listing, JSON report, or folded flamegraph
+// stacks. It reads psdf-profile/1 JSON written by `psdf-run
+// -profile-out`, or profiles .mpl programs in place.
 //
 // The lint subcommand runs the coded diagnostic passes (message leaks,
 // deadlocks, tag mismatches, rank bounds, ⊤-blame, dead code) and exits
@@ -80,26 +89,28 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "fuzz" {
 		os.Exit(runFuzz(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "profile" {
+		os.Exit(runProfile(os.Args[2:]))
+	}
 	var (
-		client    = flag.String("client", "cartesian", "client analysis: symbolic or cartesian")
-		backend   = flag.String("backend", "array", "constraint-graph backend: array or map")
-		dot       = flag.Bool("dot", false, "print the topology as Graphviz dot")
-		cfgDot    = flag.Bool("cfg", false, "print the CFG as Graphviz dot and exit")
-		trace     = flag.Bool("trace", false, "log analysis steps to stderr")
-		doVerify  = flag.Bool("verify", true, "run the error-detection pass")
-		stats     = flag.Bool("stats", false, "print analysis statistics")
-		nonBlock  = flag.Bool("nonblocking", false, "non-blocking sends (Section X aggregation extension)")
-		pcfgDot   = flag.Bool("pcfg", false, "print the explored pCFG as Graphviz dot")
-		logLevel  = flag.String("log", "off", "structured log level: off, debug, info, warn or error")
-		logFormat = flag.String("log-format", "text", "structured log format: text or json")
+		client   = flag.String("client", "cartesian", "client analysis: symbolic or cartesian")
+		backend  = flag.String("backend", "array", "constraint-graph backend: array or map")
+		dot      = flag.Bool("dot", false, "print the topology as Graphviz dot")
+		cfgDot   = flag.Bool("cfg", false, "print the CFG as Graphviz dot and exit")
+		trace    = flag.Bool("trace", false, "log analysis steps to stderr")
+		doVerify = flag.Bool("verify", true, "run the error-detection pass")
+		stats    = flag.Bool("stats", false, "print analysis statistics")
+		nonBlock = flag.Bool("nonblocking", false, "non-blocking sends (Section X aggregation extension)")
+		pcfgDot  = flag.Bool("pcfg", false, "print the explored pCFG as Graphviz dot")
 	)
+	lf := addLogFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: psdf [flags] program.mpl")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *client, *backend, *logLevel, *logFormat, *dot, *cfgDot, *trace, *doVerify, *stats, *nonBlock, *pcfgDot); err != nil {
+	if err := run(flag.Arg(0), *client, *backend, *lf.level, *lf.format, *dot, *cfgDot, *trace, *doVerify, *stats, *nonBlock, *pcfgDot); err != nil {
 		fmt.Fprintln(os.Stderr, "psdf:", err)
 		os.Exit(1)
 	}

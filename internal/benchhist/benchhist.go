@@ -282,6 +282,25 @@ type FuzzSweep struct {
 	Errors    int   `json:"errors"`
 	Engine    int   `json:"engine"`
 	Soundness int   `json:"soundness"`
+	// Constructs is the ranked per-construct precision attribution the
+	// sweep captured (`psdf fuzz -profile-out`): which generated source
+	// construct the profiled widening failures and give-ups blame. Nil on
+	// sweeps run without attribution, with exactly that meaning, so the
+	// schema stays at version 1.
+	Constructs []FuzzConstruct `json:"constructs,omitempty"`
+}
+
+// FuzzConstruct is one attribution row: a generator phase family (or
+// "decor" for inter-phase decoration lines) with the precision losses the
+// profiler blamed on its statements across the sweep.
+type FuzzConstruct struct {
+	Construct     string `json:"construct"`
+	Programs      int    `json:"programs,omitempty"`
+	WidenFailures int64  `json:"widen_failures,omitempty"`
+	GiveUps       int64  `json:"give_ups,omitempty"`
+	TopDemotions  int64  `json:"top_demotions,omitempty"`
+	// TopPair is the most frequent failing bound-expression pair.
+	TopPair string `json:"top_pair,omitempty"`
 }
 
 // PrecisionRate is the fraction of triaged (non-skipped) programs that

@@ -84,6 +84,17 @@ func (m *Matcher) Name() string { return "cartesian" }
 // Prover exposes the underlying HSM prover (instrumentation).
 func (m *Matcher) Prover() *hsm.Prover { return m.prover }
 
+// ProverSearches reports the cumulative memo-missing prover searches.
+// Safe to call concurrently with an in-flight analysis: the counter is an
+// atomic the prover maintains under the search mutex. The engine's
+// profiler and progress sampler read it live (interface-asserted, so core
+// needs no hsm dependency).
+func (m *Matcher) ProverSearches() int64 { return m.prover.Searches.Load() }
+
+// ProverSearchNs reports cumulative wall time inside memo-missing prover
+// searches, in nanoseconds. Concurrency-safe like ProverSearches.
+func (m *Matcher) ProverSearchNs() int64 { return m.prover.SearchNs.Load() }
+
 // SetObs attaches an observability tracer to the matcher's HSM prover:
 // searches that miss the memo emit obs.PhaseProver spans on the prover lane
 // of job pid. Call before the analysis starts (the prover is otherwise

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cg"
 	"repro/internal/obs"
 	"repro/internal/procset"
+	"repro/internal/prof"
 	"repro/internal/sym"
 	"repro/internal/tri"
 )
@@ -127,6 +128,13 @@ type Options struct {
 	// psdf_worker, psdf_phase) to the parallel workers and the finish
 	// post-pass, so CPU profiles attribute samples per analysis and phase.
 	ProfileLabels bool
+	// Profiler, when non-nil, collects the source-attribution profile:
+	// per-CFG-node step time, spawned configurations, matcher/memo/prover
+	// cost, joins, widenings and their failing bound pairs, give-ups and ⊤
+	// demotions. Workers record into private per-tid lanes (no hot-path
+	// synchronization); the engine commits the merged lanes into the
+	// profiler once, after convergence. Nil costs one pointer check.
+	Profiler *prof.Profiler
 	// onRevision, when non-nil, observes every canonicalized successor
 	// state the sequential engine delivers to the configuration table,
 	// keyed by shape. Recording hook for the arrival-order permutation
@@ -376,6 +384,17 @@ type engine struct {
 
 	// Parallel path (Workers > 1).
 	sched *scheduler
+
+	// Source-attribution profiler (nil when Options.Profiler is nil):
+	// per-tid private counter lanes merged into Options.Profiler once at
+	// commit, after all workers have joined. profMemo/profProver expose
+	// the matcher's cumulative memo-miss and prover-search counters so
+	// per-callsite deltas can be attributed; both are optional client
+	// capabilities discovered by interface assertion (keeping core free of
+	// a client/hsm dependency, same pattern as sampleProgress).
+	prof       *prof.Lanes
+	profMemo   *MatchMemo
+	profProver func() (searches, ns int64)
 }
 
 func (e *engine) shard(id uint64) *tableShard { return &e.shards[id&e.shardMask] }
@@ -387,6 +406,88 @@ func (e *engine) stats() *cg.Stats { return e.opts.CGOpts.Stats }
 // Free when Options.Tracer is nil.
 func (e *engine) span(tid int, ph obs.Phase, key string) obs.Span {
 	return e.opts.Tracer.Begin(e.opts.TracePID, tid, ph, key)
+}
+
+// profNow reads the clock only when profiling is on; the zero time is the
+// disabled sentinel consumed by profStep.
+func (e *engine) profNow() time.Time {
+	if e.prof == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// profStep records one step event against node on the caller's lane.
+func (e *engine) profStep(tid, node int, t0 time.Time, spawned int) {
+	if e.prof == nil {
+		return
+	}
+	e.prof.Step(tid, node, time.Since(t0).Nanoseconds(), spawned)
+}
+
+// matchProbe captures the matcher-shared counters around one Matcher call
+// so the deltas can be attributed to the calling site. A stack value: the
+// disabled path allocates nothing and costs one pointer check per end.
+type matchProbe struct {
+	t0       time.Time
+	misses   int
+	searches int64
+	proverNs int64
+}
+
+func (e *engine) profMatchStart() matchProbe {
+	if e.prof == nil {
+		return matchProbe{}
+	}
+	var pr matchProbe
+	if e.profMemo != nil {
+		pr.misses = e.profMemo.MissCount()
+	}
+	if e.profProver != nil {
+		pr.searches, pr.proverNs = e.profProver()
+	}
+	pr.t0 = time.Now()
+	return pr
+}
+
+func (e *engine) profMatchEnd(tid, node int, pr matchProbe, matched bool) {
+	if e.prof == nil {
+		return
+	}
+	ns := time.Since(pr.t0).Nanoseconds()
+	var misses, searches, proverNs int64
+	if e.profMemo != nil {
+		misses = int64(e.profMemo.MissCount() - pr.misses)
+	}
+	if e.profProver != nil {
+		s, n := e.profProver()
+		searches, proverNs = s-pr.searches, n-pr.proverNs
+	}
+	e.prof.Match(tid, node, ns, misses, searches, proverNs, matched)
+}
+
+// blameNode picks a deterministic attribution node for combine events:
+// the smallest non-exit node some process set is positioned at. Unlike
+// firstActiveNode it must not reorder st.Sets — it runs between AlignTo
+// and combine, where the positional alignment of entry.st and the
+// incoming state is load-bearing.
+func blameNode(st *State) int {
+	best := -1
+	for _, p := range st.Sets {
+		if p.Node.Kind == cfg.Exit {
+			continue
+		}
+		if best < 0 || p.Node.ID < best {
+			best = p.Node.ID
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	if len(st.Sets) > 0 {
+		return st.Sets[0].Node.ID
+	}
+	return 0
 }
 
 // Analyze runs the parallel dataflow analysis over the program's CFG.
@@ -444,6 +545,20 @@ func Analyze(g *cfg.Graph, opts Options) (*Result, error) {
 	for i := range e.shards {
 		e.shards[i].m = map[uint64]*tableEntry{}
 	}
+	if opts.Profiler != nil {
+		// opts.workers() is an upper bound: runParallel may clamp the
+		// worker count to GOMAXPROCS, which only leaves lanes idle.
+		e.prof = opts.Profiler.NewLanes(opts.workers(), len(g.Nodes))
+		if mp, ok := opts.Matcher.(interface{ Memo() *MatchMemo }); ok {
+			e.profMemo = mp.Memo()
+		}
+		if pp, ok := opts.Matcher.(interface {
+			ProverSearches() int64
+			ProverSearchNs() int64
+		}); ok {
+			e.profProver = func() (int64, int64) { return pp.ProverSearches(), pp.ProverSearchNs() }
+		}
+	}
 	// Pre-scan assume statements for global invariants (np = nrows*ncols
 	// etc.) so the HSM matcher has them from the start.
 	for _, n := range g.Nodes {
@@ -472,6 +587,9 @@ func Analyze(g *cfg.Graph, opts Options) (*Result, error) {
 	}
 	e.withProfileLabels("finish", -1, e.finish)
 	e.finishProgress()
+	// Lanes are quiescent here (workers joined, finish post-pass done), so
+	// the merge reads them without synchronization.
+	opts.Profiler.Commit(g, e.prof)
 	e.logDone()
 	if opts.Metrics != nil {
 		e.publishMetrics()
@@ -564,10 +682,11 @@ func (e *engine) finish() {
 	finals := e.res.Finals[:0]
 	for _, fin := range e.res.Finals {
 		fin.ResolveHelpers()
-		if why := incoherentMatch(fin); why != "" {
+		if why, node := incoherentMatch(fin); why != "" {
 			fin.Top = true
 			fin.TopWhy = "stale match witness survived widening: " + why
 			e.res.Tops = append(e.res.Tops, fin)
+			e.prof.TopDemotion(0, node)
 			continue
 		}
 		finals = append(finals, fin)
@@ -657,6 +776,7 @@ func (e *engine) commitStuckTops() {
 			if sh := e.shard(id); sh.m[id] == nil {
 				sh.m[id] = &tableEntry{st: sa.st}
 				e.giveUps.Add(1)
+				e.prof.GiveUp(0, sa.st.TopNode)
 				e.rec().Record("giveup", e.opts.TracePID, 0, key, "stuck: "+sa.action)
 			}
 		}
@@ -665,18 +785,19 @@ func (e *engine) commitStuckTops() {
 
 // incoherentMatch returns a description of the first match record of st
 // whose witness classes are not certified coherent under st's final
-// constraint graph, or "" if every record checks out. Emptiness is not an
-// excuse: proving a range empty through an incoherent class uses the same
-// unreliable atom-picking the check exists to reject.
-func incoherentMatch(st *State) string {
+// constraint graph (plus the send node to blame for profiling), or "" if
+// every record checks out. Emptiness is not an excuse: proving a range
+// empty through an incoherent class uses the same unreliable atom-picking
+// the check exists to reject.
+func incoherentMatch(st *State) (string, int) {
 	ctx := st.Ctx()
 	for _, m := range st.Matches {
 		if !ctx.CoherentSet(m.Sender) || !ctx.CoherentSet(m.Receiver) {
 			return fmt.Sprintf("match n%d->n%d %s -> %s", m.SendNode, m.RecvNode,
-				m.Sender.StringAll(), m.Receiver.StringAll())
+				m.Sender.StringAll(), m.Receiver.StringAll()), m.SendNode
 		}
 	}
-	return ""
+	return "", 0
 }
 
 // collectMatches unions match records over terminal configurations (finals
@@ -846,8 +967,11 @@ func (e *engine) reviseEntry(entry *tableEntry, st *State, key string, tid int) 
 	if entry.rev >= e.opts.joinVisits() {
 		combinePhase = obs.PhaseWiden
 	}
+	// blameNode (not firstActiveNode) on purpose: the attribution must not
+	// reorder entry.st.Sets between AlignTo and combine.
+	e.prof.Combine(tid, blameNode(entry.st), combinePhase == obs.PhaseWiden)
 	csp := e.span(tid, combinePhase, key)
-	widened := e.combine(entry, st)
+	widened := e.combine(entry, st, tid)
 	csp.End()
 	if widened.Top {
 		if widened.TopKey == "" {
@@ -884,6 +1008,7 @@ func (e *engine) reviseEntry(entry *tableEntry, st *State, key string, tid int) 
 		old := entry.st
 		entry.st = &State{Top: true, TopWhy: "widening did not converge at " + key,
 			TopNode: firstActiveNode(old), TopKey: key}
+		e.prof.GiveUp(tid, entry.st.TopNode)
 		old.Release()
 		widened.Release()
 		st.Release()
@@ -924,12 +1049,13 @@ func (e *engine) recordEdge(from, to, action string) {
 
 type nodePair struct{ s, r int }
 
-// combine merges incoming state nw into the table entry's state.
-func (e *engine) combine(entry *tableEntry, nw *State) *State {
-	return e.combineRetry(entry, nw, 4)
+// combine merges incoming state nw into the table entry's state. tid
+// identifies the caller's profiler lane only.
+func (e *engine) combine(entry *tableEntry, nw *State, tid int) *State {
+	return e.combineRetry(entry, nw, 4, tid)
 }
 
-func (e *engine) combineRetry(entry *tableEntry, nw *State, retries int) *State {
+func (e *engine) combineRetry(entry *tableEntry, nw *State, retries int, tid int) *State {
 	old := entry.st
 	old.EnrichEverywhere()
 	nw.EnrichEverywhere()
@@ -1081,12 +1207,28 @@ func (e *engine) combineRetry(entry *tableEntry, nw *State, retries int) *State 
 			if len(failing) > 0 {
 				blame = old.Sets[failing[0]].Node.ID
 			}
+			if e.prof != nil {
+				// Profiler-only blame: when only matches failed, fall back
+				// to the failing pair's send node (TopNode itself stays on
+				// the established failing-set rule).
+				pnode := blame
+				if len(failing) == 0 && len(matchFail) > 0 {
+					pnode = matchFail[0].s
+				}
+				var fa, fb string
+				if pa, pb, okb := firstFailingBound(old, nw); okb {
+					fa, fb = pa.String(), pb.String()
+				} else if len(detail) > 0 {
+					fb = detail[0]
+				}
+				e.prof.WidenFail(tid, pnode, fa, fb)
+			}
 			return &State{Top: true, TopWhy: "widening failed: no common bound expressions: " + strings.Join(detail, "; "),
 				TopNode: blame}
 		}
 		// Retry after parametric generalization. nw2 is an intermediate
 		// trial state; the recursion only reads it.
-		res := e.combineRetry(entry, nw2, retries-1)
+		res := e.combineRetry(entry, nw2, retries-1, tid)
 		nw2.Release()
 		return res
 	}
@@ -1465,18 +1607,42 @@ func (e *engine) step(st *State, tid int, key string) []succ {
 		if ps.Node.IsComm() {
 			if e.opts.NonBlockingSends && ps.Node.Kind == cfg.Send {
 				sp := e.span(tid, obs.PhaseTransfer, key)
+				t0 := e.profNow()
 				out := e.issueSendStep(st, ps.ID)
+				e.profStep(tid, ps.Node.ID, t0, len(out))
 				sp.End()
 				return out
 			}
 			continue
 		}
 		sp := e.span(tid, obs.PhaseTransfer, key)
+		t0 := e.profNow()
 		out := e.advanceSet(st, ps.ID)
+		e.profStep(tid, ps.Node.ID, t0, len(out))
 		sp.End()
 		return out
 	}
-	return e.stepBlocked(st, len(st.Sets)+1, tid, key)
+	t0 := e.profNow()
+	out := e.stepBlocked(st, len(st.Sets)+1, tid, key)
+	if e.prof != nil {
+		e.profStep(tid, firstBlockedNode(st), t0, len(out))
+	}
+	return out
+}
+
+// firstBlockedNode returns the first blocked set's node in canonical
+// order (st is already sorted when step reaches the blocked path), the
+// first set's node otherwise — the attribution anchor for blocked steps.
+func firstBlockedNode(st *State) int {
+	for _, p := range st.Sets {
+		if p.Blocked {
+			return p.Node.ID
+		}
+	}
+	if len(st.Sets) > 0 {
+		return st.Sets[0].Node.ID
+	}
+	return 0
 }
 
 // stepBlocked handles a configuration whose sets are all blocked or at
@@ -1485,17 +1651,17 @@ func (e *engine) step(st *State, tid int, key string) []succ {
 func (e *engine) stepBlocked(st *State, depth, tid int, key string) []succ {
 	msp := e.span(tid, obs.PhaseMatch, key)
 	// 2a. Satisfy receives from pending (non-blocking) sends.
-	if s, ok := e.tryPendingMatches(st); ok {
+	if s, ok := e.tryPendingMatches(st, tid); ok {
 		msp.End()
 		return s
 	}
 	// 2b. Match blocked sends to receives.
-	if s, ok := e.tryMatches(st); ok {
+	if s, ok := e.tryMatches(st, tid); ok {
 		msp.End()
 		return s
 	}
 	// 3. Self-matches (permutation exchanges).
-	if s, ok := e.trySelfMatches(st); ok {
+	if s, ok := e.trySelfMatches(st, tid); ok {
 		msp.End()
 		return s
 	}
@@ -1752,7 +1918,7 @@ func (e *engine) issueSendStep(st *State, id int) []succ {
 
 // tryPendingMatches satisfies a blocked receive from an in-flight pending
 // send, respecting per-channel FIFO order conservatively.
-func (e *engine) tryPendingMatches(st *State) ([]succ, bool) {
+func (e *engine) tryPendingMatches(st *State, tid int) ([]succ, bool) {
 	for _, r := range st.Sets {
 		if !r.Blocked || r.Node.Kind != cfg.Recv {
 			continue
@@ -1793,6 +1959,11 @@ func (e *engine) tryPendingMatches(st *State) ([]succ, bool) {
 				if w, c, okd := splitVarPlusConst(pm.Pending.Val); okd {
 					ns.G.AddEq(rv, w, c)
 				}
+			}
+			if e.prof != nil {
+				// Pending delivery needs no Matcher call; count the match
+				// against the pending send's node with zero probe deltas.
+				e.prof.Match(tid, pm.Pending.Node, 0, 0, 0, 0, true)
 			}
 			ns.AddMatch(pm.Pending.Node, recvNode.ID, pm.SendersMatched, pm.RecvMatched)
 			advance(nr)
@@ -1835,7 +2006,7 @@ func (e *engine) fifoConflict(st *State, idx int, pm *PendingMatch) bool {
 // tryMatches attempts pairwise send-receive matching in deterministic order;
 // the first success forms the successor (the framework propagates real
 // state only along the matched edge).
-func (e *engine) tryMatches(st *State) ([]succ, bool) {
+func (e *engine) tryMatches(st *State, tid int) ([]succ, bool) {
 	for _, sender := range st.Sets {
 		if !sender.Blocked || sender.Node.Kind != cfg.Send {
 			continue
@@ -1845,7 +2016,7 @@ func (e *engine) tryMatches(st *State) ([]succ, bool) {
 				continue
 			}
 			ns := st.Clone()
-			if out, ok := e.applyPairMatch(ns, ns.Set(sender.ID), ns.Set(receiver.ID)); ok {
+			if out, ok := e.applyPairMatch(ns, ns.Set(sender.ID), ns.Set(receiver.ID), tid); ok {
 				return out, true
 			}
 			ns.Release()
@@ -1861,7 +2032,7 @@ func (e *engine) tryMatches(st *State) ([]succ, bool) {
 				continue
 			}
 			ns := st.Clone()
-			if out, ok := e.applySendRecvPair(ns, ns.Set(a.ID), ns.Set(b.ID)); ok {
+			if out, ok := e.applySendRecvPair(ns, ns.Set(a.ID), ns.Set(b.ID), tid); ok {
 				return out, true
 			}
 			ns.Release()
@@ -1871,8 +2042,10 @@ func (e *engine) tryMatches(st *State) ([]succ, bool) {
 }
 
 // applyPairMatch matches sender's send against receiver's recv.
-func (e *engine) applyPairMatch(ns *State, sender, receiver *ProcSet) ([]succ, bool) {
+func (e *engine) applyPairMatch(ns *State, sender, receiver *ProcSet, tid int) ([]succ, bool) {
+	pr := e.profMatchStart()
 	plan, ok := e.opts.Matcher.Match(ns, sender, sender.Node.Dest, receiver, receiver.Node.Src)
+	e.profMatchEnd(tid, sender.Node.ID, pr, ok)
 	if !ok {
 		return nil, false
 	}
@@ -1894,12 +2067,16 @@ func (e *engine) applyPairMatch(ns *State, sender, receiver *ProcSet) ([]succ, b
 
 // applySendRecvPair matches two sets blocked on sendrecv against each other
 // in both directions; both directions must agree on whole-set matches.
-func (e *engine) applySendRecvPair(ns *State, a, b *ProcSet) ([]succ, bool) {
+func (e *engine) applySendRecvPair(ns *State, a, b *ProcSet, tid int) ([]succ, bool) {
+	pr := e.profMatchStart()
 	planAB, ok := e.opts.Matcher.Match(ns, a, a.Node.Dest, b, b.Node.Src)
+	e.profMatchEnd(tid, a.Node.ID, pr, ok)
 	if !ok || len(planAB.SenderRests) > 0 || len(planAB.RecvRests) > 0 {
 		return nil, false
 	}
+	pr = e.profMatchStart()
 	planBA, ok := e.opts.Matcher.Match(ns, b, b.Node.Dest, a, a.Node.Src)
+	e.profMatchEnd(tid, b.Node.ID, pr, ok)
 	if !ok || len(planBA.SenderRests) > 0 || len(planBA.RecvRests) > 0 {
 		return nil, false
 	}
@@ -1956,14 +2133,17 @@ func (e *engine) markVisited(id int) {
 // trySelfMatches looks for a set blocked at a send (or sendrecv) whose own
 // subsequent receive completes a whole-set permutation exchange — the
 // paper's transpose pattern (Section VIII-B), justified by eager buffering.
-func (e *engine) trySelfMatches(st *State) ([]succ, bool) {
+func (e *engine) trySelfMatches(st *State, tid int) ([]succ, bool) {
 	for _, ps := range st.Sets {
 		if !ps.Blocked {
 			continue
 		}
 		switch ps.Node.Kind {
 		case cfg.SendRecv:
-			if e.opts.Matcher.SelfMatch(st, ps, ps.Node.Dest, ps.Node.Src) {
+			pr := e.profMatchStart()
+			ok := e.opts.Matcher.SelfMatch(st, ps, ps.Node.Dest, ps.Node.Src)
+			e.profMatchEnd(tid, ps.Node.ID, pr, ok)
+			if ok {
 				ns := st.Clone()
 				nps := ns.Set(ps.ID)
 				e.propagateValue(ns, nps, nps.Range, ps.Node.Value, nps, ps.Node.RecvName)
@@ -1978,7 +2158,10 @@ func (e *engine) trySelfMatches(st *State) ([]succ, bool) {
 			if recvNode == nil {
 				continue
 			}
-			if !e.opts.Matcher.SelfMatch(st, ps, ps.Node.Dest, recvNode.Src) {
+			pr := e.profMatchStart()
+			ok := e.opts.Matcher.SelfMatch(st, ps, ps.Node.Dest, recvNode.Src)
+			e.profMatchEnd(tid, ps.Node.ID, pr, ok)
+			if !ok {
 				continue
 			}
 			ns := st.Clone()

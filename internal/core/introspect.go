@@ -67,6 +67,15 @@ func (e *engine) sampleProgress(parallel bool) obs.Progress {
 			p.MemoHitRate = memo.HitRate()
 		}
 	}
+	// Prover lane: the cartesian matcher keeps these as atomics, so the
+	// sampler can read them mid-search (interface-asserted, like Memo).
+	if pp, ok := e.opts.Matcher.(interface {
+		ProverSearches() int64
+		ProverSearchNs() int64
+	}); ok {
+		p.ProverSearches = pp.ProverSearches()
+		p.ProverNs = pp.ProverSearchNs()
+	}
 	if parallel {
 		p.Pending = int64(e.sched.livePending())
 		p.Queued = int64(e.sched.liveDepth())

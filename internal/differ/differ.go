@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/parser"
+	"repro/internal/prof"
 	"repro/internal/sem"
 	"repro/internal/sim"
 	"repro/internal/validate"
@@ -123,6 +124,11 @@ type Options struct {
 	// MaxVisits, NonBlockingSends, ...) flow into every engine run.
 	// Matcher, Workers and Schedule are managed by the harness.
 	Core core.Options
+	// Profiler, when non-nil, collects the source-attribution profile of
+	// the sequential reference analysis only — the parallel comparison
+	// runs stay unprofiled so the attribution is deterministic across
+	// sweep repeats (the parallel fixpoints legally vary).
+	Profiler *prof.Profiler
 }
 
 func (o *Options) fill() {
@@ -153,6 +159,9 @@ func Check(src string, opts Options) *Finding {
 		co.Matcher = cartesian.New(core.ScanInvariants(g))
 		co.Workers = workers
 		co.Schedule = schedule
+		if workers == 1 {
+			co.Profiler = opts.Profiler
+		}
 		res, err := core.Analyze(g, co)
 		return res, err
 	}
@@ -428,6 +437,12 @@ type SweepOptions struct {
 	// Progress, when non-nil, is called after each program with the index
 	// and its finding (the psdf fuzz CLI uses it for -v output).
 	Progress func(i int, p gen.Program, f *Finding)
+	// Attribute turns on per-construct precision attribution: each
+	// program's sequential reference run is profiled, and its widening
+	// failures / give-ups / ⊤ demotions are attributed to the generator
+	// phase (by source line range) that emitted the blamed statement.
+	// The aggregate lands in SweepResult.Attribution.
+	Attribute bool
 }
 
 // SweepFinding is one divergent program from a sweep.
@@ -445,6 +460,9 @@ type SweepResult struct {
 	// Findings holds every program whose class is worse than ClassSkipped
 	// (precision, error, engine, soundness), in sweep order.
 	Findings []SweepFinding
+	// Attribution is the ranked per-construct precision-loss aggregate
+	// (nil unless SweepOptions.Attribute).
+	Attribution *prof.SweepAttribution
 }
 
 // Count reports how many programs landed in class c.
@@ -464,9 +482,22 @@ func (r *SweepResult) PrecisionRate() float64 {
 // with base seed.
 func ProgramSeed(seed int64, i int) int64 { return seed + int64(i)*1000003 }
 
+// phaseRanges converts the generator's phase line records into the
+// profiler's neutral construct ranges.
+func phaseRanges(p gen.Program) []prof.LineRange {
+	out := make([]prof.LineRange, 0, len(p.PhaseLines))
+	for _, pl := range p.PhaseLines {
+		out = append(out, prof.LineRange{Label: string(pl.Family), Start: pl.Start, End: pl.End})
+	}
+	return out
+}
+
 // Sweep generates N programs and triages each one.
 func Sweep(opts SweepOptions) *SweepResult {
 	res := &SweepResult{Counts: map[Class]int{}}
+	if opts.Attribute {
+		res.Attribution = prof.NewSweepAttribution()
+	}
 	for i := 0; i < opts.N; i++ {
 		r := rand.New(rand.NewSource(ProgramSeed(opts.Seed, i)))
 		cfg := opts.Gen
@@ -477,7 +508,16 @@ func Sweep(opts SweepOptions) *SweepResult {
 		p := gen.New(r, cfg)
 		do := opts.Differ
 		do.Env = p.Env
+		var pr *prof.Profiler
+		if opts.Attribute {
+			pr = prof.New()
+			do.Profiler = pr
+		}
 		f := Check(p.Src, do)
+		if opts.Attribute {
+			rep := pr.Report(fmt.Sprintf("program-%d", i), p.Src)
+			res.Attribution.Add(rep, phaseRanges(p), "decor")
+		}
 		res.Programs++
 		res.Counts[f.Class]++
 		if f.Class > ClassSkipped {

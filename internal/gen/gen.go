@@ -146,6 +146,18 @@ type Program struct {
 	Env map[string]int64
 	// Bug is the injected defect kind (BugNone for safe programs).
 	Bug BugKind
+	// PhaseLines records, in emission order, the 1-based inclusive line
+	// range each phase's statements occupy in Src — the construct map the
+	// profiler's sweep attribution joins widening failures against. Lines
+	// outside every range are decoration (or the bug-injection epilogue).
+	PhaseLines []PhaseLines
+}
+
+// PhaseLines is one phase's source line range (1-based, inclusive).
+type PhaseLines struct {
+	Family Family
+	Start  int
+	End    int
 }
 
 // New generates one program from the rand stream under cfg.
@@ -184,8 +196,14 @@ func New(r *rand.Rand, cfg Config) Program {
 		b.out.WriteString("assume w >= 1\nassume w <= 3\n")
 	}
 	b.decorate()
+	var phaseLines []PhaseLines
+	// Every emitted line ends in a newline, so the next line number is
+	// always newline-count + 1.
+	nextLine := func() int { return 1 + strings.Count(b.out.String(), "\n") }
 	for _, f := range fams {
+		start := nextLine()
 		b.emitFamily(f)
+		phaseLines = append(phaseLines, PhaseLines{Family: f, Start: start, End: nextLine() - 1})
 		b.afterPhase = true
 		b.decorate()
 	}
@@ -194,11 +212,12 @@ func New(r *rand.Rand, cfg Config) Program {
 	}
 
 	return Program{
-		Src:      b.out.String(),
-		Families: fams,
-		MinNP:    cfg.MinNP,
-		Env:      b.env,
-		Bug:      cfg.Bug,
+		Src:        b.out.String(),
+		Families:   fams,
+		MinNP:      cfg.MinNP,
+		Env:        b.env,
+		Bug:        cfg.Bug,
+		PhaseLines: phaseLines,
 	}
 }
 

@@ -150,3 +150,42 @@ func TestSafeProgramsAnalyzeWithoutError(t *testing.T) {
 		}
 	}
 }
+
+// TestPhaseLines: the recorded per-phase line ranges are in order,
+// in bounds, non-overlapping, and aligned with Families — the contract
+// the profiler's per-construct sweep attribution joins against.
+func TestPhaseLines(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		p := New(rand.New(rand.NewSource(seed)), Config{Phases: 3, Decor: 4})
+		if len(p.PhaseLines) != len(p.Families) {
+			t.Fatalf("seed %d: %d phase ranges for %d families", seed, len(p.PhaseLines), len(p.Families))
+		}
+		nLines := strings.Count(p.Src, "\n")
+		prevEnd := 0
+		lines := strings.Split(p.Src, "\n")
+		for i, pl := range p.PhaseLines {
+			if pl.Family != p.Families[i] {
+				t.Fatalf("seed %d: range %d family %q, Families[%d] %q", seed, i, pl.Family, i, p.Families[i])
+			}
+			if pl.Start <= prevEnd || pl.End < pl.Start || pl.End > nLines {
+				t.Fatalf("seed %d: bad range %d [%d,%d] after end %d (src %d lines)\n%s",
+					seed, i, pl.Start, pl.End, prevEnd, nLines, p.Src)
+			}
+			// A phase is communication: its range must contain a comm stmt.
+			comm := false
+			for ln := pl.Start; ln <= pl.End; ln++ {
+				text := lines[ln-1]
+				if strings.Contains(text, "send") || strings.Contains(text, "recv") ||
+					strings.Contains(text, "sendrecv") {
+					comm = true
+					break
+				}
+			}
+			if !comm {
+				t.Fatalf("seed %d: range %d [%d,%d] (%s) holds no comm statement\n%s",
+					seed, i, pl.Start, pl.End, pl.Family, p.Src)
+			}
+			prevEnd = pl.End
+		}
+	}
+}

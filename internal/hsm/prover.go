@@ -6,6 +6,8 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sym"
@@ -64,6 +66,25 @@ type Prover struct {
 	// and BFS samples to the prover alongside the engine's phase labels.
 	// Cache hits stay label-free (they do no search work).
 	ProfileLabels bool
+	// Searches / SearchNs count memo-missing searches (SeqEqual and
+	// SetEqual bodies; cache hits are excluded) and their cumulative wall
+	// time. Unlike the plain-int Stats above they are atomics: progress
+	// samplers and the engine profiler read them live from other
+	// goroutines while the matcher-serialized searches run.
+	Searches atomic.Int64
+	SearchNs atomic.Int64
+}
+
+// timed wraps a memo-missing search body with the search counters.
+func (p *Prover) timed(fn func() bool) func() bool {
+	return func() bool {
+		start := time.Now()
+		defer func() {
+			p.Searches.Add(1)
+			p.SearchNs.Add(time.Since(start).Nanoseconds())
+		}()
+		return fn()
+	}
 }
 
 // labeled runs fn under the prover pprof label when ProfileLabels is set.
@@ -142,7 +163,7 @@ func (p *Prover) SeqEqual(a, b *HSM) bool {
 	if res, ok := p.lookup(key); ok {
 		return res
 	}
-	return p.labeled(func() bool {
+	return p.labeled(p.timed(func() bool {
 		if p.Tracer.Enabled() {
 			sp := p.Tracer.Begin(p.TracePID, obs.ProverTid, obs.PhaseProver, ka+" =seq "+kb)
 			defer sp.EndDetail("rel=seq")
@@ -157,7 +178,7 @@ func (p *Prover) SeqEqual(a, b *HSM) bool {
 		p.Failures++
 		p.store(key, false)
 		return false
-	})
+	}))
 }
 
 // SetEqual reports whether a and b provably denote the same set of values.
@@ -172,7 +193,7 @@ func (p *Prover) SetEqual(a, b *HSM) bool {
 	if res, ok := p.lookup(key); ok {
 		return res
 	}
-	return p.labeled(func() bool {
+	return p.labeled(p.timed(func() bool {
 		if p.Tracer.Enabled() {
 			sp := p.Tracer.Begin(p.TracePID, obs.ProverTid, obs.PhaseProver, ka+" ~set "+kb)
 			before := p.StatesExplored
@@ -184,7 +205,7 @@ func (p *Prover) SetEqual(a, b *HSM) bool {
 		res := p.setEqualSearch(a, b)
 		p.store(key, res)
 		return res
-	})
+	}))
 }
 
 func (p *Prover) setEqualSearch(a, b *HSM) bool {

@@ -72,27 +72,48 @@ func NewHTTPMux(reg *Registry, tracker *ProgressTracker, rec *FlightRecorder, qu
 
 // streamStatusz serves the progress snapshot as an SSE stream: one
 // `data: {...}` event immediately, then one per interval until the client
-// disconnects.
+// disconnects. Between events a `: heartbeat` comment keeps intermediaries
+// from timing the connection out (?heartbeat_ms=N overrides the 10s
+// default, floor 50 — mostly for tests). The handler returns as soon as
+// the request context is canceled, so a dropped client never leaks the
+// goroutine.
 func streamStatusz(w http.ResponseWriter, r *http.Request, tracker *ProgressTracker) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
-	interval := 500 * time.Millisecond
-	if v := r.URL.Query().Get("interval_ms"); v != "" {
+	queryInterval := func(name string, def time.Duration) (time.Duration, bool) {
+		v := r.URL.Query().Get(name)
+		if v == "" {
+			return def, true
+		}
 		ms, err := strconv.Atoi(v)
 		if err != nil || ms < 0 {
-			http.Error(w, "bad interval_ms", http.StatusBadRequest)
-			return
+			return 0, false
 		}
 		if ms < 50 {
 			ms = 50
 		}
-		interval = time.Duration(ms) * time.Millisecond
+		return time.Duration(ms) * time.Millisecond, true
+	}
+	interval, ok := queryInterval("interval_ms", 500*time.Millisecond)
+	if !ok {
+		http.Error(w, "bad interval_ms", http.StatusBadRequest)
+		return
+	}
+	heartbeat, ok := queryInterval("heartbeat_ms", 10*time.Second)
+	if !ok {
+		http.Error(w, "bad heartbeat_ms", http.StatusBadRequest)
+		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
+	// no-store (not just no-cache): an SSE stream must never be served
+	// from or written into a cache. X-Accel-Buffering disables response
+	// buffering in nginx-style reverse proxies, which would otherwise sit
+	// on events past any flush.
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
 	w.Header().Set("Connection", "keep-alive")
 	send := func() bool {
 		s := Statusz{NowUnixNs: time.Now().UnixNano(), Jobs: tracker.Snapshot()}
@@ -114,6 +135,8 @@ func streamStatusz(w http.ResponseWriter, r *http.Request, tracker *ProgressTrac
 	}
 	t := time.NewTicker(interval)
 	defer t.Stop()
+	hb := time.NewTicker(heartbeat)
+	defer hb.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
@@ -122,6 +145,12 @@ func streamStatusz(w http.ResponseWriter, r *http.Request, tracker *ProgressTrac
 			if !send() {
 				return
 			}
+		case <-hb.C:
+			// SSE comment line: ignored by clients, keeps the pipe warm.
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		}
 	}
 }

@@ -46,6 +46,11 @@ type Progress struct {
 	MemoHits    int64   `json:"memo_hits"`
 	MemoMisses  int64   `json:"memo_misses"`
 	MemoHitRate float64 `json:"memo_hit_rate"`
+	// Prover lane: memo-missing HSM searches and their cumulative wall
+	// time (populated when the client matcher exposes prover counters;
+	// zero otherwise).
+	ProverSearches int64 `json:"prover_searches"`
+	ProverNs       int64 `json:"prover_ns"`
 	// Scheduler behavior: cross-shard steals and coalesced revisits.
 	Steals    int64 `json:"sched_steals"`
 	Coalesced int64 `json:"sched_coalesced"`

@@ -1,0 +1,164 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// LineRange labels an inclusive 1-based source line range with the
+// construct that emitted it (for generated programs: the phase family).
+// The generator side converts its own phase records into LineRanges so
+// prof stays independent of the generator package.
+type LineRange struct {
+	Label string
+	Start int
+	End   int
+}
+
+// ConstructStats is one row of the sweep attribution: every precision
+// loss the profiler blamed on lines carrying this construct label.
+type ConstructStats struct {
+	Construct     string           `json:"construct"`
+	Programs      int              `json:"programs,omitempty"`
+	WidenFailures int64            `json:"widen_failures,omitempty"`
+	GiveUps       int64            `json:"give_ups,omitempty"`
+	TopDemotions  int64            `json:"top_demotions,omitempty"`
+	Pairs         map[string]int64 `json:"pairs,omitempty"`
+}
+
+// TopPair returns the most frequent failing bound-expression pair.
+func (c *ConstructStats) TopPair() string {
+	best, bestN := "", int64(-1)
+	for p, n := range c.Pairs {
+		if n > bestN || (n == bestN && p < best) {
+			best, bestN = p, n
+		}
+	}
+	return best
+}
+
+// SweepAttribution aggregates per-construct precision losses across the
+// programs of a fuzz sweep. Safe for concurrent Add.
+type SweepAttribution struct {
+	mu sync.Mutex
+	by map[string]*ConstructStats
+}
+
+// NewSweepAttribution returns an empty aggregate.
+func NewSweepAttribution() *SweepAttribution {
+	return &SweepAttribution{by: make(map[string]*ConstructStats)}
+}
+
+func labelFor(line int, ranges []LineRange, def string) string {
+	for _, r := range ranges {
+		if line >= r.Start && line <= r.End {
+			return r.Label
+		}
+	}
+	return def
+}
+
+// Add folds one profiled program into the aggregate: each node carrying
+// precision-loss counters is attributed to the construct whose line range
+// contains it (def — conventionally "decor" — when no range matches,
+// including synthetic nodes with no span).
+func (a *SweepAttribution) Add(rep *Report, ranges []LineRange, def string) {
+	if a == nil || rep == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	touched := make(map[string]bool)
+	get := func(label string) *ConstructStats {
+		cs := a.by[label]
+		if cs == nil {
+			cs = &ConstructStats{Construct: label, Pairs: make(map[string]int64)}
+			a.by[label] = cs
+		}
+		if !touched[label] {
+			touched[label] = true
+			cs.Programs++
+		}
+		return cs
+	}
+	for i := range rep.Nodes {
+		n := &rep.Nodes[i]
+		if n.WidenFailures == 0 && n.GiveUps == 0 && n.TopDemotions == 0 {
+			continue
+		}
+		cs := get(labelFor(n.Line, ranges, def))
+		cs.WidenFailures += n.WidenFailures
+		cs.GiveUps += n.GiveUps
+		cs.TopDemotions += n.TopDemotions
+	}
+	for _, wf := range rep.WidenFailures {
+		if wf.OldBound == "" && wf.NewBound == "" {
+			continue
+		}
+		cs := get(labelFor(wf.Line, ranges, def))
+		cs.Pairs[wf.OldBound+" vs "+wf.NewBound] += wf.Count
+	}
+}
+
+// Rows returns the constructs ranked by widening failures, then give-ups,
+// then ⊤ demotions, then name — the measured precision-recovery worklist.
+func (a *SweepAttribution) Rows() []*ConstructStats {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rows := make([]*ConstructStats, 0, len(a.by))
+	for _, cs := range a.by {
+		rows = append(rows, cs)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		x, y := rows[i], rows[j]
+		if x.WidenFailures != y.WidenFailures {
+			return x.WidenFailures > y.WidenFailures
+		}
+		if x.GiveUps != y.GiveUps {
+			return x.GiveUps > y.GiveUps
+		}
+		if x.TopDemotions != y.TopDemotions {
+			return x.TopDemotions > y.TopDemotions
+		}
+		return x.Construct < y.Construct
+	})
+	return rows
+}
+
+// WriteTable renders the ranked attribution table.
+func (a *SweepAttribution) WriteTable(w io.Writer) {
+	rows := a.Rows()
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "no precision losses attributed")
+		return
+	}
+	fmt.Fprintln(w, "per-construct precision attribution (ranked by widening failures):")
+	fmt.Fprintf(w, "  %-24s %8s %10s %8s %6s  %s\n",
+		"construct", "programs", "widen-fail", "give-ups", "⊤demo", "top failing pair")
+	for _, cs := range rows {
+		fmt.Fprintf(w, "  %-24s %8d %10d %8d %6d  %s\n",
+			cs.Construct, cs.Programs, cs.WidenFailures, cs.GiveUps, cs.TopDemotions, cs.TopPair())
+	}
+}
+
+// attributionFile is the on-disk envelope for `psdf fuzz -profile-out`.
+type attributionFile struct {
+	Schema     string            `json:"schema"`
+	Constructs []*ConstructStats `json:"constructs"`
+}
+
+// AttrSchema identifies the sweep-attribution JSON format.
+const AttrSchema = "psdf-fuzz-attribution/1"
+
+// WriteJSON writes the ranked attribution as an indented JSON document.
+func (a *SweepAttribution) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(attributionFile{Schema: AttrSchema, Constructs: a.Rows()})
+}

@@ -1,0 +1,55 @@
+package prof
+
+import (
+	"testing"
+)
+
+// BenchmarkProfilerDisabled measures the cost of the recording surface
+// when profiling is off (nil lanes): the acceptance contract is 0
+// allocs/op and a handful of nanoseconds, so the engine can keep its
+// recording calls unconditional — the analogue of BenchmarkTracerDisabled.
+func BenchmarkProfilerDisabled(b *testing.B) {
+	var l *Lanes
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Step(0, 3, 100, 1)
+		l.Match(0, 3, 100, 1, 1, 50, true)
+		l.Combine(0, 3, i%2 == 0)
+		l.GiveUp(0, 3)
+		l.TopDemotion(0, 3)
+	}
+}
+
+// BenchmarkProfilerEnabled is the opt-in cost: plain adds into a private
+// lane.
+func BenchmarkProfilerEnabled(b *testing.B) {
+	l := New().NewLanes(1, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Step(0, 3, 100, 1)
+		l.Match(0, 3, 100, 1, 1, 50, true)
+		l.Combine(0, 3, i%2 == 0)
+	}
+}
+
+// TestDisabledZeroAlloc enforces the zero-allocation contract in the
+// ordinary test run (benchmarks don't gate CI).
+func TestDisabledZeroAlloc(t *testing.T) {
+	var l *Lanes
+	var p *Profiler
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Step(1, 2, 100, 3)
+		l.Match(1, 2, 100, 1, 1, 50, false)
+		l.Combine(1, 2, true)
+		l.WidenFail(1, 2, "a", "b")
+		l.GiveUp(1, 2)
+		l.TopDemotion(1, 2)
+		if p.NewLanes(4, 16) != nil {
+			t.Fatal("nil profiler produced lanes")
+		}
+		p.Commit(nil, nil)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled profiler allocates %v per op, want 0", allocs)
+	}
+}

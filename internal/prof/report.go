@@ -1,0 +1,247 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/source"
+)
+
+// Schema identifies the JSON report format. Consumers (psdf profile, the
+// CI smoke check) reject other values.
+const Schema = "psdf-profile/1"
+
+// NodeProfile is one pCFG node's aggregate with its source resolution.
+type NodeProfile struct {
+	Node      int    `json:"node"`
+	Kind      string `json:"kind,omitempty"`
+	Label     string `json:"label,omitempty"`
+	Synthetic bool   `json:"synthetic,omitempty"`
+	Line      int    `json:"line,omitempty"`
+	Col       int    `json:"col,omitempty"`
+	EndLine   int    `json:"end_line,omitempty"`
+	Counters
+}
+
+// Report is one profiled job: totals, per-node rows, and the distinct
+// widening failures ranked by count. Source embeds the analyzed program
+// text so listings render without the original file.
+type Report struct {
+	Name          string         `json:"name"`
+	Source        string         `json:"source,omitempty"`
+	Totals        Counters       `json:"totals"`
+	Nodes         []NodeProfile  `json:"nodes"`
+	WidenFailures []WidenFailure `json:"widen_failures"`
+}
+
+// reportFile is the on-disk envelope.
+type reportFile struct {
+	Schema string    `json:"schema"`
+	Jobs   []*Report `json:"jobs"`
+}
+
+// WriteJSON writes the reports as an indented psdf-profile/1 document.
+func WriteJSON(w io.Writer, jobs []*Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reportFile{Schema: Schema, Jobs: jobs})
+}
+
+// ReadJSON parses and validates a psdf-profile/1 document.
+func ReadJSON(r io.Reader) ([]*Report, error) {
+	var f reportFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("profile report: %w", err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("profile report: schema %q, want %q", f.Schema, Schema)
+	}
+	for i, job := range f.Jobs {
+		if job == nil {
+			return nil, fmt.Errorf("profile report: job %d is null", i)
+		}
+		if job.Name == "" {
+			return nil, fmt.Errorf("profile report: job %d has no name", i)
+		}
+		for _, n := range job.Nodes {
+			if n.Node < 0 {
+				return nil, fmt.Errorf("profile report: job %q has negative node id %d", job.Name, n.Node)
+			}
+		}
+	}
+	return f.Jobs, nil
+}
+
+// lineAgg accumulates node counters per source line for the listing.
+type lineAgg struct {
+	c     Counters
+	nodes []int
+}
+
+func (r *Report) byLine() map[int]*lineAgg {
+	m := make(map[int]*lineAgg)
+	for i := range r.Nodes {
+		n := &r.Nodes[i]
+		a := m[n.Line] // Line 0 collects synthetic/unspanned nodes.
+		if a == nil {
+			a = &lineAgg{}
+			m[n.Line] = a
+		}
+		a.c.add(&n.Counters)
+		a.nodes = append(a.nodes, n.Node)
+	}
+	return m
+}
+
+func heat(ns, max int64) string {
+	if max <= 0 || ns <= 0 {
+		return "    "
+	}
+	// Four-step heat ramp over the share of the hottest line.
+	switch share := float64(ns) / float64(max); {
+	case share >= 0.75:
+		return "████"
+	case share >= 0.40:
+		return "███ "
+	case share >= 0.15:
+		return "██  "
+	default:
+		return "█   "
+	}
+}
+
+func us(ns int64) string {
+	if ns == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%.0f", float64(ns)/1e3)
+}
+
+func count(n int64) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// WriteListing renders the heat-annotated source listing: per line, step
+// time (µs), steps, spawned configurations, joins/widenings, widening
+// failures, and ⊤ events (give-ups + demotions), next to the source text.
+func (r *Report) WriteListing(w io.Writer) error {
+	lines := r.byLine()
+	var maxNs int64
+	for ln, a := range lines {
+		if ln > 0 && a.c.StepNs > maxNs {
+			maxNs = a.c.StepNs
+		}
+	}
+	fmt.Fprintf(w, "== %s ==\n", r.Name)
+	fmt.Fprintf(w, "%s  %8s %7s %7s %6s %6s %5s %4s  source\n",
+		"    ", "time(µs)", "steps", "spawn", "join", "widen", "fail", "top")
+	f := source.NewFile(r.Name, r.Source)
+	for ln := 1; ln <= f.NumLines(); ln++ {
+		text := f.Line(ln)
+		a := lines[ln]
+		if a == nil {
+			fmt.Fprintf(w, "%s  %8s %7s %7s %6s %6s %5s %4s  %s\n",
+				"    ", "", "", "", "", "", "", "", text)
+			continue
+		}
+		c := &a.c
+		fmt.Fprintf(w, "%s  %8s %7s %7s %6s %6s %5s %4s  %s\n",
+			heat(c.StepNs, maxNs), us(c.StepNs), count(c.Steps), count(c.Spawned),
+			count(c.Joins), count(c.Widenings), count(c.WidenFailures),
+			count(c.GiveUps+c.TopDemotions), text)
+	}
+	if a := lines[0]; a != nil && !a.c.zero() {
+		c := &a.c
+		fmt.Fprintf(w, "%s  %8s %7s %7s %6s %6s %5s %4s  %s\n",
+			heat(0, maxNs), us(c.StepNs), count(c.Steps), count(c.Spawned),
+			count(c.Joins), count(c.Widenings), count(c.WidenFailures),
+			count(c.GiveUps+c.TopDemotions), "(synthetic / no source span)")
+	}
+	t := &r.Totals
+	fmt.Fprintf(w, "totals: %d steps %.2fms, %d matches (%d hit) %.2fms, %d memo misses, %d prover searches %.2fms, %d joins, %d widenings (%d failed), %d give-ups, %d ⊤ demotions\n",
+		t.Steps, float64(t.StepNs)/1e6, t.Matches, t.Matched, float64(t.MatchNs)/1e6,
+		t.MemoMisses, t.ProverSearches, float64(t.ProverNs)/1e6,
+		t.Joins, t.Widenings, t.WidenFailures, t.GiveUps, t.TopDemotions)
+	if len(r.WidenFailures) > 0 {
+		fmt.Fprintln(w, "widening failures (no common bound expressions):")
+		for _, wf := range r.WidenFailures {
+			loc := fmt.Sprintf("n%d", wf.Node)
+			if wf.Line > 0 {
+				loc = fmt.Sprintf("n%d L%d", wf.Node, wf.Line)
+			}
+			pair := ""
+			if wf.OldBound != "" || wf.NewBound != "" {
+				pair = fmt.Sprintf("  %s vs %s", wf.OldBound, wf.NewBound)
+			}
+			fmt.Fprintf(w, "  %6d× %-10s%s\n", wf.Count, loc, pair)
+		}
+	}
+	return nil
+}
+
+// WriteTop writes the n hottest source lines by step time.
+func (r *Report) WriteTop(w io.Writer, n int) {
+	type row struct {
+		line int
+		agg  *lineAgg
+	}
+	var rows []row
+	for ln, a := range r.byLine() {
+		rows = append(rows, row{ln, a})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].agg.c.StepNs != rows[j].agg.c.StepNs {
+			return rows[i].agg.c.StepNs > rows[j].agg.c.StepNs
+		}
+		return rows[i].line < rows[j].line
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	f := source.NewFile(r.Name, r.Source)
+	fmt.Fprintf(w, "hotspots (%s):\n", r.Name)
+	for _, rw := range rows {
+		text := "(synthetic / no source span)"
+		if rw.line > 0 {
+			text = strings.TrimSpace(f.Line(rw.line))
+		}
+		fmt.Fprintf(w, "  L%-4d %8sµs %6d steps  %s\n",
+			rw.line, us(rw.agg.c.StepNs), rw.agg.c.Steps, text)
+	}
+}
+
+// WriteFolded emits collapsed stacks (one "frame;frame value" line each)
+// consumable by flamegraph.pl / speedscope / pprof -flame converters.
+// Values are microseconds. Only the time counters fold: step, match and
+// prover; prover time is also inside match time (sub-attribution
+// overlaps), so the match frame folds the non-prover remainder.
+func (r *Report) WriteFolded(w io.Writer) error {
+	for i := range r.Nodes {
+		n := &r.Nodes[i]
+		frame := fmt.Sprintf("%s;L%d %s n%d", r.Name, n.Line, n.Kind, n.Node)
+		if n.Line == 0 {
+			frame = fmt.Sprintf("%s;synthetic %s n%d", r.Name, n.Kind, n.Node)
+		}
+		if v := n.StepNs / 1e3; v > 0 {
+			fmt.Fprintf(w, "%s;step %d\n", frame, v)
+		}
+		matchOnly := n.MatchNs - n.ProverNs
+		if matchOnly < 0 {
+			matchOnly = n.MatchNs
+		}
+		if v := matchOnly / 1e3; v > 0 {
+			fmt.Fprintf(w, "%s;match %d\n", frame, v)
+		}
+		if v := n.ProverNs / 1e3; v > 0 {
+			fmt.Fprintf(w, "%s;match;prover %d\n", frame, v)
+		}
+	}
+	return nil
+}
